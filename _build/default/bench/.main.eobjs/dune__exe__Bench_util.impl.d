@@ -1,0 +1,1 @@
+bench/bench_util.ml: Format Int64 Monotonic_clock

@@ -1,0 +1,32 @@
+(* Timing and table helpers shared by the experiment sections. *)
+
+let now_ns () = Monotonic_clock.now ()
+
+(* Wall-clock one evaluation, in nanoseconds. *)
+let time_once f =
+  let t0 = now_ns () in
+  let r = f () in
+  let t1 = now_ns () in
+  (Int64.to_float (Int64.sub t1 t0), r)
+
+(* Best-of-n timing to damp scheduler noise; returns nanoseconds. *)
+let time_best ?(repeat = 3) f =
+  let best = ref infinity in
+  for _ = 1 to repeat do
+    let t, _ = time_once f in
+    if t < !best then best := t
+  done;
+  !best
+
+let pp_ns ppf ns =
+  if ns < 1e3 then Format.fprintf ppf "%8.0f ns" ns
+  else if ns < 1e6 then Format.fprintf ppf "%8.2f us" (ns /. 1e3)
+  else if ns < 1e9 then Format.fprintf ppf "%8.2f ms" (ns /. 1e6)
+  else Format.fprintf ppf "%8.2f s " (ns /. 1e9)
+
+let section id title =
+  Format.printf "@.==== %s: %s ====@." id title
+
+let row fmt = Format.printf fmt
+
+let ok b = if b then "ok" else "MISMATCH"

@@ -1,0 +1,447 @@
+(* streamcheck — the paper's compiler pass as a command-line tool.
+
+   Classify a streaming topology (SP / SP-ladder / CS4 / general),
+   compute dummy intervals with the appropriate algorithm, and simulate
+   the application under a filtering workload.
+
+     streamcheck classify --demo fig4-left
+     streamcheck intervals --demo fig3 --algorithm non-propagation
+     streamcheck simulate --demo fig2 --inputs 100 --avoidance propagation
+     streamcheck intervals --file app.graph                          *)
+
+open Fstream_graph
+open Fstream_ladder
+open Fstream_core
+open Fstream_runtime
+open Fstream_workloads
+open Cmdliner
+module Verify = Fstream_verify.Verify
+
+(* ------------------------------------------------------------------ *)
+(* Graph sources                                                        *)
+
+let demos =
+  [
+    ("fig1", fun () -> Topo_gen.fig1_split_join ~branches:3 ~cap:2);
+    ("fig2", fun () -> Topo_gen.fig2_triangle ~cap:2);
+    ("fig3", fun () -> Topo_gen.fig3_hexagon ());
+    ("fig4-left", fun () -> Topo_gen.fig4_left ~cap:2);
+    ("erosion", fun () -> Topo_gen.erosion_counterexample ());
+    ("butterfly", fun () -> Topo_gen.fig4_butterfly ~cap:2);
+    ("fig5", fun () -> Topo_gen.fig5_ladder ~cap:2);
+    ("wide-ladder", fun () -> Topo_gen.wide_ladder ~rungs:6 ~cap:2);
+    ("pipeline", fun () -> Topo_gen.pipeline ~stages:8 ~cap:2);
+    ( "random-cs4",
+      fun () ->
+        Topo_gen.random_cs4
+          (Random.State.make [| 1 |])
+          ~blocks:3 ~block_edges:8 ~max_cap:4 );
+  ]
+
+let load_graph file demo =
+  match (file, demo) with
+  | Some path, None -> Graph_io.load path
+  | None, Some name -> (
+    match List.assoc_opt name demos with
+    | Some f -> Ok (f ())
+    | None ->
+      Error
+        (Printf.sprintf "unknown demo %S; available: %s" name
+           (String.concat ", " (List.map fst demos))))
+  | Some _, Some _ -> Error "pass either --file or --demo, not both"
+  | None, None -> Error "pass --file FILE or --demo NAME"
+
+let file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "f"; "file" ] ~docv:"FILE"
+        ~doc:"Topology file (see lib/workloads/graph_io.mli for the format).")
+
+let demo_arg =
+  let names = String.concat ", " (List.map fst demos) in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "d"; "demo" ] ~docv:"NAME"
+        ~doc:(Printf.sprintf "Built-in demo topology: %s." names))
+
+(* ------------------------------------------------------------------ *)
+(* classify                                                             *)
+
+let classify_cmd =
+  let run file demo =
+    match load_graph file demo with
+    | Error e ->
+      Format.eprintf "error: %s@." e;
+      1
+    | Ok g ->
+      Format.printf "%a@.@." Graph.pp g;
+      (match Cs4.classify g with
+      | Ok cls ->
+        Format.printf "CS4: serial composition of %d block(s)@."
+          (List.length cls.Cs4.blocks);
+        List.iter
+          (fun (bsrc, bsnk, b) ->
+            match b with
+            | Cs4.Sp_block t ->
+              Format.printf "  block %d..%d: series-parallel, %d edges@." bsrc
+                bsnk t.Fstream_spdag.Sp_tree.n_edges
+            | Cs4.Ladder_block lad ->
+              Format.printf "  block %d..%d: SP-ladder, %d rung(s)@." bsrc bsnk
+                (Ladder.num_rungs lad);
+              Format.printf "    %a@." Ladder.pp lad)
+          cls.Cs4.blocks
+      | Error failure -> (
+        Format.printf "not CS4: %a@." Cs4.pp_failure failure;
+        match Cs4.bad_cycle_witness g with
+        | Some c ->
+          Format.printf
+            "  witness cycle with sources {%s} and sinks {%s}@."
+            (String.concat ", " (List.map string_of_int (Cycles.cycle_sources c)))
+            (String.concat ", " (List.map string_of_int (Cycles.cycle_sinks c)))
+        | None -> ()));
+      0
+  in
+  let doc = "Classify a topology: SP, SP-ladder, CS4 chain, or general DAG." in
+  Cmd.v
+    (Cmd.info "classify" ~doc)
+    Term.(const run $ file_arg $ demo_arg)
+
+(* ------------------------------------------------------------------ *)
+(* intervals                                                            *)
+
+let algorithm_conv =
+  Arg.enum
+    [
+      ("propagation", Compiler.Propagation);
+      ("non-propagation", Compiler.Non_propagation);
+      ("relay", Compiler.Relay_propagation);
+    ]
+
+let algorithm_arg =
+  Arg.(
+    value
+    & opt algorithm_conv Compiler.Non_propagation
+    & info [ "a"; "algorithm" ] ~docv:"ALGO"
+        ~doc:
+          "Interval algorithm: $(b,propagation), $(b,non-propagation) or \
+           $(b,relay).")
+
+let intervals_cmd =
+  let run file demo algorithm =
+    match load_graph file demo with
+    | Error e ->
+      Format.eprintf "error: %s@." e;
+      1
+    | Ok g -> (
+      match Compiler.plan algorithm g with
+      | Error e ->
+        Format.eprintf "error: %s@." e;
+        1
+      | Ok plan ->
+        Format.printf "route: %a@." Compiler.pp_route plan.route;
+        let thresholds =
+          match algorithm with
+          | Compiler.Propagation ->
+            Compiler.propagation_thresholds g plan.intervals
+          | _ -> Compiler.send_thresholds plan.intervals
+        in
+        Format.printf "%-6s %-10s %4s %10s %10s@." "edge" "channel" "cap"
+          "interval" "threshold";
+        List.iter
+          (fun (e : Graph.edge) ->
+            Format.printf "e%-5d %3d -> %-4d %4d %10s %10s@." e.id e.src e.dst
+              e.cap
+              (Format.asprintf "%a" Interval.pp plan.intervals.(e.id))
+              (match thresholds.(e.id) with
+              | None -> "-"
+              | Some k -> string_of_int k))
+          (Graph.edges g);
+        0)
+  in
+  let doc = "Compute dummy-message intervals for every channel." in
+  Cmd.v
+    (Cmd.info "intervals" ~doc)
+    Term.(const run $ file_arg $ demo_arg $ algorithm_arg)
+
+(* ------------------------------------------------------------------ *)
+(* simulate                                                             *)
+
+type avoidance_choice = A_none | A_prop | A_nonprop
+
+let avoidance_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("none", A_none); ("propagation", A_prop); ("non-propagation", A_nonprop) ])
+        A_nonprop
+    & info [ "avoidance" ] ~docv:"MODE"
+        ~doc:"Deadlock avoidance wrapper: $(b,none), $(b,propagation) or \
+              $(b,non-propagation).")
+
+let inputs_arg =
+  Arg.(
+    value & opt int 1000
+    & info [ "n"; "inputs" ] ~docv:"N" ~doc:"Number of input sequence numbers.")
+
+let keep_arg =
+  Arg.(
+    value & opt float 0.7
+    & info [ "keep" ] ~docv:"P"
+        ~doc:"Per-channel probability that a node keeps (does not filter) an \
+              output.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed.")
+
+let simulate_cmd =
+  let run file demo avoidance inputs keep seed =
+    let loaded =
+      (* files may carry per-node behaviours (App_spec); demos and plain
+         graph files get the uniform Bernoulli workload *)
+      match (file, demo) with
+      | Some path, None -> (
+        match App_spec.load path with
+        | Error e -> Error e
+        | Ok spec ->
+          if spec.App_spec.behaviors = [] then
+            Ok (spec.App_spec.graph, None)
+          else Ok (spec.App_spec.graph, Some spec))
+      | _ -> (
+        match load_graph file demo with
+        | Error e -> Error e
+        | Ok g -> Ok (g, None))
+    in
+    match loaded with
+    | Error e ->
+      Format.eprintf "error: %s@." e;
+      1
+    | Ok (g, spec) -> (
+      let kernels =
+        match spec with
+        | Some spec -> App_spec.kernels spec ~seed
+        | None ->
+          let rng = Random.State.make [| seed |] in
+          Filters.for_graph g (fun _ outs -> Filters.bernoulli rng ~keep outs)
+      in
+      let wrapper =
+        match avoidance with
+        | A_none -> Ok Engine.No_avoidance
+        | A_prop -> (
+          match Compiler.plan Compiler.Propagation g with
+          | Ok p ->
+            Ok (Engine.Propagation (Compiler.propagation_thresholds g p.intervals))
+          | Error e -> Error e)
+        | A_nonprop -> (
+          match Compiler.plan Compiler.Non_propagation g with
+          | Ok p -> Ok (Engine.Non_propagation (Compiler.send_thresholds p.intervals))
+          | Error e -> Error e)
+      in
+      match wrapper with
+      | Error e ->
+        Format.eprintf "error: %s@." e;
+        1
+      | Ok avoidance ->
+        let stats =
+          Engine.run ~deadlock_dump:Format.std_formatter ~graph:g ~kernels
+            ~inputs ~avoidance ()
+        in
+        Format.printf "%a@." Engine.pp_stats stats;
+        (match stats.wedge with
+        | Some snap -> (
+          match Diagnosis.explain g snap with
+          | Some w -> Format.printf "%a@." Diagnosis.pp_witness w
+          | None -> ())
+        | None -> ());
+        (match stats.outcome with Engine.Completed -> 0 | _ -> 2))
+  in
+  let doc = "Run a topology under a random filtering workload." in
+  Cmd.v
+    (Cmd.info "simulate" ~doc)
+    Term.(
+      const run $ file_arg $ demo_arg $ avoidance_arg $ inputs_arg $ keep_arg
+      $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* verify                                                               *)
+
+let verify_cmd =
+  let run file demo avoidance inputs max_states strategy =
+    match load_graph file demo with
+    | Error e ->
+      Format.eprintf "error: %s@." e;
+      1
+    | Ok g -> (
+      let wrapper =
+        match avoidance with
+        | A_none -> Ok Engine.No_avoidance
+        | A_prop -> (
+          match Compiler.plan Compiler.Propagation g with
+          | Ok p ->
+            Ok
+              (Engine.Propagation
+                 (Compiler.propagation_thresholds g p.intervals))
+          | Error e -> Error e)
+        | A_nonprop -> (
+          match Compiler.plan Compiler.Non_propagation g with
+          | Ok p ->
+            Ok (Engine.Non_propagation (Compiler.send_thresholds p.intervals))
+          | Error e -> Error e)
+      in
+      match wrapper with
+      | Error e ->
+        Format.eprintf "error: %s@." e;
+        1
+      | Ok avoidance -> (
+        let r = Verify.check ~max_states ~strategy ~graph:g ~avoidance ~inputs () in
+        Format.printf "%a@." Verify.pp_result r;
+        match r with
+        | Verify.Safe _ -> 0
+        | Verify.Deadlocks _ -> 2
+        | Verify.Out_of_budget _ -> 3))
+  in
+  let inputs =
+    Arg.(
+      value & opt int 4
+      & info [ "n"; "inputs" ] ~docv:"N"
+          ~doc:"Input sequence numbers to model (keep small).")
+  in
+  let max_states =
+    Arg.(
+      value & opt int 1_000_000
+      & info [ "max-states" ] ~docv:"S" ~doc:"State exploration budget.")
+  in
+  let strategy =
+    Arg.(
+      value
+      & opt (enum [ ("bfs", `Bfs); ("dfs", `Dfs) ]) `Bfs
+      & info [ "strategy" ] ~docv:"STRAT"
+          ~doc:
+            "$(b,bfs) gives shortest counterexamples; $(b,dfs) finds deep              wedges with fewer expansions.")
+  in
+  let doc =
+    "Exhaustively model-check deadlock freedom over all filtering choices      (small topologies only)."
+  in
+  Cmd.v (Cmd.info "verify" ~doc)
+    Term.(
+      const run $ file_arg $ demo_arg $ avoidance_arg $ inputs $ max_states
+      $ strategy)
+
+(* ------------------------------------------------------------------ *)
+(* repair                                                               *)
+
+let repair_cmd =
+  let run file demo out =
+    match load_graph file demo with
+    | Error e ->
+      Format.eprintf "error: %s@." e;
+      1
+    | Ok g -> (
+      match Fstream_repair.Repair.repair g with
+      | Error e ->
+        Format.eprintf "repair failed: %s@." e;
+        2
+      | Ok r ->
+        Format.printf "repaired: %d channel(s) deleted, %d added@."
+          r.deleted_edges r.added_edges;
+        List.iter
+          (fun (rr : Fstream_repair.Repair.reroute) ->
+            Format.printf "  reroute %d->%d via %d%s@." (fst rr.deleted)
+              (snd rr.deleted) rr.via
+              (match rr.added with
+              | None -> " (relay channel existed)"
+              | Some (a, b) -> Printf.sprintf " (added %d->%d)" a b))
+          r.reroutes;
+        Format.printf "reachability preserved: %b@."
+          (Fstream_repair.Repair.preserves_reachability g r);
+        (match out with
+        | Some path ->
+          Graph_io.save path r.graph;
+          Format.printf "repaired topology written to %s@." path
+        | None -> Format.printf "@.%a@." Graph.pp r.graph);
+        0)
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the repaired topology to FILE (graph file format).")
+  in
+  let doc = "Rewrite a non-CS4 topology into a CS4 one (paper §VII)." in
+  Cmd.v (Cmd.info "repair" ~doc) Term.(const run $ file_arg $ demo_arg $ out)
+
+(* ------------------------------------------------------------------ *)
+(* size                                                                 *)
+
+let size_cmd =
+  let run file demo algorithm target =
+    match load_graph file demo with
+    | Error e ->
+      Format.eprintf "error: %s@." e;
+      1
+    | Ok g -> (
+      match Sizing.min_uniform_scale g algorithm ~target with
+      | Error e ->
+        Format.eprintf "error: %s@." e;
+        1
+      | Ok c ->
+        Format.printf
+          "smallest uniform buffer scaling for intervals >= %d: x%d@." target c;
+        (match Compiler.plan algorithm (Sizing.scale_caps g c) with
+        | Ok p ->
+          let tightest =
+            Array.fold_left Interval.min Interval.inf p.intervals
+          in
+          Format.printf "tightest interval after scaling: %a@." Interval.pp
+            tightest
+        | Error _ -> ());
+        0)
+  in
+  let target =
+    Arg.(
+      value & opt int 10
+      & info [ "t"; "target" ] ~docv:"K"
+          ~doc:"Require every dummy interval to be at least K.")
+  in
+  let doc =
+    "Compute the minimal uniform buffer scaling for a target dummy rate."
+  in
+  Cmd.v (Cmd.info "size" ~doc)
+    Term.(const run $ file_arg $ demo_arg $ algorithm_arg $ target)
+
+(* ------------------------------------------------------------------ *)
+(* dot                                                                  *)
+
+let dot_cmd =
+  let run file demo =
+    match load_graph file demo with
+    | Error e ->
+      Format.eprintf "error: %s@." e;
+      1
+    | Ok g ->
+      print_string (Dot.render g);
+      0
+  in
+  let doc = "Emit Graphviz dot for a topology (to stdout)." in
+  Cmd.v (Cmd.info "dot" ~doc) Term.(const run $ file_arg $ demo_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc = "deadlock avoidance for streaming computation with filtering" in
+  let info = Cmd.info "streamcheck" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            classify_cmd;
+            intervals_cmd;
+            simulate_cmd;
+            verify_cmd;
+            repair_cmd;
+            size_cmd;
+            dot_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/butterfly_repair.ml: Array Compiler Engine Filters Format Fstream_core Fstream_graph Fstream_repair Fstream_runtime Fstream_workloads Graph Interval List Printf Random Topo_gen

@@ -1,0 +1,1 @@
+examples/butterfly_repair.mli:

@@ -1,0 +1,1 @@
+examples/capacity_planning.ml: Array Compiler Engine Filters Format Fstream_core Fstream_graph Fstream_runtime Fstream_workloads Graph Interval List Printf Random Sizing Topo_gen

@@ -1,0 +1,1 @@
+examples/deadlock_demo.ml: Array Compiler Diagnosis Engine Filters Format Fstream_core Fstream_runtime Fstream_workloads Interval List Topo_gen

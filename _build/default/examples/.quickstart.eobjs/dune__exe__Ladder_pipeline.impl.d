@@ -1,0 +1,1 @@
+examples/ladder_pipeline.ml: Array Compiler Engine Filters Format Fstream_core Fstream_graph Fstream_ladder Fstream_runtime Graph Interval List Random

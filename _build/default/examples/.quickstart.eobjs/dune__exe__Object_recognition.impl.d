@@ -1,0 +1,1 @@
+examples/object_recognition.ml: Array Compiler Engine Filters Format Fstream_core Fstream_graph Fstream_runtime Fstream_workloads Graph Interval List Random String Topo_gen

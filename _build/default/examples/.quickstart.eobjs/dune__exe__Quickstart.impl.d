@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Compiler Engine Filters Format Fstream_core Fstream_graph Fstream_runtime Graph Interval List Random

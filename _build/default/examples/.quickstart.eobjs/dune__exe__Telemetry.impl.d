@@ -1,0 +1,1 @@
+examples/telemetry.ml: App Compiler Engine Format Fstream_core Fstream_parallel Fstream_runtime Fstream_workloads List Result

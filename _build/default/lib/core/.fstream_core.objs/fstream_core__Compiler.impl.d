@@ -1,0 +1,1 @@
+lib/core/compiler.ml: Array Articulation Cs4 Cycles Format Fstream_graph Fstream_ladder General Graph Interval Ladder_nonprop Ladder_prop List Sp_nonprop Sp_prop Topo

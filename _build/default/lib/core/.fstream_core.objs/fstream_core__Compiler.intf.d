@@ -1,0 +1,1 @@
+lib/core/compiler.mli: Cs4 Format Fstream_graph Fstream_ladder Graph Interval

@@ -1,0 +1,1 @@
+lib/core/general.ml: Array Cycles Fstream_graph Graph Interval List

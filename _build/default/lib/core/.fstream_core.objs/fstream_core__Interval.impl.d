@@ -1,0 +1,1 @@
+lib/core/interval.ml: Format Option Stdlib

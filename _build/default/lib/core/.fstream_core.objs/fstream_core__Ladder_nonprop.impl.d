@@ -1,0 +1,1 @@
+lib/core/ladder_nonprop.ml: Array Fstream_graph Fstream_ladder Fstream_spdag Interval Ladder Ladder_view List Option Sp_nonprop Sp_tree

@@ -1,0 +1,1 @@
+lib/core/ladder_prop.ml: Array Fstream_graph Fstream_ladder Interval Ladder Ladder_view Option Sp_prop

@@ -1,0 +1,1 @@
+lib/core/ladder_prop.mli: Fstream_graph Fstream_ladder Graph Interval Ladder

@@ -1,0 +1,1 @@
+lib/core/ladder_view.ml: Array Fstream_ladder Fstream_spdag Ladder Sp_tree

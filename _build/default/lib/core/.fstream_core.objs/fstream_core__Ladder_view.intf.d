@@ -1,0 +1,1 @@
+lib/core/ladder_view.mli: Fstream_ladder Fstream_spdag Ladder Sp_tree

@@ -1,0 +1,1 @@
+lib/core/sizing.ml: Array Compiler Fstream_graph Graph Interval

@@ -1,0 +1,1 @@
+lib/core/sizing.mli: Compiler Fstream_graph Graph

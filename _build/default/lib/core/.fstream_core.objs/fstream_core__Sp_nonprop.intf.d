@@ -1,0 +1,1 @@
+lib/core/sp_nonprop.mli: Fstream_graph Fstream_spdag Graph Interval Sp_tree

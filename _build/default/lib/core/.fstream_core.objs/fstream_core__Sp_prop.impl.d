@@ -1,0 +1,1 @@
+lib/core/sp_prop.ml: Array Fstream_graph Fstream_spdag Interval Sp_tree

@@ -1,0 +1,91 @@
+open Fstream_graph
+open Fstream_ladder
+
+type algorithm = Propagation | Non_propagation | Relay_propagation
+
+type route =
+  | Cs4_route of Cs4.t
+  | General_route of { cycles : int }
+
+type plan = {
+  algorithm : algorithm;
+  intervals : Interval.t array;
+  route : route;
+}
+
+let pp_route ppf = function
+  | Cs4_route cls ->
+    let sp, ladders =
+      List.fold_left
+        (fun (sp, la) (_, _, b) ->
+          match b with
+          | Cs4.Sp_block _ -> (sp + 1, la)
+          | Cs4.Ladder_block _ -> (sp, la + 1))
+        (0, 0) cls.Cs4.blocks
+    in
+    Format.fprintf ppf "CS4 (%d SP block%s, %d ladder%s)" sp
+      (if sp = 1 then "" else "s")
+      ladders
+      (if ladders = 1 then "" else "s")
+  | General_route { cycles } ->
+    Format.fprintf ppf "general DAG fallback (%d cycles enumerated)" cycles
+
+let run_cs4 algorithm g (cls : Cs4.t) =
+  let ivals = Array.make (Graph.num_edges g) Interval.inf in
+  List.iter
+    (fun (_, _, b) ->
+      match (b, algorithm) with
+      | Cs4.Sp_block tree, Propagation -> Sp_prop.update ivals tree
+      | Cs4.Sp_block tree, Non_propagation -> Sp_nonprop.update ivals tree
+      | Cs4.Sp_block tree, Relay_propagation ->
+        Sp_nonprop.update_relay ivals tree
+      | Cs4.Ladder_block lad, Propagation -> Ladder_prop.update ivals lad
+      | Cs4.Ladder_block lad, Non_propagation -> Ladder_nonprop.update ivals lad
+      | Cs4.Ladder_block lad, Relay_propagation ->
+        Ladder_nonprop.update_relay ivals lad)
+    cls.Cs4.blocks;
+  ivals
+
+let run_general algorithm ?max_cycles g =
+  let ivals = Array.make (Graph.num_edges g) Interval.inf in
+  let cycles = Cycles.enumerate ?max_cycles g in
+  let fold =
+    match algorithm with
+    | Propagation -> General.update_propagation
+    | Non_propagation -> General.update_non_propagation
+    | Relay_propagation -> General.update_relay_propagation
+  in
+  List.iter (fold ivals) cycles;
+  { algorithm; intervals = ivals; route = General_route { cycles = List.length cycles } }
+
+let plan ?(allow_general = true) ?max_cycles algorithm g =
+  match Cs4.classify g with
+  | Ok cls ->
+    Ok { algorithm; intervals = run_cs4 algorithm g cls; route = Cs4_route cls }
+  | Error failure ->
+    if allow_general && Topo.is_dag g then
+      try Ok (run_general algorithm ?max_cycles g)
+      with Failure msg -> Error msg
+    else
+      Error (Format.asprintf "%a" Cs4.pp_failure failure)
+
+let send_thresholds = Array.map Interval.threshold
+
+let sdf_thresholds g =
+  Array.make (Graph.num_edges g) (Some 1)
+
+let propagation_thresholds g intervals =
+  let on_cycle = Array.make (Graph.num_edges g) false in
+  List.iter
+    (fun comp ->
+      match comp with
+      | [] | [ _ ] -> ()
+      | edges ->
+        List.iter (fun (e : Graph.edge) -> on_cycle.(e.id) <- true) edges)
+    (Articulation.biconnected_components g);
+  Array.mapi
+    (fun i v ->
+      match Interval.threshold v with
+      | Some k -> Some k
+      | None -> if on_cycle.(i) then Some 1 else None)
+    intervals

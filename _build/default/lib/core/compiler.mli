@@ -1,0 +1,80 @@
+(** The "compiler pass" the paper envisions: given a streaming DAG with
+    channel buffer capacities, decide how its dummy intervals can be
+    computed and compute them.
+
+    The graph is classified with {!Fstream_ladder.Cs4.classify}; CS4
+    graphs dispatch per serial block to the polynomial algorithms
+    (SETIVALS / SP Non-Propagation on SP blocks, the §VI recurrences /
+    family sweep on ladder blocks). Non-CS4 DAGs fall back — when
+    permitted — to the exponential general-DAG baseline, which is the
+    situation the paper tells programmers to redesign their topology to
+    avoid. *)
+
+open Fstream_graph
+open Fstream_ladder
+
+type algorithm =
+  | Propagation
+      (** the paper's Propagation intervals: finite only on edges
+          leaving a cycle source (Fig. 3: "other edges are infinite").
+          Use for reproducing the paper's tables; for driving the
+          runtime wrapper soundly under arbitrary filtering, use
+          {!Relay_propagation} — see DESIGN.md, "Deviations". *)
+  | Non_propagation
+  | Relay_propagation
+      (** sound Propagation-wrapper thresholds: every cycle edge is
+          bounded by its opposing run's buffer length (no hop
+          division) *)
+
+type route =
+  | Cs4_route of Cs4.t  (** polynomial path, with the decomposition *)
+  | General_route of { cycles : int }
+      (** exponential fallback; [cycles] is how many undirected simple
+          cycles were enumerated *)
+
+type plan = {
+  algorithm : algorithm;
+  intervals : Interval.t array;  (** indexed by edge id *)
+  route : route;
+}
+
+val plan :
+  ?allow_general:bool ->
+  ?max_cycles:int ->
+  algorithm ->
+  Graph.t ->
+  (plan, string) result
+(** [allow_general] (default [true]) permits the exponential fallback
+    on non-CS4 DAGs; with [~allow_general:false] such graphs are an
+    error, mirroring a compiler that rejects unsupported topologies.
+    Errors also cover graphs that are not connected two-terminal DAGs
+    when CS4 classification is required. The general fallback only
+    needs acyclicity. *)
+
+val send_thresholds : Interval.t array -> int option array
+(** Integer gap thresholds for the runtime wrappers: [None] means the
+    channel never needs dummies; [Some k] means a dummy is due once the
+    channel has gone [k] sequence numbers without a message
+    ({!Interval.threshold}). Use directly for the Non-Propagation
+    wrapper; for the Propagation wrapper use
+    {!propagation_thresholds}. *)
+
+val sdf_thresholds : Graph.t -> int option array
+(** The strawman the paper's introduction argues against: emulate
+    filtering in a synchronous-dataflow setting by sending a message
+    (data or null) on every channel for every sequence number —
+    threshold 1 everywhere. Trivially deadlock-free; used by the
+    bandwidth ablation (bench A1) to quantify what the computed
+    intervals save. *)
+
+val propagation_thresholds :
+  Graph.t -> Interval.t array -> int option array
+(** Runtime thresholds for the Propagation wrapper from a
+    [Propagation] interval table. Edges with finite intervals (cycle
+    sources) keep their budget; edges with interval [Inf] that lie on
+    an undirected cycle get threshold 1 — a relay may not let a
+    filtered input stall the stream, otherwise per-hop slack
+    accumulates past the opposing buffer capacity (the "relay erosion"
+    deviation discussed in DESIGN.md). Bridge edges get [None]. *)
+
+val pp_route : Format.formatter -> route -> unit

@@ -1,0 +1,45 @@
+(** Dummy intervals on general DAGs by explicit cycle enumeration.
+
+    The direct implementation of the §II.B formulas: enumerate every
+    undirected simple cycle, decompose it into directed runs, and take
+    the minimum constraint per edge. Worst-case exponential in [|G|] —
+    this is the baseline whose cost motivates the whole paper, retained
+    both as ground truth for cross-validating the polynomial algorithms
+    and as the measured "before" in the scaling experiments (C4).
+
+    Per-cycle semantics (matching the Fig. 3 worked example): for an
+    edge [e] on a run [R] with source [u], [L(C,e)] is the total buffer
+    capacity of the run leaving [u] on the other side of the cycle, and
+    [h(C,e)] is the hop count of [R]. On CS4-class graphs every cycle
+    has exactly two runs, and both readings of the paper's definition
+    coincide. *)
+
+open Fstream_graph
+
+val propagation : ?max_cycles:int -> Graph.t -> Interval.t array
+(** Propagation-algorithm intervals indexed by edge id: only the first
+    edge of each run (an edge leaving a cycle source) is constrained,
+    by the opposing run's buffer length. Every other edge is [Inf]. *)
+
+val non_propagation : ?max_cycles:int -> Graph.t -> Interval.t array
+(** Non-Propagation intervals: every edge of every run [R] is
+    constrained by [L(C,e) / h(C,e)] — opposing run's buffer length over
+    [R]'s hop count. *)
+
+val update_propagation : Interval.t array -> Cycles.t -> unit
+(** Fold one cycle's Propagation constraints into an interval table
+    (exposed for incremental use by tests). *)
+
+val update_non_propagation : Interval.t array -> Cycles.t -> unit
+
+val relay_propagation : ?max_cycles:int -> Graph.t -> Interval.t array
+(** Relay-Propagation intervals: like {!non_propagation} but without
+    the hop-count division — every edge of every run is constrained by
+    the opposing run's full buffer length. This is not one of the
+    paper's two algorithms: it is the sound runtime variant this
+    reproduction uses for the Propagation wrapper, because the paper's
+    rule (finite intervals only at cycle sources) cannot cover a relay
+    node that filters data on its only output; see DESIGN.md,
+    "Deviations". *)
+
+val update_relay_propagation : Interval.t array -> Cycles.t -> unit

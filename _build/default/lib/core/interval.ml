@@ -1,0 +1,49 @@
+type t = Fin of { num : int; den : int } | Inf
+
+let inf = Inf
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let ratio num den =
+  if num <= 0 || den <= 0 then invalid_arg "Interval.ratio: not positive";
+  let g = gcd num den in
+  Fin { num = num / g; den = den / g }
+
+let of_int n =
+  if n <= 0 then invalid_arg "Interval.of_int: not positive";
+  Fin { num = n; den = 1 }
+
+let compare a b =
+  match (a, b) with
+  | Inf, Inf -> 0
+  | Inf, Fin _ -> 1
+  | Fin _, Inf -> -1
+  | Fin a, Fin b -> Stdlib.compare (a.num * b.den) (b.num * a.den)
+
+let min a b = if compare a b <= 0 then a else b
+let equal a b = compare a b = 0
+let is_finite = function Fin _ -> true | Inf -> false
+
+let add_int t k =
+  match t with
+  | Inf -> Inf
+  | Fin { num; den } -> ratio (num + (k * den)) den
+
+let ceil_opt = function
+  | Inf -> None
+  | Fin { num; den } -> Some ((num + den - 1) / den)
+
+let floor_opt = function
+  | Inf -> None
+  | Fin { num; den } -> Some (num / den)
+
+let threshold t = Option.map (Stdlib.max 1) (floor_opt t)
+
+let to_float = function
+  | Inf -> infinity
+  | Fin { num; den } -> float_of_int num /. float_of_int den
+
+let pp ppf = function
+  | Inf -> Format.pp_print_string ppf "inf"
+  | Fin { num; den = 1 } -> Format.pp_print_int ppf num
+  | Fin { num; den } -> Format.fprintf ppf "%d/%d" num den

@@ -1,0 +1,53 @@
+(** Dummy-message intervals.
+
+    A dummy interval [e] for a channel is the maximum number of
+    consecutive input sequence numbers its producer may filter on that
+    channel before it must emit a dummy message (§II.B). Propagation
+    intervals are integral buffer-length sums; Non-Propagation intervals
+    are ratios L/h of a buffer length to a hop count, so the domain is
+    the positive rationals extended with infinity (no constraint — the
+    edge lies on no relevant cycle).
+
+    The algorithms only ever combine intervals with [min]; values are
+    kept as exact normalized rationals so that equality against the
+    exponential baseline is exact, and are converted to integer send
+    thresholds only at the runtime boundary. *)
+
+type t = private
+  | Fin of { num : int; den : int }  (** num/den > 0, gcd-normalized *)
+  | Inf
+
+val inf : t
+
+val of_int : int -> t
+(** @raise Invalid_argument if the argument is not positive. *)
+
+val ratio : int -> int -> t
+(** [ratio num den].
+    @raise Invalid_argument unless both are positive. *)
+
+val min : t -> t -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val is_finite : t -> bool
+
+val add_int : t -> int -> t
+(** [add_int t k] adds an integer length to a finite interval ([Inf]
+    absorbs). Used by path recurrences. *)
+
+val ceil_opt : t -> int option
+(** Smallest integer >= the interval; [None] for [Inf]. Fig. 3 reports
+    Non-Propagation intervals this way ("roundup"). *)
+
+val floor_opt : t -> int option
+(** Largest integer <= the interval; [None] for [Inf]. *)
+
+val threshold : t -> int option
+(** The gap threshold the runtime wrapper uses: the floor clamped to be
+    at least 1 — the conservative (never later than the exact ratio)
+    reading of the interval. [None] for [Inf] (never send dummies). *)
+
+val to_float : t -> float
+(** [infinity] for [Inf]. *)
+
+val pp : Format.formatter -> t -> unit

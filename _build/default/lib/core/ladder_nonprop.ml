@@ -1,0 +1,81 @@
+open Fstream_spdag
+open Fstream_ladder
+
+let side_len side = List.fold_left (fun a (t : Sp_tree.t) -> a + t.l) 0 side
+let side_hops side = List.fold_left (fun a (t : Sp_tree.t) -> a + t.h) 0 side
+
+let constrain ~ratio ivals side ~other_len ~hops =
+  List.iter
+    (fun (h : Sp_tree.t) ->
+      Sp_nonprop.iter_edges_through_hops h (fun e he ->
+          let denom = hops - h.h + he in
+          ivals.(e.id) <- Interval.min ivals.(e.id) (ratio other_len denom)))
+    side
+
+let apply ~ratio ivals side_a side_b =
+  if side_a <> [] && side_b <> [] then begin
+    let la = side_len side_a and lb = side_len side_b in
+    let ha = side_hops side_a and hb = side_hops side_b in
+    constrain ~ratio ivals side_a ~other_len:lb ~hops:ha;
+    constrain ~ratio ivals side_b ~other_len:la ~hops:hb
+  end
+
+let update_gen ~ratio ~sp_update ivals (lad : Ladder.t) =
+  let apply = apply ~ratio in
+  let v = Ladder_view.make lad in
+  let k = v.k in
+  (* Internal cycles of every constituent. *)
+  for i = 0 to k do
+    Option.iter (sp_update ivals) v.segl.(i);
+    Option.iter (sp_update ivals) v.segr.(i);
+    if i >= 1 then sp_update ivals v.ktree.(i)
+  done;
+  (* Rail segment runs [lo..hi] as constituent lists (trivial segments
+     contribute nothing). *)
+  let seg_run seg lo hi =
+    let acc = ref [] in
+    for s = hi downto lo do
+      match seg.(s) with None -> () | Some t -> acc := t :: !acc
+    done;
+    !acc
+  in
+  let left = seg_run v.segl and right = seg_run v.segr in
+  (* Source X: cycles pair the two rails, closing at Y or through the
+     sink rung K_j. *)
+  for j = 1 to k do
+    if v.l2r.(j) then apply ivals (left 0 (j - 1) @ [ v.ktree.(j) ]) (right 0 (j - 1))
+    else apply ivals (left 0 (j - 1)) (right 0 (j - 1) @ [ v.ktree.(j) ])
+  done;
+  apply ivals (left 0 k) (right 0 k);
+  (* Internal sources: the tail of each cross-link K_i. One side goes
+     through K_i then along the far rail; the other goes down the near
+     rail, crossing K_j when the sink is on the far side. *)
+  for i = 1 to k do
+    let near, far = if v.l2r.(i) then (left, right) else (right, left) in
+    for j = i + 1 to k do
+      if v.l2r.(j) = v.l2r.(i) then
+        (* Sink is the head of K_j on the far side. *)
+        apply ivals
+          (near i (j - 1) @ [ v.ktree.(j) ])
+          (v.ktree.(i) :: far i (j - 1))
+      else
+        (* K_j points back into the near side: its head is the sink. *)
+        apply ivals
+          (near i (j - 1))
+          ((v.ktree.(i) :: far i (j - 1)) @ [ v.ktree.(j) ])
+    done;
+    apply ivals (near i k) (v.ktree.(i) :: far i k)
+  done
+
+let update ivals lad =
+  update_gen ~ratio:Interval.ratio ~sp_update:Sp_nonprop.update ivals lad
+
+let update_relay ivals lad =
+  update_gen
+    ~ratio:(fun l _ -> Interval.of_int l)
+    ~sp_update:Sp_nonprop.update_relay ivals lad
+
+let intervals g lad =
+  let ivals = Array.make (Fstream_graph.Graph.num_edges g) Interval.inf in
+  update ivals lad;
+  ivals

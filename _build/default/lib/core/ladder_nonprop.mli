@@ -1,0 +1,29 @@
+(** O(|G|^3) Non-Propagation intervals on SP-ladders (§VI.B).
+
+    Constituent-internal cycles are folded by the SP-DAG algorithm per
+    constituent. External cycles are enumerated as (source, sink)
+    families per Lemma VI.3: the source is the ladder source X or a
+    cross-link tail, the sink is Y or a cross-link head below it, and
+    the cycle's two sides are fixed constituent sequences (rail
+    segments, bracketed by the source's and the sink's cross-links as
+    appropriate). For each family, every edge [e] of a constituent [H]
+    on one side is constrained by the other side's total buffer length
+    over the side's longest hop count through [e],
+    [h_side - h(H) + h(H, e)].
+
+    Cross-links sharing a tail vertex need no special case here: their
+    pairing cycles are the families whose rail-segment sequence is
+    entirely trivial. Families whose own side would be empty denote
+    directed cycles and cannot arise in a DAG; they are skipped
+    defensively. *)
+
+open Fstream_graph
+open Fstream_ladder
+
+val update : Interval.t array -> Ladder.t -> unit
+
+val update_relay : Interval.t array -> Ladder.t -> unit
+(** Relay-Propagation variant: the same family sweep without the
+    hop-count division (see {!General.relay_propagation}). *)
+
+val intervals : Graph.t -> Ladder.t -> Interval.t array

@@ -1,0 +1,118 @@
+open Fstream_ladder
+
+(* Per-rung option costs along each rail, measured from X. For a cycle
+   side that travels the left rail and ends at rung j's attachment, the
+   cost from u_i is optl.(j) - pl.(i): crossing K_j when it leaves the
+   rail (l2r), stopping at u_j when K_j arrives (r2l); symmetrically on
+   the right. Sinking at Y costs the full remaining rail. The interval
+   algorithms below take suffix minima of these options.
+
+   Shared tail vertices need two corrections to the paper's recurrences
+   (found by cross-validating against the exponential baseline,
+   experiment V1):
+   - the rail-side constraint for edges leaving a vertex [w] must not
+     use a sink whose attachment is [w] itself — the rail side of such
+     a cycle is empty and cannot contain the constrained edge — so the
+     suffix minimum starts after [w]'s group of rungs; and
+   - the first edges of a cross-link [K_b] are additionally constrained
+     by cycles pairing it with an earlier cross-link leaving the same
+     vertex ([L(K_a)] plus the far rail between their heads). *)
+let update ivals (lad : Ladder.t) =
+  let v = Ladder_view.make lad in
+  let k = v.k in
+  let optl = Array.make (k + 2) max_int and optr = Array.make (k + 2) max_int in
+  for j = 1 to k do
+    optl.(j) <- (v.pl.(j) + if v.l2r.(j) then v.kl.(j) else 0);
+    optr.(j) <- (v.pd.(j) + if v.l2r.(j) then 0 else v.kl.(j))
+  done;
+  let suffix opt =
+    let s = Array.make (k + 2) max_int in
+    for j = k downto 1 do
+      s.(j) <- min opt.(j) s.(j + 1)
+    done;
+    s
+  in
+  let sufl = suffix optl and sufr = suffix optr in
+  (* Shortest opposing-side length from rung [i]'s tail, considering
+     only sink options at rung [x] or later (or Y). *)
+  let ls_from x i = min v.pl.(k + 1) sufl.(x) - v.pl.(i) in
+  let rd_from x i = min v.pd.(k + 1) sufr.(x) - v.pd.(i) in
+  (* Last rung of each tail-vertex group. *)
+  let group_end seg =
+    let g = Array.make (k + 1) k in
+    for i = k - 1 downto 1 do
+      g.(i) <- (if seg.(i) = None then g.(i + 1) else i)
+    done;
+    g
+  in
+  let gl = group_end v.segl and gr = group_end v.segr in
+  (* Pair term: earlier cross-link leaving the same vertex, plus the far
+     rail between the two heads. *)
+  let pair = Array.make (k + 1) Interval.inf in
+  let best_l = ref max_int and best_r = ref max_int in
+  for i = 1 to k do
+    if i > 1 && v.segl.(i - 1) <> None then best_l := max_int;
+    if i > 1 && v.segr.(i - 1) <> None then best_r := max_int;
+    if v.l2r.(i) then begin
+      if !best_l < max_int then
+        pair.(i) <- Interval.of_int (!best_l + v.pd.(i));
+      best_l := min !best_l (v.kl.(i) - v.pd.(i))
+    end
+    else begin
+      if !best_r < max_int then
+        pair.(i) <- Interval.of_int (!best_r + v.pl.(i));
+      best_r := min !best_r (v.kl.(i) - v.pl.(i))
+    end
+  done;
+  (* External constraint per constituent. *)
+  let init_k = Array.make (k + 1) Interval.inf in
+  let init_segl = Array.make (k + 1) Interval.inf in
+  let init_segr = Array.make (k + 1) Interval.inf in
+  init_segl.(0) <- Interval.of_int (rd_from 1 0);
+  init_segr.(0) <- Interval.of_int (ls_from 1 0);
+  (* First non-trivial segment at or after index i on each side: the
+     rail segment whose first edges leave rung i's tail vertex. *)
+  let next_seg seg =
+    let nxt = Array.make (k + 1) k in
+    for i = k - 1 downto 1 do
+      nxt.(i) <- (if seg.(i) = None then nxt.(i + 1) else i)
+    done;
+    nxt
+  in
+  let nxt_l = next_seg v.segl and nxt_r = next_seg v.segr in
+  for i = 1 to k do
+    if v.l2r.(i) then begin
+      (* K_i's first edges: opposing side runs down the left rail from
+         u_i (any sink option below, including later rungs at the same
+         vertex), or is an earlier cross-link at the same vertex. *)
+      init_k.(i) <-
+        Interval.min (Interval.of_int (ls_from (i + 1) i)) pair.(i);
+      (* Rail edges leaving u_i: opposing side is K_i then the right
+         rail; sinks attached back at u_i's own group are unreachable
+         for the rail side, hence the suffix starts after the group. *)
+      let j = nxt_l.(i) in
+      init_segl.(j) <-
+        Interval.min init_segl.(j)
+          (Interval.of_int (v.kl.(i) + rd_from (gl.(i) + 1) i))
+    end
+    else begin
+      init_k.(i) <-
+        Interval.min (Interval.of_int (rd_from (i + 1) i)) pair.(i);
+      let j = nxt_r.(i) in
+      init_segr.(j) <-
+        Interval.min init_segr.(j)
+          (Interval.of_int (v.kl.(i) + ls_from (gr.(i) + 1) i))
+    end
+  done;
+  (* SETIVALS per constituent: handles its internal cycles and injects
+     the external bound on edges leaving its source. *)
+  for i = 0 to k do
+    Option.iter (Sp_prop.update_with ivals ~init:init_segl.(i)) v.segl.(i);
+    Option.iter (Sp_prop.update_with ivals ~init:init_segr.(i)) v.segr.(i);
+    if i >= 1 then Sp_prop.update_with ivals ~init:init_k.(i) v.ktree.(i)
+  done
+
+let intervals g lad =
+  let ivals = Array.make (Fstream_graph.Graph.num_edges g) Interval.inf in
+  update ivals lad;
+  ivals

@@ -1,0 +1,25 @@
+(** O(|G|) Propagation intervals on SP-ladders (§VI.A).
+
+    Cycles internal to a constituent SP-DAG are handled by SETIVALS on
+    that constituent; external cycles all have their source at the
+    ladder source X or at a cross-link tail (Fact VI.1), so they only
+    constrain edges leaving those vertices. The recurrences [Ls]/[Rd]
+    compute, per rung, the shortest buffer-length path from the rung's
+    tail to a potential sink (Lemma VI.3) down each side, and the
+    resulting constraint is injected into the constituent as the
+    external bound [V] of SETIVALS.
+
+    One constraint family is not covered by the paper's recurrences as
+    written: when two cross-links [K_a], [K_b] ([a < b]) leave the same
+    rail vertex, the cycle pairing them directly constrains the first
+    edges of [K_b] by [L(K_a)] plus the opposite rail between their far
+    endpoints. The implementation adds this "shared-tail" term (a
+    prefix-sum running minimum, still O(|G|)); experiment V1
+    cross-validates the result against the exponential baseline, which
+    is how the omission was found. See DESIGN.md. *)
+
+open Fstream_graph
+open Fstream_ladder
+
+val update : Interval.t array -> Ladder.t -> unit
+val intervals : Graph.t -> Ladder.t -> Interval.t array

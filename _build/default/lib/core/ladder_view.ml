@@ -1,0 +1,69 @@
+open Fstream_spdag
+open Fstream_ladder
+
+type t = {
+  k : int;
+  l2r : bool array;
+  ktree : Sp_tree.t array;
+  kl : int array;
+  segl : Sp_tree.t option array;
+  segr : Sp_tree.t option array;
+  ls : int array;
+  ld : int array;
+  pl : int array;
+  pd : int array;
+}
+
+(* Rail expansion: distinct rail vertices each carry at least one rung,
+   so the distinct-vertex index advances by exactly one whenever
+   consecutive rungs have different endpoints; the segment S_i is
+   trivial unless rung i is the last one at its vertex. *)
+let make (lad : Ladder.t) =
+  let k = Array.length lad.rungs in
+  let rung i = lad.rungs.(i - 1) in
+  let l2r = Array.make (k + 1) false in
+  let ktree = Array.make (k + 1) (rung 1).cross in
+  for i = 1 to k do
+    l2r.(i) <- (rung i).left_to_right;
+    ktree.(i) <- (rung i).cross
+  done;
+  let kl = Array.map (fun (t : Sp_tree.t) -> t.l) ktree in
+  kl.(0) <- 0;
+  let expand ends segments =
+    let seg = Array.make (k + 1) None in
+    seg.(0) <- Some segments.(0);
+    let j = ref 0 in
+    (* [j] = index (into the distinct-vertex arrays) of rung i's
+       endpoint; the segment leaving distinct vertex [j] is
+       [segments.(j + 1)]. *)
+    for i = 1 to k do
+      if i > 1 && ends (i - 1) <> ends i then incr j;
+      if i = k || ends i <> ends (i + 1) then seg.(i) <- Some segments.(!j + 1)
+    done;
+    seg
+  in
+  let segl = expand (fun i -> (rung i).left_end) lad.left_segments in
+  let segr = expand (fun i -> (rung i).right_end) lad.right_segments in
+  let lengths f seg =
+    Array.map (function Some (t : Sp_tree.t) -> f t | None -> 0) seg
+  in
+  let ls = lengths (fun t -> t.l) segl and ld = lengths (fun t -> t.l) segr in
+  let prefix arr =
+    let p = Array.make (k + 2) 0 in
+    for i = 1 to k + 1 do
+      p.(i) <- p.(i - 1) + arr.(i - 1)
+    done;
+    p
+  in
+  {
+    k;
+    l2r;
+    ktree;
+    kl;
+    segl;
+    segr;
+    ls;
+    ld;
+    pl = prefix ls;
+    pd = prefix ld;
+  }

@@ -1,0 +1,32 @@
+(** Paper-indexed view of a decomposed SP-ladder.
+
+    {!Fstream_ladder.Ladder.t} lists each rail vertex once; the §VI
+    algorithms index constituents by cross-link number [i = 1..k] with
+    possibly repeated endpoints ([u_i = u_(i+1)] when cross-links share
+    a vertex) and trivial rail segments in between. This view expands a
+    ladder into that indexing and precomputes every per-constituent
+    quantity the interval algorithms read: [L] (shortest buffer length)
+    and [h] (longest hop count) per segment and cross-link, and prefix
+    sums of both along each rail. *)
+
+open Fstream_spdag
+open Fstream_ladder
+
+type t = {
+  k : int;  (** number of cross-links *)
+  l2r : bool array;  (** index 1..k: K_i directed left rail -> right *)
+  ktree : Sp_tree.t array;  (** index 1..k *)
+  kl : int array;  (** L(K_i), index 1..k *)
+  segl : Sp_tree.t option array;
+      (** index 0..k: paper segment S_i (u_i -> u_(i+1)); [None] when
+          trivial (shared endpoint) *)
+  segr : Sp_tree.t option array;  (** D_i likewise *)
+  ls : int array;  (** L(S_i); 0 for trivial segments *)
+  ld : int array;
+  pl : int array;
+      (** index 0..k+1: buffer distance X -> u_i along the left rail
+          ([pl.(k+1)] reaches Y) *)
+  pd : int array;
+}
+
+val make : Ladder.t -> t

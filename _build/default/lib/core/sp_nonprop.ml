@@ -1,0 +1,43 @@
+open Fstream_spdag
+
+let iter_edges_through_hops tree f =
+  let rec go (t : Sp_tree.t) extra =
+    match t.shape with
+    | Leaf e -> f e (extra + 1)
+    | Series (a, b) ->
+      go a (extra + b.h);
+      go b (extra + a.h)
+    | Parallel (a, b) ->
+      go a extra;
+      go b extra
+  in
+  go tree 0
+
+let update_gen ~ratio ivals tree =
+  let constrain l sibling =
+    iter_edges_through_hops sibling (fun e he ->
+        ivals.(e.id) <- Interval.min ivals.(e.id) (ratio l he))
+  in
+  let rec go (t : Sp_tree.t) =
+    match t.shape with
+    | Leaf _ -> ()
+    | Series (a, b) ->
+      go a;
+      go b
+    | Parallel (a, b) ->
+      go a;
+      go b;
+      constrain b.l a;
+      constrain a.l b
+  in
+  go tree
+
+let update ivals tree = update_gen ~ratio:Interval.ratio ivals tree
+
+let update_relay ivals tree =
+  update_gen ~ratio:(fun l _ -> Interval.of_int l) ivals tree
+
+let intervals g tree =
+  let ivals = Array.make (Fstream_graph.Graph.num_edges g) Interval.inf in
+  update ivals tree;
+  ivals

@@ -1,0 +1,21 @@
+open Fstream_spdag
+
+let update_with ivals ~init tree =
+  let rec go (t : Sp_tree.t) v =
+    match t.shape with
+    | Leaf e -> ivals.(e.id) <- Interval.min ivals.(e.id) v
+    | Series (h1, h2) ->
+      go h1 v;
+      go h2 Interval.inf
+    | Parallel (h1, h2) ->
+      go h1 (Interval.min v (Interval.of_int h2.l));
+      go h2 (Interval.min v (Interval.of_int h1.l))
+  in
+  go tree init
+
+let update ivals tree = update_with ivals ~init:Interval.inf tree
+
+let intervals g tree =
+  let ivals = Array.make (Fstream_graph.Graph.num_edges g) Interval.inf in
+  update ivals tree;
+  ivals

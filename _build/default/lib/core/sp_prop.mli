@@ -1,0 +1,26 @@
+(** SETIVALS: O(|G|) Propagation intervals on SP-DAGs (Algorithm 1,
+    §IV.A).
+
+    One top-down pass over the decomposition tree. The parameter [V]
+    carried into a component [H] is the tightest constraint imposed on
+    edges leaving [H]'s source by cycles external to [H] (Claim IV.1);
+    parallel composition tightens it with the sibling's shortest
+    source-to-sink buffer length [L], serial composition forwards it to
+    the first component and resets it to infinity for the second. With
+    single-edge leaves the multi-edge base case reduces to assigning
+    [V] (DESIGN.md). *)
+
+open Fstream_spdag
+
+val update : Interval.t array -> Sp_tree.t -> unit
+(** Fold the tree's constraints into a table indexed by original edge
+    id, starting from the external constraint [Inf]. Time linear in the
+    tree. *)
+
+val update_with : Interval.t array -> init:Interval.t -> Sp_tree.t -> unit
+(** Like {!update} but with an explicit external constraint on edges
+    out of the tree's source — used by the SP-ladder algorithm, where a
+    constituent's source may be an internal source of the ladder. *)
+
+val intervals : Fstream_graph.Graph.t -> Sp_tree.t -> Interval.t array
+(** Fresh table for a whole graph with the given decomposition. *)

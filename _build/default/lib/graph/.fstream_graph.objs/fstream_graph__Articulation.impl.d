@@ -1,0 +1,1 @@
+lib/graph/articulation.ml: Array Fun Graph List Stack Topo

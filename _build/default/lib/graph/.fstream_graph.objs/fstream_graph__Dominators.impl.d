@@ -1,0 +1,1 @@
+lib/graph/dominators.ml: Array Graph List Topo

@@ -1,0 +1,1 @@
+lib/graph/dominators.mli: Graph

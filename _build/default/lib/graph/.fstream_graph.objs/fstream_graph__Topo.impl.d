@@ -1,0 +1,1 @@
+lib/graph/topo.ml: Array Fun Graph Int List Option Set

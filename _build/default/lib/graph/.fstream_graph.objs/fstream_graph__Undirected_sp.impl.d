@@ -1,0 +1,1 @@
+lib/graph/undirected_sp.ml: Articulation Graph Hashtbl Int List Option Queue Set

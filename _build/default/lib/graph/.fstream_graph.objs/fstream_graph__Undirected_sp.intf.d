@@ -1,0 +1,1 @@
+lib/graph/undirected_sp.mli: Graph

@@ -1,0 +1,111 @@
+(* Iterative Hopcroft-Tarjan biconnected components on the undirected
+   view of the multigraph. Iterative because benchmark graphs reach tens
+   of thousands of nodes and a long pipeline would otherwise recurse that
+   deep. Parallel edges are distinct edges, so a multi-edge forms a
+   2-cycle and biconnects its endpoints; the only edge excluded when
+   scanning a vertex is the specific tree edge used to enter it. *)
+
+let biconnected_components g =
+  let n = Graph.num_nodes g in
+  let inc =
+    Array.init n (fun v -> Array.of_list (Graph.incident_edges g v))
+  in
+  let disc = Array.make n (-1) and low = Array.make n 0 in
+  let time = ref 0 in
+  let estack : Graph.edge list ref = ref [] in
+  let comps = ref [] in
+  let by_id (a : Graph.edge) (b : Graph.edge) = compare a.id b.id in
+  for root = 0 to n - 1 do
+    if disc.(root) = -1 then begin
+      let stack = Stack.create () in
+      disc.(root) <- !time;
+      low.(root) <- !time;
+      incr time;
+      Stack.push (root, -1, ref 0) stack;
+      while not (Stack.is_empty stack) do
+        let v, parent_edge, idx = Stack.top stack in
+        if !idx < Array.length inc.(v) then begin
+          let e = inc.(v).(!idx) in
+          incr idx;
+          if e.id <> parent_edge then begin
+            let w = Graph.other_endpoint e v in
+            if disc.(w) = -1 then begin
+              estack := e :: !estack;
+              disc.(w) <- !time;
+              low.(w) <- !time;
+              incr time;
+              Stack.push (w, e.id, ref 0) stack
+            end
+            else if disc.(w) < disc.(v) then begin
+              (* Back edge; pushed only from the deeper endpoint so each
+                 non-tree edge enters the stack exactly once. *)
+              estack := e :: !estack;
+              if disc.(w) < low.(v) then low.(v) <- disc.(w)
+            end
+          end
+        end
+        else begin
+          ignore (Stack.pop stack);
+          match Stack.top_opt stack with
+          | None -> ()
+          | Some (u, _, _) ->
+            if low.(v) < low.(u) then low.(u) <- low.(v);
+            if low.(v) >= disc.(u) then begin
+              (* v's subtree plus edge u-v is a complete component. *)
+              let rec pop acc =
+                match !estack with
+                | [] -> acc
+                | e :: rest ->
+                  estack := rest;
+                  if e.id = parent_edge then e :: acc else pop (e :: acc)
+              in
+              comps := List.sort by_id (pop []) :: !comps
+            end
+        end
+      done
+    end
+  done;
+  !comps
+
+let component_nodes comp =
+  List.sort_uniq compare
+    (List.concat_map (fun (e : Graph.edge) -> [ e.src; e.dst ]) comp)
+
+let articulation_points g =
+  let count = Array.make (Graph.num_nodes g) 0 in
+  List.iter
+    (fun comp ->
+      List.iter (fun v -> count.(v) <- count.(v) + 1) (component_nodes comp))
+    (biconnected_components g);
+  List.filter (fun v -> count.(v) >= 2) (List.init (Graph.num_nodes g) Fun.id)
+
+let serial_blocks g =
+  match Topo.is_two_terminal g with
+  | None -> invalid_arg "Articulation.serial_blocks: not a two-terminal DAG"
+  | Some (x, y) ->
+    let rank = Topo.rank g in
+    let blocks =
+      List.map
+        (fun comp ->
+          let nodes = component_nodes comp in
+          let by_rank a b = compare rank.(a) rank.(b) in
+          let sorted = List.sort by_rank nodes in
+          match (sorted, List.rev sorted) with
+          | bsrc :: _, bsnk :: _ -> (bsrc, bsnk, comp)
+          | _ -> assert false)
+        (biconnected_components g)
+    in
+    let ordered =
+      List.sort (fun (a, _, _) (b, _, _) -> compare rank.(a) rank.(b)) blocks
+    in
+    (* A two-terminal DAG's block-cut tree is necessarily a path from the
+       source's block to the sink's block; check the chain as a sanity
+       guard against malformed inputs. *)
+    let rec check expected = function
+      | [] -> if expected <> y then invalid_arg "serial_blocks: broken chain"
+      | (bsrc, bsnk, _) :: rest ->
+        if bsrc <> expected then invalid_arg "serial_blocks: broken chain";
+        check bsnk rest
+    in
+    check x ordered;
+    ordered

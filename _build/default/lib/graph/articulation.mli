@@ -1,0 +1,28 @@
+(** Articulation points and biconnected components of the underlying
+    undirected multigraph.
+
+    The CS4 decomposition (Theorem V.7) splits a two-terminal DAG at its
+    articulation points into serially-composed blocks, each of which must
+    be an SP-DAG or an SP-ladder. Biconnected components give exactly
+    those blocks. Parallel edges are handled as genuine 2-cycles: the
+    endpoints of a multi-edge are biconnected. *)
+
+val articulation_points : Graph.t -> Graph.node list
+(** Ascending list of cut vertices of the undirected multigraph.
+    Assumes the graph is connected. *)
+
+val biconnected_components : Graph.t -> Graph.edge list list
+(** Partition of the edges into biconnected components (Hopcroft–Tarjan).
+    Components are listed in no particular order; edges within a
+    component are in increasing id order. Assumes connectivity. *)
+
+val serial_blocks : Graph.t -> (Graph.node * Graph.node * Graph.edge list) list
+(** For a two-terminal DAG [g] with source [x] and sink [y]:
+    the biconnected blocks ordered along the source-to-sink chain, each
+    as [(block_source, block_sink, edges)], such that [g] is the serial
+    composition of the blocks: the first block's source is [x], each
+    block's sink is the next block's source, and the last sink is [y].
+    @raise Invalid_argument if [g] is not two-terminal or a block is not
+    itself two-terminal between consecutive cut vertices (cannot happen
+    for DAGs: every biconnected block of a two-terminal DAG is itself
+    two-terminal). *)

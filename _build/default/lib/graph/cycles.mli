@@ -1,0 +1,60 @@
+(** Undirected simple cycles of a DAG and their directed-run structure.
+
+    The deadlock theory of §II.B is phrased over the undirected simple
+    cycles of the application DAG: every potential deadlock corresponds
+    to such a cycle, decomposed into maximal directed paths ("runs")
+    joined at cycle sources and sinks. This module enumerates all simple
+    cycles of the undirected multigraph (worst-case exponential — this
+    is exactly the cost the paper's SP/CS4 algorithms avoid) and
+    computes the run decomposition used by the general-DAG baseline and
+    by the brute-force CS4 property check. *)
+
+type oriented = {
+  edge : Graph.edge;
+  fwd : bool;  (** [true] when traversal follows the edge's direction *)
+}
+
+type t = oriented list
+(** A simple cycle as a traversal: consecutive oriented edges share an
+    endpoint, and the last returns to the first vertex. Length >= 2
+    (a pair of parallel edges is the shortest cycle). *)
+
+type run = {
+  run_source : Graph.node;
+  run_sink : Graph.node;
+  run_edges : Graph.edge list;  (** in directed order, source to sink *)
+}
+(** A maximal directed path along a cycle. *)
+
+val enumerate : ?max_cycles:int -> Graph.t -> t list
+(** All undirected simple cycles, each reported once (arbitrary start
+    vertex and direction). [max_cycles] bounds the enumeration as a
+    safety valve; exceeding it raises [Failure]. Default 10_000_000. *)
+
+val count : ?max_cycles:int -> Graph.t -> int
+
+val vertices : t -> Graph.node list
+(** Vertex sequence [v0; v1; ...] with [v_i] the tail of the i-th
+    oriented edge in traversal order (no repeated final vertex). *)
+
+val runs : t -> run array
+(** The maximal directed runs in cyclic traversal order. Always an even
+    count >= 2 for cycles of a DAG. *)
+
+val opposite_run : t -> int array
+(** [opposite_run c] pairs each run of [runs c] with the index of the
+    run on the other side of its source: the two runs leave that cycle
+    source in opposite traversal directions. For a two-run cycle this is
+    [|1; 0|]. *)
+
+val cycle_sources : t -> Graph.node list
+val cycle_sinks : t -> Graph.node list
+
+val is_cs4_cycle : t -> bool
+(** Exactly one source and one sink (equivalently, exactly two runs). *)
+
+val run_caps : run -> int
+(** Total buffer capacity along a run (the paper's [L] on a cycle). *)
+
+val run_hops : run -> int
+(** Number of edges of a run (the paper's [h] on a cycle). *)

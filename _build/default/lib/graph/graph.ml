@@ -1,0 +1,90 @@
+type node = int
+
+type edge = { id : int; src : node; dst : node; cap : int }
+
+type t = {
+  n : int;
+  edge_arr : edge array;
+  out_adj : edge list array;  (* per node, increasing id *)
+  in_adj : edge list array;
+}
+
+let make ~nodes spec =
+  if nodes < 1 then invalid_arg "Graph.make: nodes < 1";
+  let check_node v =
+    if v < 0 || v >= nodes then
+      invalid_arg (Printf.sprintf "Graph.make: node %d out of range" v)
+  in
+  let edge_arr =
+    Array.of_list
+      (List.mapi
+         (fun id (src, dst, cap) ->
+           check_node src;
+           check_node dst;
+           if src = dst then invalid_arg "Graph.make: self-loop";
+           if cap < 1 then invalid_arg "Graph.make: cap < 1";
+           { id; src; dst; cap })
+         spec)
+  in
+  let out_adj = Array.make nodes [] and in_adj = Array.make nodes [] in
+  (* Iterate in decreasing id order so cons builds increasing-id lists. *)
+  for i = Array.length edge_arr - 1 downto 0 do
+    let e = edge_arr.(i) in
+    out_adj.(e.src) <- e :: out_adj.(e.src);
+    in_adj.(e.dst) <- e :: in_adj.(e.dst)
+  done;
+  { n = nodes; edge_arr; out_adj; in_adj }
+
+let num_nodes g = g.n
+let num_edges g = Array.length g.edge_arr
+let size g = num_nodes g + num_edges g
+
+let edge g id =
+  if id < 0 || id >= Array.length g.edge_arr then
+    invalid_arg (Printf.sprintf "Graph.edge: id %d out of range" id);
+  g.edge_arr.(id)
+
+let edges g = Array.to_list g.edge_arr
+let out_edges g v = g.out_adj.(v)
+let in_edges g v = g.in_adj.(v)
+let out_degree g v = List.length g.out_adj.(v)
+let in_degree g v = List.length g.in_adj.(v)
+
+let incident_edges g v =
+  List.merge (fun a b -> compare a.id b.id) g.out_adj.(v) g.in_adj.(v)
+
+let sources g =
+  List.filter (fun v -> in_degree g v = 0) (List.init g.n Fun.id)
+
+let sinks g =
+  List.filter (fun v -> out_degree g v = 0) (List.init g.n Fun.id)
+
+let other_endpoint e v =
+  if v = e.src then e.dst
+  else if v = e.dst then e.src
+  else invalid_arg "Graph.other_endpoint: node not an endpoint"
+
+let parallel_edges g e =
+  List.filter (fun e' -> e'.id <> e.id && e'.dst = e.dst) g.out_adj.(e.src)
+
+let reverse g =
+  make ~nodes:g.n
+    (List.map (fun e -> (e.dst, e.src, e.cap)) (edges g))
+
+let map_caps g f =
+  make ~nodes:g.n (List.map (fun e -> (e.src, e.dst, f e)) (edges g))
+
+let iter_nodes g f =
+  for v = 0 to g.n - 1 do
+    f v
+  done
+
+let fold_edges g ~init ~f = Array.fold_left f init g.edge_arr
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>graph: %d nodes, %d edges" g.n (num_edges g);
+  Array.iter
+    (fun e ->
+      Format.fprintf ppf "@,  e%d: %d -> %d (cap %d)" e.id e.src e.dst e.cap)
+    g.edge_arr;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,73 @@
+let order g =
+  let n = Graph.num_nodes g in
+  let indeg = Array.init n (Graph.in_degree g) in
+  (* A sorted-by-id worklist keeps the order deterministic. *)
+  let module Iset = Set.Make (Int) in
+  let ready = ref Iset.empty in
+  for v = 0 to n - 1 do
+    if indeg.(v) = 0 then ready := Iset.add v !ready
+  done;
+  let rec loop acc count =
+    match Iset.min_elt_opt !ready with
+    | None -> if count = n then Some (List.rev acc) else None
+    | Some v ->
+      ready := Iset.remove v !ready;
+      List.iter
+        (fun (e : Graph.edge) ->
+          indeg.(e.dst) <- indeg.(e.dst) - 1;
+          if indeg.(e.dst) = 0 then ready := Iset.add e.dst !ready)
+        (Graph.out_edges g v);
+      loop (v :: acc) (count + 1)
+  in
+  loop [] 0
+
+let is_dag g = Option.is_some (order g)
+
+let order_exn g =
+  match order g with
+  | Some l -> Array.of_list l
+  | None -> invalid_arg "Topo.order_exn: graph has a directed cycle"
+
+let rank g =
+  let ord = order_exn g in
+  let r = Array.make (Graph.num_nodes g) 0 in
+  Array.iteri (fun i v -> r.(v) <- i) ord;
+  r
+
+let search g start next =
+  let seen = Array.make (Graph.num_nodes g) false in
+  let rec visit v =
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      List.iter visit (next v)
+    end
+  in
+  visit start;
+  seen
+
+let reachable g v =
+  search g v (fun u ->
+      List.map (fun (e : Graph.edge) -> e.dst) (Graph.out_edges g u))
+
+let co_reachable g v =
+  search g v (fun u ->
+      List.map (fun (e : Graph.edge) -> e.src) (Graph.in_edges g u))
+
+let connected g =
+  let seen =
+    search g 0 (fun u ->
+        List.map (fun e -> Graph.other_endpoint e u) (Graph.incident_edges g u))
+  in
+  Array.for_all Fun.id seen
+
+let is_two_terminal g =
+  if not (is_dag g) then None
+  else
+    match (Graph.sources g, Graph.sinks g) with
+    | [ src ], [ snk ] ->
+      let from_src = reachable g src and to_snk = co_reachable g snk in
+      let ok = ref true in
+      Graph.iter_nodes g (fun v ->
+          if not (from_src.(v) && to_snk.(v)) then ok := false);
+      if !ok then Some (src, snk) else None
+    | _ -> None

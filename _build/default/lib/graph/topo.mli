@@ -1,0 +1,32 @@
+(** Topological structure of directed multigraphs: acyclicity, orderings,
+    and reachability. *)
+
+val order : Graph.t -> Graph.node list option
+(** A topological order of the nodes, or [None] if the graph has a
+    directed cycle. Kahn's algorithm; stable for equal in-degrees (lower
+    node ids first). *)
+
+val is_dag : Graph.t -> bool
+
+val order_exn : Graph.t -> Graph.node array
+(** Like {!order} but as an array.
+    @raise Invalid_argument if the graph is cyclic. *)
+
+val rank : Graph.t -> int array
+(** [rank g] maps each node to its position in [order_exn g].
+    @raise Invalid_argument if the graph is cyclic. *)
+
+val reachable : Graph.t -> Graph.node -> bool array
+(** [reachable g v] flags every node reachable from [v] by directed
+    paths, including [v] itself. *)
+
+val co_reachable : Graph.t -> Graph.node -> bool array
+(** Nodes from which [v] is reachable, including [v] itself. *)
+
+val is_two_terminal : Graph.t -> (Graph.node * Graph.node) option
+(** [Some (source, sink)] if the graph is a DAG with exactly one source
+    and one sink and every node lies on some source-to-sink path;
+    [None] otherwise. *)
+
+val connected : Graph.t -> bool
+(** Whether the underlying undirected multigraph is connected. *)

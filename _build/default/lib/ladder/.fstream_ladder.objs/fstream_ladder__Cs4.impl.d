@@ -1,0 +1,1 @@
+lib/ladder/cs4.ml: Articulation Cycles Format Fstream_graph Fstream_spdag Graph Ladder List Option Result Sp_recognize Sp_tree Topo

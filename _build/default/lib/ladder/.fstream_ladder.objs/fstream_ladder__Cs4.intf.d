@@ -1,0 +1,1 @@
+lib/ladder/cs4.mli: Cycles Format Fstream_graph Fstream_spdag Graph Ladder Sp_tree

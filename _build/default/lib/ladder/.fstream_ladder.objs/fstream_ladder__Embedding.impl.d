@@ -1,0 +1,1 @@
+lib/ladder/embedding.ml: Array Cs4 Format Fstream_graph Fstream_spdag Fun Graph Ladder List Sp_tree

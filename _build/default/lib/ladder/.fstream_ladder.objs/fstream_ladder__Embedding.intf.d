@@ -1,0 +1,1 @@
+lib/ladder/embedding.mli: Cs4 Fstream_graph Graph

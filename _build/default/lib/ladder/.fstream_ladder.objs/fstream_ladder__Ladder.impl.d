@@ -1,0 +1,1 @@
+lib/ladder/ladder.ml: Array Format Fstream_graph Fstream_spdag Graph Hashtbl Int List Option Printf Set Sp_recognize Sp_tree

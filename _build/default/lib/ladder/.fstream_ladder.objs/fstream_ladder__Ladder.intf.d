@@ -1,0 +1,1 @@
+lib/ladder/ladder.mli: Format Fstream_graph Fstream_spdag Graph Sp_recognize Sp_tree

@@ -1,0 +1,74 @@
+open Fstream_graph
+open Fstream_spdag
+
+type block =
+  | Sp_block of Sp_tree.t
+  | Ladder_block of Ladder.t
+
+type t = {
+  source : Graph.node;
+  sink : Graph.node;
+  blocks : (Graph.node * Graph.node * block) list;
+}
+
+type failure =
+  | Not_two_terminal
+  | Bad_block of {
+      block_source : Graph.node;
+      block_sink : Graph.node;
+      reason : string;
+    }
+
+let pp_failure ppf = function
+  | Not_two_terminal -> Format.fprintf ppf "not a connected two-terminal DAG"
+  | Bad_block { block_source; block_sink; reason } ->
+    Format.fprintf ppf "block %d..%d is neither SP nor an SP-ladder: %s"
+      block_source block_sink reason
+
+let classify_block ~nodes ~source ~sink edges =
+  (* One reduction serves both recognizers: a single surviving
+     super-edge means SP; otherwise the core must match the ladder
+     skeleton. *)
+  match
+    Sp_recognize.reduce ~nodes ~protect:(fun v -> v = source || v = sink)
+      edges
+  with
+  | [ { s_src; s_dst; s_tree } ] when s_src = source && s_dst = sink ->
+    Ok (Sp_block s_tree)
+  | core -> (
+    match Ladder.of_core ~source ~sink core with
+    | Ok ladder -> Ok (Ladder_block ladder)
+    | Error reason -> Error reason)
+
+let classify g =
+  match Topo.is_two_terminal g with
+  | None -> Error Not_two_terminal
+  | Some (x, y) when x = y -> Error Not_two_terminal
+  | Some (x, y) ->
+    if not (Topo.connected g) then Error Not_two_terminal
+    else begin
+      let nodes = Graph.num_nodes g in
+      let rec go acc = function
+        | [] -> Ok { source = x; sink = y; blocks = List.rev acc }
+        | (bsrc, bsnk, edges) :: rest -> (
+          match classify_block ~nodes ~source:bsrc ~sink:bsnk edges with
+          | Ok b -> go ((bsrc, bsnk, b) :: acc) rest
+          | Error reason ->
+            Error (Bad_block { block_source = bsrc; block_sink = bsnk; reason }))
+      in
+      go [] (Articulation.serial_blocks g)
+    end
+
+let is_cs4 g = Result.is_ok (classify g)
+
+let bad_cycle_witness ?max_cycles g =
+  List.find_opt
+    (fun c -> not (Cycles.is_cs4_cycle c))
+    (Cycles.enumerate ?max_cycles g)
+
+let is_cs4_brute ?max_cycles g =
+  match Topo.is_two_terminal g with
+  | None -> false
+  | Some (x, y) when x = y -> false
+  | Some _ ->
+    Topo.connected g && Option.is_none (bad_cycle_witness ?max_cycles g)

@@ -1,0 +1,49 @@
+(** CS4 DAGs: classification per Theorem V.7.
+
+    A two-terminal DAG is CS4 — every undirected simple cycle has a
+    single source and a single sink — iff it is a serial composition of
+    blocks, each of which is an SP-DAG or an SP-ladder. [classify]
+    decides the property constructively: it splits the graph into
+    biconnected blocks along its articulation-point chain and recognizes
+    each block, yielding the decomposition the interval algorithms of
+    §VI consume. [is_cs4_brute] decides the same property directly from
+    the cycle-structure definition by enumerating all undirected simple
+    cycles (exponential); the test suite checks the two agree, which is
+    the computational content of Theorem V.7. *)
+
+open Fstream_graph
+open Fstream_spdag
+
+type block =
+  | Sp_block of Sp_tree.t
+  | Ladder_block of Ladder.t
+
+type t = {
+  source : Graph.node;
+  sink : Graph.node;
+  blocks : (Graph.node * Graph.node * block) list;
+      (** [(block_source, block_sink, class)], in serial order *)
+}
+
+type failure =
+  | Not_two_terminal
+  | Bad_block of {
+      block_source : Graph.node;
+      block_sink : Graph.node;
+      reason : string;  (** why the block is neither SP nor a ladder *)
+    }
+
+val classify : Graph.t -> (t, failure) result
+
+val is_cs4 : Graph.t -> bool
+(** [Result.is_ok (classify g)]. *)
+
+val is_cs4_brute : ?max_cycles:int -> Graph.t -> bool
+(** Definition-level check: two-terminal and every undirected simple
+    cycle has exactly one source and one sink. Exponential. *)
+
+val bad_cycle_witness : ?max_cycles:int -> Graph.t -> Cycles.t option
+(** A cycle with more than one source (and sink), when one exists —
+    e.g. the a-c-b-d cycle of the Fig. 4 butterfly. *)
+
+val pp_failure : Format.formatter -> failure -> unit

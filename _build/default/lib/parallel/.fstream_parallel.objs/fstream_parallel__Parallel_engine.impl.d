@@ -1,0 +1,1 @@
+lib/parallel/parallel_engine.ml: Array Condition Domain Fstream_graph Fstream_runtime Fun Graph List Mutex Printf Queue Unix

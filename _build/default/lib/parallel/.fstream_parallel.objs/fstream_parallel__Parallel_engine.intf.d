@@ -1,0 +1,1 @@
+lib/parallel/parallel_engine.mli: Fstream_graph Fstream_runtime Graph

@@ -1,0 +1,248 @@
+open Fstream_graph
+module Engine = Fstream_runtime.Engine
+module Message = Fstream_runtime.Message
+
+type outcome = Completed | Deadlocked
+
+type stats = {
+  outcome : outcome;
+  data_messages : int;
+  dummy_messages : int;
+  sink_data : int;
+}
+
+(* All queue state lives under one application-wide monitor. Node
+   domains take the lock to inspect/mutate channels and wait on [cond]
+   when they can make no move; every state change broadcasts. Kernels
+   run outside the lock. *)
+type shared = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  chans : Message.t Queue.t array;  (* per edge *)
+  caps : int array;
+  slot : int option array;  (* per edge: coalescing dummy mouth *)
+  last_sent : int array;
+  mutable progress : int;  (* bumped on every push/pop; watchdog input *)
+  mutable live_nodes : int;
+  mutable aborted : bool;
+  (* stats *)
+  mutable data_messages : int;
+  mutable dummy_messages : int;
+  mutable sink_data : int;
+}
+
+let locked sh f =
+  Mutex.lock sh.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock sh.mutex) f
+
+let bump sh =
+  sh.progress <- sh.progress + 1;
+  Condition.broadcast sh.cond
+
+let run ?(stall_ms = 200) ~graph:g ~kernels ~inputs ~avoidance () =
+  let n = Graph.num_nodes g and m = Graph.num_edges g in
+  if n > 64 then invalid_arg "Parallel_engine.run: more than 64 nodes";
+  let thresholds, forwarding =
+    match avoidance with
+    | Engine.No_avoidance -> (Array.make m None, false)
+    | Engine.Propagation t -> (t, true)
+    | Engine.Non_propagation t -> (t, false)
+  in
+  let sh =
+    {
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      chans = Array.init m (fun _ -> Queue.create ());
+      caps = Array.init m (fun i -> (Graph.edge g i).cap);
+      slot = Array.make m None;
+      last_sent = Array.make m (-1);
+      progress = 0;
+      live_nodes = n;
+      aborted = false;
+      data_messages = 0;
+      dummy_messages = 0;
+      sink_data = 0;
+    }
+  in
+  let out_edges = Array.init n (Graph.out_edges g) in
+  let in_edges = Array.init n (Graph.in_edges g) in
+  let is_sink v = out_edges.(v) = [] in
+  let full e = Queue.length sh.chans.(e) >= sh.caps.(e) in
+  let push v e (msg : Message.t) =
+    Queue.add msg sh.chans.(e);
+    (match msg.body with
+    | Message.Data _ -> sh.data_messages <- sh.data_messages + 1
+    | Message.Dummy -> sh.dummy_messages <- sh.dummy_messages + 1
+    | Message.Eos -> ());
+    ignore v;
+    bump sh
+  in
+  (* Deliver any queued dummy slots of [v] whose channel has room.
+     Caller holds the lock. *)
+  let flush_slots v =
+    List.iter
+      (fun (e : Graph.edge) ->
+        match sh.slot.(e.id) with
+        | Some seq when not (full e.id) ->
+          sh.slot.(e.id) <- None;
+          push v e.id (Message.dummy ~seq)
+        | _ -> ())
+      out_edges.(v)
+  in
+  (* Blocking send of data/EOS on one channel; dummies never block.
+     Caller holds the lock. *)
+  let send_blocking v e msg =
+    while full e && not sh.aborted do
+      flush_slots v;
+      if full e then Condition.wait sh.cond sh.mutex
+    done;
+    if not sh.aborted then push v e msg
+  in
+  let emit v ~seq ~data_out ~got_dummy =
+    List.iter
+      (fun (e : Graph.edge) ->
+        if List.mem e.id data_out then begin
+          sh.slot.(e.id) <- None;
+          sh.last_sent.(e.id) <- seq;
+          send_blocking v e.id (Message.data ~seq seq)
+        end
+        else begin
+          let due =
+            match thresholds.(e.id) with
+            | Some k -> seq - sh.last_sent.(e.id) >= k
+            | None -> false
+          in
+          if (forwarding && got_dummy) || due then begin
+            sh.slot.(e.id) <- Some seq;
+            sh.last_sent.(e.id) <- seq;
+            flush_slots v
+          end
+        end)
+      out_edges.(v)
+  in
+  let send_eos v =
+    List.iter
+      (fun (e : Graph.edge) ->
+        sh.slot.(e.id) <- None;
+        send_blocking v e.id (Message.eos ()))
+      out_edges.(v)
+  in
+  (* One node's life: fire while inputs flow, forward EOS, retire. *)
+  let node_body v =
+    let kernel = kernels v in
+    let next_input = ref 0 in
+    let running = ref true in
+    while !running do
+      (* Decide the next firing under the lock. *)
+      let decision =
+        locked sh (fun () ->
+            let rec wait_for_work () =
+              if sh.aborted then `Stop
+              else if in_edges.(v) = [] then
+                if !next_input < inputs then begin
+                  let seq = !next_input in
+                  incr next_input;
+                  `Fire (seq, [], false)
+                end
+                else `Eos
+              else if
+                List.for_all
+                  (fun (e : Graph.edge) ->
+                    not (Queue.is_empty sh.chans.(e.id)))
+                  in_edges.(v)
+              then begin
+                let heads =
+                  List.map
+                    (fun (e : Graph.edge) -> (e, Queue.peek sh.chans.(e.id)))
+                    in_edges.(v)
+                in
+                let i =
+                  List.fold_left
+                    (fun acc (_, (msg : Message.t)) -> min acc msg.seq)
+                    max_int heads
+                in
+                if i = max_int then begin
+                  List.iter
+                    (fun ((e : Graph.edge), _) ->
+                      ignore (Queue.pop sh.chans.(e.id)))
+                    heads;
+                  bump sh;
+                  `Eos
+                end
+                else begin
+                  let got_data = ref [] and got_dummy = ref false in
+                  List.iter
+                    (fun ((e : Graph.edge), (msg : Message.t)) ->
+                      if msg.seq = i then begin
+                        ignore (Queue.pop sh.chans.(e.id));
+                        match msg.body with
+                        | Message.Data _ ->
+                          got_data := e.id :: !got_data;
+                          if is_sink v then sh.sink_data <- sh.sink_data + 1
+                        | Message.Dummy -> got_dummy := true
+                        | Message.Eos -> assert false
+                      end)
+                    heads;
+                  bump sh;
+                  `Fire (i, List.rev !got_data, !got_dummy)
+                end
+              end
+              else begin
+                flush_slots v;
+                Condition.wait sh.cond sh.mutex;
+                wait_for_work ()
+              end
+            in
+            wait_for_work ())
+      in
+      match decision with
+      | `Stop -> running := false
+      | `Eos ->
+        locked sh (fun () ->
+            send_eos v;
+            sh.live_nodes <- sh.live_nodes - 1;
+            bump sh);
+        running := false
+      | `Fire (seq, got, got_dummy) ->
+        (* The kernel runs outside the lock: node computations overlap
+           across domains. *)
+        let data_out = if got = [] && in_edges.(v) <> [] then [] else kernel ~seq ~got in
+        let data_out = List.sort_uniq compare data_out in
+        List.iter
+          (fun id ->
+            if
+              not
+                (List.exists (fun (e : Graph.edge) -> e.id = id) out_edges.(v))
+            then
+              invalid_arg
+                (Printf.sprintf
+                   "Parallel_engine: kernel of node %d returned edge %d" v id))
+          data_out;
+        locked sh (fun () -> emit v ~seq ~data_out ~got_dummy)
+    done
+  in
+  (* Watchdog, on the coordinating domain: declare deadlock when the
+     progress counter freezes for a full stall window while nodes are
+     still alive, then abort and wake every waiter. *)
+  let node_domains =
+    Array.init n (fun v -> Domain.spawn (fun () -> node_body v))
+  in
+  let rec watch last =
+    Unix.sleepf (float stall_ms /. 1000.);
+    let p, live = locked sh (fun () -> (sh.progress, sh.live_nodes)) in
+    if live = 0 then ()
+    else if p = last then
+      locked sh (fun () ->
+          sh.aborted <- true;
+          Condition.broadcast sh.cond)
+    else watch p
+  in
+  watch (-1);
+  Array.iter Domain.join node_domains;
+  let aborted = locked sh (fun () -> sh.aborted) in
+  {
+    outcome = (if aborted then Deadlocked else Completed);
+    data_messages = sh.data_messages;
+    dummy_messages = sh.dummy_messages;
+    sink_data = sh.sink_data;
+  }

@@ -1,0 +1,51 @@
+(** Shared-memory parallel execution of filtering streaming DAGs.
+
+    {!Fstream_runtime.Engine} is a deterministic sequential scheduler;
+    this engine runs the same model for real: one OCaml 5 domain per
+    compute node, channels as bounded queues, and {e genuinely
+    blocking} sends — a producer thread stalls inside [send] until its
+    consumer drains the buffer, which is precisely the mechanism that
+    turns filtering into deadlock. The two dummy wrappers carry over
+    unchanged (sequence-number gap thresholds, forwarding under
+    Propagation, non-blocking coalescing dummy slots).
+
+    Synchronisation is deliberately coarse: one application-wide
+    monitor guards all queue state, and kernels execute outside the
+    lock (so node computations genuinely overlap). This favours
+    faithfulness and auditability over throughput — the point is that
+    deadlocks (and their absence, under the wrappers) happen for real,
+    with preemptive scheduling the sequential engine cannot exhibit.
+
+    Deadlock detection is a watchdog: if no channel operation happens
+    for [stall_ms] while work remains, the run is aborted and reported
+    as [Deadlocked]. Keep kernels fast relative to [stall_ms], or raise
+    it.
+
+    Kernels are invoked only from their own node's domain, but
+    different nodes' kernels run concurrently: a kernel factory passed
+    to {!run} must give each node its own state (e.g. its own
+    [Random.State.t]). *)
+
+open Fstream_graph
+
+type outcome = Completed | Deadlocked
+
+type stats = {
+  outcome : outcome;
+  data_messages : int;
+  dummy_messages : int;
+  sink_data : int;
+}
+
+val run :
+  ?stall_ms:int ->
+  graph:Graph.t ->
+  kernels:(Graph.node -> Fstream_runtime.Engine.kernel) ->
+  inputs:int ->
+  avoidance:Fstream_runtime.Engine.avoidance ->
+  unit ->
+  stats
+(** Spawns one domain per node (plus a watchdog) and joins them all
+    before returning. [stall_ms] defaults to 200.
+    @raise Invalid_argument for graphs with more than 64 nodes — one
+    domain per node is only reasonable for small applications. *)

@@ -1,0 +1,1 @@
+lib/repair/repair.ml: Array Cs4 Cycles Fstream_graph Fstream_ladder Fun Graph List Option Topo

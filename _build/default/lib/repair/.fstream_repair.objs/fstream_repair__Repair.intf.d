@@ -1,0 +1,1 @@
+lib/repair/repair.mli: Fstream_graph Graph

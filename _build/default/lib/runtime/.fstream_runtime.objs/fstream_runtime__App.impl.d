@@ -1,0 +1,1 @@
+lib/runtime/app.ml: Array Fstream_graph Fun Graph Hashtbl List Mutex Printf

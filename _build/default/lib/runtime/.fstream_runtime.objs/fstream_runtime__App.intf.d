@@ -1,0 +1,1 @@
+lib/runtime/app.mli: Engine Fstream_graph Graph

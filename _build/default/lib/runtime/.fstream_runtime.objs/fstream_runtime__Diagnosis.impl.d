@@ -1,0 +1,1 @@
+lib/runtime/diagnosis.ml: Array Cycles Engine Format Fstream_graph Graph List

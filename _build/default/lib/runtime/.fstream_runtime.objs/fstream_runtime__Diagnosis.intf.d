@@ -1,0 +1,1 @@
+lib/runtime/diagnosis.mli: Cycles Engine Format Fstream_graph Graph

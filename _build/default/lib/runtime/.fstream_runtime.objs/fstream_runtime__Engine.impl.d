@@ -1,0 +1,1 @@
+lib/runtime/engine.ml: Array Channel Format Fstream_graph Graph Hashtbl List Message Option Printf Queue String Topo

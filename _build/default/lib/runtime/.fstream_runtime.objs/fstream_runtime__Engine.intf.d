@@ -1,0 +1,1 @@
+lib/runtime/engine.mli: Format Fstream_graph Graph

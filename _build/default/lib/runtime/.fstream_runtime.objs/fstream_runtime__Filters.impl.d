@@ -1,0 +1,1 @@
+lib/runtime/filters.ml: Fstream_graph Graph List Random

@@ -1,0 +1,1 @@
+lib/runtime/filters.mli: Engine Fstream_graph Graph Random

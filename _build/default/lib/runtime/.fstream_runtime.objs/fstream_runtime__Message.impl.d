@@ -1,0 +1,1 @@
+lib/runtime/message.ml: Format

@@ -1,0 +1,1 @@
+lib/runtime/message.mli: Format

@@ -1,0 +1,88 @@
+open Fstream_graph
+
+type 'v behavior =
+  | Unset
+  | Source of (seq:int -> (int * 'v) list)
+  | Node of (seq:int -> inputs:(int * 'v) list -> (int * 'v) list)
+
+type 'v t = {
+  graph : Graph.t;
+  behaviors : 'v behavior array;
+  (* (edge id, seq) -> in-flight payload; entries are removed when the
+     consumer fires, so the table size is bounded by the total channel
+     capacity. Locked because distinct nodes' kernels may run on
+     different domains under the parallel runtime. *)
+  store : (int * int, 'v) Hashtbl.t;
+  lock : Mutex.t;
+}
+
+let create graph =
+  {
+    graph;
+    behaviors = Array.make (Graph.num_nodes graph) Unset;
+    store = Hashtbl.create 64;
+    lock = Mutex.create ();
+  }
+
+let source app v f =
+  if Graph.in_degree app.graph v > 0 then
+    invalid_arg "App.source: node has incoming channels";
+  app.behaviors.(v) <- Source f
+
+let node app v f =
+  if Graph.in_degree app.graph v = 0 then
+    invalid_arg "App.node: node is a source";
+  app.behaviors.(v) <- Node f
+
+let sink app v f =
+  node app v (fun ~seq ~inputs ->
+      f ~seq ~inputs;
+      [])
+
+let unconfigured app =
+  List.filter
+    (fun v -> app.behaviors.(v) = Unset)
+    (List.init (Graph.num_nodes app.graph) Fun.id)
+
+let locked app f =
+  Mutex.lock app.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock app.lock) f
+
+let to_kernels app v =
+  let out_ids =
+    List.map (fun (e : Graph.edge) -> e.id) (Graph.out_edges app.graph v)
+  in
+  let record seq emitted =
+    List.iter
+      (fun (id, value) ->
+        if not (List.mem id out_ids) then
+          invalid_arg
+            (Printf.sprintf "App: node %d emitted on foreign channel %d" v id);
+        locked app (fun () -> Hashtbl.replace app.store (id, seq) value))
+      emitted;
+    List.sort_uniq compare (List.map fst emitted)
+  in
+  fun ~seq ~got ->
+    match app.behaviors.(v) with
+    | Unset -> []
+    | Source f -> record seq (f ~seq)
+    | Node f ->
+      let inputs =
+        List.map
+          (fun id ->
+            let value =
+              locked app (fun () ->
+                  let key = (id, seq) in
+                  match Hashtbl.find_opt app.store key with
+                  | Some value ->
+                    Hashtbl.remove app.store key;
+                    value
+                  | None ->
+                    invalid_arg
+                      (Printf.sprintf
+                         "App: no payload for channel %d at seq %d" id seq))
+            in
+            (id, value))
+          got
+      in
+      record seq (f ~seq ~inputs)

@@ -1,0 +1,56 @@
+(** Typed streaming applications on top of the scheduler.
+
+    {!Engine} kernels only choose which output channels receive a
+    message; this layer threads actual values through the graph. Every
+    channel of an application carries payloads of one type ['v]; each
+    node is a function from the values it received for a sequence
+    number to the values it emits (returning no value for a channel
+    {e is} filtering); sinks hand their values to a callback.
+
+    Payload plumbing lives entirely in this layer: the wrapper stores
+    each emitted value keyed by (channel, sequence number), hands the
+    engine an ordinary {!Engine.kernel}, and resolves inputs when the
+    consumer fires — exactly once per message, so the store stays
+    bounded by the channel buffers. Both the sequential {!Engine} and
+    the parallel runtime accept the resulting kernels (the store is
+    internally locked for the parallel case; each node's own function
+    is only ever called from that node's domain).
+
+    Dummy messages remain invisible to application code, as the paper
+    requires: node functions are called only for sequence numbers that
+    carried at least one data value. *)
+
+open Fstream_graph
+
+type 'v t
+
+val create : Graph.t -> 'v t
+
+val source : 'v t -> Graph.node -> (seq:int -> (int * 'v) list) -> unit
+(** [source app v f]: at each input sequence number, [f ~seq] returns
+    the (out-edge id, value) pairs to emit — an empty list filters the
+    input entirely.
+    @raise Invalid_argument if [v] has incoming edges. *)
+
+val node :
+  'v t ->
+  Graph.node ->
+  (seq:int -> inputs:(int * 'v) list -> (int * 'v) list) ->
+  unit
+(** [node app v f]: [inputs] are the (in-edge id, value) pairs that
+    arrived for [seq] (never empty; all-dummy firings bypass the node
+    function).
+    @raise Invalid_argument if [v] is a source. *)
+
+val sink : 'v t -> Graph.node -> (seq:int -> inputs:(int * 'v) list -> unit) -> unit
+(** Terminal consumer; a {!node} that emits nothing. *)
+
+val unconfigured : 'v t -> Graph.node list
+(** Nodes with no behaviour attached. Unconfigured nodes filter
+    everything, which is rarely intended. *)
+
+val to_kernels : 'v t -> Graph.node -> Engine.kernel
+(** The engine-facing kernels, suitable for {!Engine.run} (or the
+    parallel runtime).
+    @raise Invalid_argument at fire time if a node function emits on a
+    channel that is not one of its node's out-edges. *)

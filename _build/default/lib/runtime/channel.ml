@@ -1,0 +1,45 @@
+type t = {
+  capacity : int;
+  queue : Message.t Queue.t;
+  mutable last_seq : int;
+  mutable total_pushed : int;
+  mutable dummies_pushed : int;
+  mutable data_pushed : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Channel.create: capacity < 1";
+  {
+    capacity;
+    queue = Queue.create ();
+    last_seq = -1;
+    total_pushed = 0;
+    dummies_pushed = 0;
+    data_pushed = 0;
+  }
+
+let capacity c = c.capacity
+let length c = Queue.length c.queue
+let is_full c = length c >= c.capacity
+let is_empty c = Queue.is_empty c.queue
+
+let push c (m : Message.t) =
+  if is_full c then false
+  else begin
+    if m.seq <= c.last_seq then
+      invalid_arg "Channel.push: sequence numbers must increase";
+    c.last_seq <- m.seq;
+    c.total_pushed <- c.total_pushed + 1;
+    (match m.body with
+    | Message.Data _ -> c.data_pushed <- c.data_pushed + 1
+    | Message.Dummy -> c.dummies_pushed <- c.dummies_pushed + 1
+    | Message.Eos -> ());
+    Queue.add m c.queue;
+    true
+  end
+
+let peek c = Queue.peek_opt c.queue
+let pop c = Queue.take_opt c.queue
+let total_pushed c = c.total_pushed
+let dummies_pushed c = c.dummies_pushed
+let data_pushed c = c.data_pushed

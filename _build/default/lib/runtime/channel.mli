@@ -1,0 +1,27 @@
+(** Bounded FIFO channels.
+
+    A channel models one edge of the application DAG: reliable, in
+    order, with a finite buffer of [capacity] messages — the finiteness
+    that makes filtering deadlocks possible. *)
+
+type t
+
+val create : capacity:int -> t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val capacity : t -> int
+val length : t -> int
+val is_full : t -> bool
+val is_empty : t -> bool
+
+val push : t -> Message.t -> bool
+(** [false] (and no effect) when full. Enforces sequence-number
+    monotonicity: @raise Invalid_argument if the message's sequence
+    number is not greater than the last pushed one. *)
+
+val peek : t -> Message.t option
+val pop : t -> Message.t option
+
+val total_pushed : t -> int
+val dummies_pushed : t -> int
+val data_pushed : t -> int

@@ -1,0 +1,91 @@
+open Fstream_graph
+
+type witness = {
+  cycle : Cycles.t;
+  full_channels : Graph.edge list;
+  empty_channels : Graph.edge list;
+}
+
+(* Waits-for step: a node, the channel it waits on, and whether it
+   waits as a blocked producer (full channel, follow it forward) or a
+   starving consumer (empty channel, follow it backward to the
+   producer). *)
+type wait = { via : Graph.edge; full : bool }
+
+let explain g (snap : Engine.snapshot) =
+  let n = Graph.num_nodes g in
+  let cap i = (Graph.edge g i).cap in
+  let wait_edges v =
+    if snap.Engine.node_blocked.(v) then
+      List.filter_map
+        (fun (e : Graph.edge) ->
+          if snap.Engine.channel_lengths.(e.id) >= cap e.id then
+            Some (e.dst, { via = e; full = true })
+          else None)
+        (Graph.out_edges g v)
+    else if not snap.Engine.node_finished.(v) then
+      List.filter_map
+        (fun (e : Graph.edge) ->
+          if snap.Engine.channel_lengths.(e.id) = 0 then
+            Some (e.src, { via = e; full = false })
+          else None)
+        (Graph.in_edges g v)
+    else []
+  in
+  (* DFS for a directed cycle in the waits-for relation. *)
+  let color = Array.make n 0 in
+  (* 0 unvisited, 1 on stack, 2 done *)
+  let found = ref None in
+  let rec dfs path v =
+    if !found = None then
+      if color.(v) = 1 then begin
+        (* unwind [path] back to v: that suffix is the cycle *)
+        let rec cut acc = function
+          | [] -> acc
+          | (u, w) :: rest -> if u = v then (u, w) :: acc else cut ((u, w) :: acc) rest
+        in
+        found := Some (cut [] path)
+      end
+      else if color.(v) = 0 then begin
+        color.(v) <- 1;
+        List.iter
+          (fun (next, w) -> if !found = None then dfs ((v, w) :: path) next)
+          (wait_edges v);
+        color.(v) <- 2
+      end
+  in
+  for v = 0 to n - 1 do
+    if !found = None && color.(v) = 0 then dfs [] v
+  done;
+  match !found with
+  | None -> None
+  | Some steps ->
+    let cycle =
+      List.map
+        (fun (_, w) -> { Cycles.edge = w.via; fwd = w.full })
+        steps
+    in
+    let full_channels =
+      List.filter_map (fun (_, w) -> if w.full then Some w.via else None) steps
+    in
+    let empty_channels =
+      List.filter_map
+        (fun (_, w) -> if not w.full then Some w.via else None)
+        steps
+    in
+    Some { cycle; full_channels; empty_channels }
+
+let pp_witness ppf w =
+  let channel ppf (e : Graph.edge) =
+    Format.fprintf ppf "e%d (%d->%d)" e.id e.src e.dst
+  in
+  Format.fprintf ppf
+    "@[<v>deadlock witness cycle (\u{00a7}II.B):@,  full:  %a@,  empty: %a@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       channel)
+    w.full_channels
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       channel)
+    w.empty_channels

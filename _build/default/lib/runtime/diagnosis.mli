@@ -1,0 +1,30 @@
+(** Deadlock diagnosis: recover the witness cycle of §II.B.
+
+    The theory behind the whole paper is that "every potential deadlock
+    in a DAG corresponds to some undirected cycle" whose directed runs
+    alternate between completely full buffers (a producer blocked
+    pushing) and completely empty ones (a consumer starving because of
+    filtering). This module makes that statement executable: from the
+    frozen {!Engine.snapshot} of a deadlocked run it builds the
+    waits-for relation — a blocked producer waits on the consumer of
+    its full channel; a starving node waits on the producer of an empty
+    input channel — and extracts a cycle of it, which is exactly an
+    undirected cycle of the application graph traversed forward along
+    full channels and backward along empty ones.
+
+    Its existence on every wedge the runtime can reach is itself a
+    property test of the paper's claim (see [test/test_diagnosis.ml]). *)
+
+open Fstream_graph
+
+type witness = {
+  cycle : Cycles.t;  (** the undirected cycle, as an oriented traversal *)
+  full_channels : Graph.edge list;  (** at capacity, traversed forward *)
+  empty_channels : Graph.edge list;  (** empty, traversed backward *)
+}
+
+val explain : Graph.t -> Engine.snapshot -> witness option
+(** [None] only if the snapshot is not actually wedged (e.g. a stalled
+    end-of-stream state with no blocked producer). *)
+
+val pp_witness : Format.formatter -> witness -> unit

@@ -1,0 +1,325 @@
+open Fstream_graph
+
+type kernel = seq:int -> got:int list -> int list
+
+type avoidance =
+  | No_avoidance
+  | Propagation of int option array
+  | Non_propagation of int option array
+
+type outcome = Completed | Deadlocked | Budget_exhausted
+
+type snapshot = {
+  channel_lengths : int array;  (* per edge id *)
+  node_blocked : bool array;  (* pending sends stuck on a full channel *)
+  node_finished : bool array;
+}
+
+type stats = {
+  outcome : outcome;
+  rounds : int;
+  data_messages : int;
+  dummy_messages : int;
+  sink_data : int;
+  dropped_dummies : int;  (** dummies discarded at a full channel *)
+  per_edge_dummies : int array;
+  wedge : snapshot option;  (* populated when [outcome = Deadlocked] *)
+}
+
+type node_state = {
+  kernel : kernel;
+  pending : (int * Message.t) Queue.t;
+  mutable next_input : int;
+  mutable finished : bool;
+}
+
+let pp_outcome ppf = function
+  | Completed -> Format.pp_print_string ppf "completed"
+  | Deadlocked -> Format.pp_print_string ppf "DEADLOCKED"
+  | Budget_exhausted -> Format.pp_print_string ppf "budget exhausted"
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "%a: %d rounds, %d data msgs, %d dummy msgs, %d data at sinks"
+    pp_outcome s.outcome s.rounds s.data_messages s.dummy_messages s.sink_data
+
+let run ?max_rounds ?deadlock_dump ?trace ~graph:g ~kernels ~inputs ~avoidance () =
+  let tr fmt =
+    match trace with
+    | Some ppf -> Format.fprintf ppf fmt
+    | None -> Format.ifprintf Format.std_formatter fmt
+  in
+  let n = Graph.num_nodes g and m = Graph.num_edges g in
+  let chan =
+    Array.init m (fun i -> Channel.create ~capacity:(Graph.edge g i).cap)
+  in
+  let thresholds, forwarding =
+    match avoidance with
+    | No_avoidance -> (Array.make m None, false)
+    | Propagation t -> (t, true)
+    | Non_propagation t -> (t, false)
+  in
+  if Array.length thresholds <> m then
+    invalid_arg "Engine.run: thresholds length mismatch";
+  (* Last sequence number sent on each channel. The dummy rule bounds
+     the *sequence-number* gap between consecutive messages on a
+     channel: sequence numbers filtered upstream never reach this node
+     yet still advance the receiver's starvation clock, so counting
+     firings instead of sequence numbers would under-send (found by the
+     S1 soundness sweep). *)
+  let last_sent = Array.make m (-1) in
+  let st =
+    Array.init n (fun v ->
+        {
+          kernel = kernels v;
+          pending = Queue.create ();
+          next_input = 0;
+          finished = false;
+        })
+  in
+  let order = Topo.order_exn g in
+  let is_source = Array.init n (fun v -> Graph.in_degree g v = 0) in
+  let is_sink = Array.init n (fun v -> Graph.out_degree g v = 0) in
+  let out_ids =
+    Array.init n (fun v ->
+        List.map (fun (e : Graph.edge) -> e.id) (Graph.out_edges g v))
+  in
+  let sink_data = ref 0 in
+  let enqueue v eid msg = Queue.add (eid, msg) st.(v).pending in
+  let dropped_dummies = ref 0 in
+  (* Dummies never enter the blocking pending queue: each channel has a
+     one-slot dummy mouth. A queued dummy waits for space without
+     blocking its node, coalesces to the newest sequence number if the
+     node emits another one meanwhile, and is superseded entirely when
+     data (or EOS) is sent on the channel — the data carries a larger
+     sequence number, which is all the dummy was communicating. Letting
+     dummies block (like data) wedges deadlock cycles whose full side
+     holds dummies; dropping them instead loses the sequence floor the
+     consumer is waiting for. See DESIGN.md, "Deviations". *)
+  let dummy_slot = Array.make m None in
+  (* Attempt every pending send once; a failed channel blocks its later
+     sends this pass (per-channel FIFO), other channels proceed. Then
+     deliver dummy slots on channels with no data still queued. *)
+  let flush v =
+    let q = st.(v).pending in
+    let blocked = Hashtbl.create 4 in
+    let len = Queue.length q in
+    let progress = ref false in
+    for _ = 1 to len do
+      let eid, msg = Queue.pop q in
+      if (not (Hashtbl.mem blocked eid)) && Channel.push chan.(eid) msg then
+        progress := true
+      else begin
+        Hashtbl.replace blocked eid ();
+        Queue.add (eid, msg) q
+      end
+    done;
+    List.iter
+      (fun (e : Graph.edge) ->
+        match dummy_slot.(e.id) with
+        | Some seq
+          when (not (Hashtbl.mem blocked e.id))
+               && Channel.push chan.(e.id) (Message.dummy ~seq) ->
+          dummy_slot.(e.id) <- None;
+          progress := true
+        | _ -> ())
+      (Graph.out_edges g v);
+    !progress
+  in
+  let validate v ids =
+    let ids = List.sort_uniq compare ids in
+    List.iter
+      (fun id ->
+        if not (List.mem id out_ids.(v)) then
+          invalid_arg
+            (Printf.sprintf "Engine: kernel of node %d returned edge %d" v id))
+      ids;
+    ids
+  in
+  (* Send phase of one firing: data where the kernel said so; dummies by
+     forwarding (Propagation) or when a finite-interval channel's gap
+     counter comes due. *)
+  let emit v ~seq ~data_out ~got_dummy =
+    List.iter
+      (fun (e : Graph.edge) ->
+        if List.mem e.id data_out then begin
+          tr "n%d seq%d: data on e%d@." v seq e.id;
+          enqueue v e.id (Message.data ~seq seq);
+          if dummy_slot.(e.id) <> None then begin
+            dummy_slot.(e.id) <- None;
+            incr dropped_dummies
+          end;
+          last_sent.(e.id) <- seq
+        end
+        else begin
+          let due =
+            match thresholds.(e.id) with
+            | Some k -> seq - last_sent.(e.id) >= k
+            | None -> false
+          in
+          if (forwarding && got_dummy) || due then begin
+            tr "n%d seq%d: dummy on e%d (due=%b fwd=%b)@." v seq e.id due
+              (forwarding && got_dummy);
+            if dummy_slot.(e.id) <> None then incr dropped_dummies;
+            dummy_slot.(e.id) <- Some seq;
+            last_sent.(e.id) <- seq
+          end
+        end)
+      (Graph.out_edges g v)
+  in
+  let send_eos v =
+    List.iter
+      (fun (e : Graph.edge) ->
+        dummy_slot.(e.id) <- None;
+        enqueue v e.id (Message.eos ()))
+      (Graph.out_edges g v);
+    st.(v).finished <- true
+  in
+  let fire_source v =
+    let s = st.(v) in
+    if s.next_input < inputs then begin
+      let seq = s.next_input in
+      s.next_input <- seq + 1;
+      emit v ~seq ~data_out:(validate v (s.kernel ~seq ~got:[]))
+        ~got_dummy:false;
+      true
+    end
+    else if not s.finished then begin
+      send_eos v;
+      true
+    end
+    else false
+  in
+  let fire_inner v =
+    let ins = Graph.in_edges g v in
+    let heads =
+      List.map (fun (e : Graph.edge) -> (e, Channel.peek chan.(e.id))) ins
+    in
+    if List.for_all (fun (_, h) -> h <> None) heads then begin
+      let heads = List.map (fun (e, h) -> (e, Option.get h)) heads in
+      let i =
+        List.fold_left
+          (fun acc (_, (msg : Message.t)) -> min acc msg.seq)
+          max_int heads
+      in
+      if i = max_int then begin
+        (* Every input is at end-of-stream. *)
+        List.iter
+          (fun ((e : Graph.edge), _) -> ignore (Channel.pop chan.(e.id)))
+          heads;
+        send_eos v;
+        true
+      end
+      else begin
+        let got_data = ref [] and got_dummy = ref false in
+        List.iter
+          (fun ((e : Graph.edge), (msg : Message.t)) ->
+            if msg.seq = i then begin
+              ignore (Channel.pop chan.(e.id));
+              match msg.body with
+              | Message.Data _ ->
+                got_data := e.id :: !got_data;
+                if is_sink.(v) then incr sink_data
+              | Message.Dummy -> got_dummy := true
+              | Message.Eos -> assert false
+            end)
+          heads;
+        let data_out =
+          match List.rev !got_data with
+          | [] -> []
+          | got -> validate v (st.(v).kernel ~seq:i ~got)
+        in
+        tr "n%d fires seq%d got=[%s] dummy=%b@." v i
+          (String.concat "," (List.map string_of_int (List.rev !got_data)))
+          !got_dummy;
+        emit v ~seq:i ~data_out ~got_dummy:!got_dummy;
+        true
+      end
+    end
+    else false
+  in
+  let default_budget = ((inputs + 2) * ((2 * m) + n + 2) * 2) + 64 in
+  let budget = Option.value max_rounds ~default:default_budget in
+  let rounds = ref 0 in
+  let outcome = ref None in
+  let wedge = ref None in
+  while !outcome = None do
+    incr rounds;
+    if !rounds > budget then outcome := Some Budget_exhausted
+    else begin
+      let progress = ref false in
+      Array.iter
+        (fun v ->
+          let s = st.(v) in
+          if flush v then progress := true;
+          if Queue.is_empty s.pending then begin
+            let fired =
+              if is_source.(v) then fire_source v
+              else if not s.finished then fire_inner v
+              else false
+            in
+            if fired then begin
+              progress := true;
+              ignore (flush v)
+            end
+          end)
+        order;
+      if not !progress then
+        if
+          Array.for_all
+            (fun s -> s.finished && Queue.is_empty s.pending)
+            st
+          && Array.for_all Channel.is_empty chan
+        then outcome := Some Completed
+        else begin
+          outcome := Some Deadlocked;
+          wedge :=
+            Some
+              {
+                channel_lengths = Array.map Channel.length chan;
+                node_blocked =
+                  Array.map (fun s -> not (Queue.is_empty s.pending)) st;
+                node_finished = Array.map (fun s -> s.finished) st;
+              };
+          Option.iter
+            (fun ppf ->
+              Format.fprintf ppf "@[<v>deadlock state:";
+              Array.iteri
+                (fun i c ->
+                  let e = Graph.edge g i in
+                  Format.fprintf ppf
+                    "@,  e%d %d->%d cap=%d len=%d head=%s last_sent=%d" i
+                    e.src e.dst e.cap (Channel.length c)
+                    (match Channel.peek c with
+                    | None -> "-"
+                    | Some msg -> Format.asprintf "%a" Message.pp msg)
+                    last_sent.(i);
+                  match dummy_slot.(i) with
+                  | Some seq -> Format.fprintf ppf " slot=#%d" seq
+                  | None -> ())
+                chan;
+              Array.iteri
+                (fun v s ->
+                  if not (Queue.is_empty s.pending) then
+                    Format.fprintf ppf "@,  node %d pending:%d next_in=%d" v
+                      (Queue.length s.pending) s.next_input)
+                st;
+              Format.fprintf ppf "@]@.")
+            deadlock_dump
+        end
+    end
+  done;
+  let data = Array.fold_left (fun a c -> a + Channel.data_pushed c) 0 chan in
+  let dummies =
+    Array.fold_left (fun a c -> a + Channel.dummies_pushed c) 0 chan
+  in
+  {
+    outcome = Option.get !outcome;
+    rounds = !rounds;
+    data_messages = data;
+    dummy_messages = dummies;
+    sink_data = !sink_data;
+    dropped_dummies = !dropped_dummies;
+    per_edge_dummies = Array.map Channel.dummies_pushed chan;
+    wedge = !wedge;
+  }

@@ -1,0 +1,88 @@
+(** Deterministic discrete scheduler for filtering streaming DAGs.
+
+    Implements the execution model of §II.A plus the two
+    deadlock-avoidance wrappers of §II.B:
+
+    - a node fires when every input channel is non-empty; it consumes
+      all head messages carrying the minimum head sequence number [i]
+      (heads with larger numbers were filtered upstream with respect to
+      [i] and stay queued);
+    - the node's {!kernel} sees which inputs carried data and picks the
+      output channels that receive data — filtering is exactly the
+      freedom to omit some;
+    - sends are buffered in a per-node pending queue and block on full
+      channels (per-channel FIFO order preserved), reproducing the
+      finite-buffer blocking that makes Fig. 2 deadlock;
+    - under [Propagation], received dummies are forwarded on every
+      output that got no data, and channels whose dummy interval is
+      finite originate a dummy once the channel has gone [threshold]
+      consecutive sequence numbers without a message;
+    - under [Non_propagation], every channel applies its own threshold
+      and dummies are absorbed by their receiver.
+
+    Stream termination is modelled by end-of-stream markers so that a
+    drained computation is distinguishable from a deadlock: sources
+    emit EOS after their last input; a node forwards EOS when all its
+    inputs reach it. [Deadlocked] therefore means a genuine
+    no-progress state with work outstanding. *)
+
+open Fstream_graph
+
+type kernel = seq:int -> got:int list -> int list
+(** [kernel ~seq ~got] — [got] lists the in-edge ids that delivered
+    data for [seq] (empty for a source node receiving external input
+    [seq]); the result lists the out-edge ids to send data on. Ids
+    outside the node's out-edges are rejected at runtime. Kernels are
+    opaque to the scheduler, matching the paper's model where filtering
+    decisions are invisible to the compiler. *)
+
+type avoidance =
+  | No_avoidance
+  | Propagation of int option array
+  | Non_propagation of int option array
+      (** per-edge-id send thresholds, from
+          {!Fstream_core.Compiler.send_thresholds} *)
+
+type outcome = Completed | Deadlocked | Budget_exhausted
+
+type snapshot = {
+  channel_lengths : int array;  (** per edge id, at the wedge *)
+  node_blocked : bool array;
+      (** nodes holding a pending send stuck on a full channel *)
+  node_finished : bool array;
+}
+(** The frozen state of a deadlocked run — input to
+    {!Diagnosis.explain}, which locates the witness cycle of §II.B. *)
+
+type stats = {
+  outcome : outcome;
+  rounds : int;  (** scheduler sweeps executed *)
+  data_messages : int;  (** data pushes across all channels *)
+  dummy_messages : int;  (** dummy pushes across all channels *)
+  sink_data : int;  (** data messages consumed by sink nodes *)
+  dropped_dummies : int;
+      (** dummies superseded before delivery — coalesced with a newer
+          dummy or overtaken by data while waiting for channel space in
+          the per-channel dummy slot; see DESIGN.md, "Deviations" *)
+  per_edge_dummies : int array;
+  wedge : snapshot option;
+      (** the frozen state when [outcome = Deadlocked], else [None] *)
+}
+
+val run :
+  ?max_rounds:int ->
+  ?deadlock_dump:Format.formatter ->
+  ?trace:Format.formatter ->
+  graph:Graph.t ->
+  kernels:(Graph.node -> kernel) ->
+  inputs:int ->
+  avoidance:avoidance ->
+  unit ->
+  stats
+(** Execute the application on [inputs] external sequence numbers
+    (0 .. inputs-1, presented to every source). Channel capacities come
+    from the graph's edge capacities. Deterministic: nodes are swept in
+    topological order. [max_rounds] defaults to a generous bound; an
+    execution that exceeds it reports [Budget_exhausted]. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,23 @@
+open Fstream_graph
+
+let passthrough outs ~seq:_ ~got:_ = outs
+let drop_all _outs ~seq:_ ~got:_ = []
+
+let bernoulli rng ~keep outs ~seq:_ ~got:_ =
+  List.filter (fun _ -> Random.State.float rng 1.0 < keep) outs
+
+let periodic ~keep_every outs ~seq ~got:_ =
+  if keep_every < 1 then invalid_arg "Filters.periodic: keep_every < 1";
+  if seq mod keep_every = 0 then outs else []
+
+let route_one rng outs ~seq:_ ~got:_ =
+  match outs with
+  | [] -> []
+  | _ -> [ List.nth outs (Random.State.int rng (List.length outs)) ]
+
+let block_edge blocked outs ~seq:_ ~got:_ =
+  List.filter (fun id -> id <> blocked) outs
+
+let for_graph g choose v =
+  let outs = List.map (fun (e : Graph.edge) -> e.id) (Graph.out_edges g v) in
+  choose v outs

@@ -1,0 +1,14 @@
+type body = Data of int | Dummy | Eos
+
+type t = { seq : int; body : body }
+
+let data ~seq payload = { seq; body = Data payload }
+let dummy ~seq = { seq; body = Dummy }
+let eos () = { seq = max_int; body = Eos }
+let is_dummy m = m.body = Dummy
+
+let pp ppf m =
+  match m.body with
+  | Data v -> Format.fprintf ppf "#%d:%d" m.seq v
+  | Dummy -> Format.fprintf ppf "#%d:dummy" m.seq
+  | Eos -> Format.pp_print_string ppf "#eos"

@@ -1,0 +1,22 @@
+(** Messages on streaming channels (§II.A).
+
+    Every message carries the monotonically increasing sequence number
+    of the external input it derives from. A [Dummy] is the §II.B
+    deadlock-avoidance message: content-free, carrying the sequence
+    number of an input the sender filtered, so the receiver can advance
+    past it. [Eos] is a runtime-level end-of-stream marker (sequence
+    number [max_int]) letting a finite execution drain — it is not part
+    of the paper's model, which considers unbounded streams. *)
+
+type body =
+  | Data of int  (** opaque payload (tests thread values through it) *)
+  | Dummy
+  | Eos
+
+type t = { seq : int; body : body }
+
+val data : seq:int -> int -> t
+val dummy : seq:int -> t
+val eos : unit -> t
+val is_dummy : t -> bool
+val pp : Format.formatter -> t -> unit

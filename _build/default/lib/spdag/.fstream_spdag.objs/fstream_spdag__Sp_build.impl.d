@@ -1,0 +1,1 @@
+lib/spdag/sp_build.ml: Format Fstream_graph List

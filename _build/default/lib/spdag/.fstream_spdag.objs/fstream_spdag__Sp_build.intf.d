@@ -1,0 +1,1 @@
+lib/spdag/sp_build.mli: Format Fstream_graph

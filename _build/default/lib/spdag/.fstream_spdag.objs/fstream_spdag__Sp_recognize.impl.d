@@ -1,0 +1,1 @@
+lib/spdag/sp_recognize.ml: Array Format Fstream_graph Graph Hashtbl Int List Queue Result Set Sp_tree Topo

@@ -1,0 +1,1 @@
+lib/spdag/sp_recognize.mli: Format Fstream_graph Sp_tree

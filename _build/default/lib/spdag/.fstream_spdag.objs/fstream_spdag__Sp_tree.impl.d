@@ -1,0 +1,1 @@
+lib/spdag/sp_tree.ml: Array Format Fstream_graph Fun Graph List Topo

@@ -1,0 +1,1 @@
+lib/spdag/sp_tree.mli: Format Fstream_graph Graph

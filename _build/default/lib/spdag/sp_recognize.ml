@@ -1,0 +1,111 @@
+open Fstream_graph
+
+type super_edge = {
+  s_src : Graph.node;
+  s_dst : Graph.node;
+  s_tree : Sp_tree.t;
+}
+
+type failure =
+  | Not_two_terminal
+  | Irreducible of { remaining_edges : int }
+
+let pp_failure ppf = function
+  | Not_two_terminal ->
+    Format.fprintf ppf "not a connected two-terminal DAG"
+  | Irreducible { remaining_edges } ->
+    Format.fprintf ppf
+      "not series-parallel (reduction stalled with %d super-edges)"
+      remaining_edges
+
+module Iset = Set.Make (Int)
+
+(* Mutable reduction state: super-edges carry the decomposition tree of
+   the subgraph they replace. The [pair] index keeps at most one live
+   super-edge per (src, dst), merging parallels eagerly on insertion. *)
+type state = {
+  live : (int, Graph.node * Graph.node * Sp_tree.t) Hashtbl.t;
+  mutable next_id : int;
+  out_s : Iset.t array;
+  in_s : Iset.t array;
+  pair : (Graph.node * Graph.node, int) Hashtbl.t;
+  queue : Graph.node Queue.t;
+}
+
+let remove_edge st id =
+  let src, dst, _ = Hashtbl.find st.live id in
+  Hashtbl.remove st.live id;
+  st.out_s.(src) <- Iset.remove id st.out_s.(src);
+  st.in_s.(dst) <- Iset.remove id st.in_s.(dst);
+  if Hashtbl.find_opt st.pair (src, dst) = Some id then
+    Hashtbl.remove st.pair (src, dst)
+
+let rec add_edge st src dst tree =
+  match Hashtbl.find_opt st.pair (src, dst) with
+  | Some other ->
+    let _, _, tree' = Hashtbl.find st.live other in
+    remove_edge st other;
+    add_edge st src dst (Sp_tree.parallel tree' tree)
+  | None ->
+    let id = st.next_id in
+    st.next_id <- id + 1;
+    Hashtbl.replace st.live id (src, dst, tree);
+    st.out_s.(src) <- Iset.add id st.out_s.(src);
+    st.in_s.(dst) <- Iset.add id st.in_s.(dst);
+    Hashtbl.replace st.pair (src, dst) id;
+    Queue.add src st.queue;
+    Queue.add dst st.queue
+
+let try_series st ~protect v =
+  if (not (protect v))
+     && Iset.cardinal st.in_s.(v) = 1
+     && Iset.cardinal st.out_s.(v) = 1
+  then begin
+    let ein = Iset.choose st.in_s.(v) and eout = Iset.choose st.out_s.(v) in
+    let u, _, t_in = Hashtbl.find st.live ein in
+    let _, w, t_out = Hashtbl.find st.live eout in
+    remove_edge st ein;
+    remove_edge st eout;
+    add_edge st u w (Sp_tree.series t_in t_out)
+  end
+
+let reduce ~nodes ~protect edges =
+  let st =
+    {
+      live = Hashtbl.create (2 * List.length edges);
+      next_id = 0;
+      out_s = Array.make nodes Iset.empty;
+      in_s = Array.make nodes Iset.empty;
+      pair = Hashtbl.create (2 * List.length edges);
+      queue = Queue.create ();
+    }
+  in
+  List.iter
+    (fun (e : Graph.edge) -> add_edge st e.src e.dst (Sp_tree.leaf e))
+    edges;
+  while not (Queue.is_empty st.queue) do
+    try_series st ~protect (Queue.pop st.queue)
+  done;
+  Hashtbl.fold
+    (fun _ (s_src, s_dst, s_tree) acc -> { s_src; s_dst; s_tree } :: acc)
+    st.live []
+
+let recognize_block ~nodes ~source ~sink edges =
+  if edges = [] then Error Not_two_terminal
+  else
+    match reduce ~nodes ~protect:(fun v -> v = source || v = sink) edges with
+    | [ { s_src; s_dst; s_tree } ] when s_src = source && s_dst = sink ->
+      Ok s_tree
+    | rest -> Error (Irreducible { remaining_edges = List.length rest })
+
+let recognize g =
+  match Topo.is_two_terminal g with
+  | None -> Error Not_two_terminal
+  | Some (x, y) when x = y -> Error Not_two_terminal
+  | Some (x, y) ->
+    if not (Topo.connected g) then Error Not_two_terminal
+    else
+      recognize_block ~nodes:(Graph.num_nodes g) ~source:x ~sink:y
+        (Graph.edges g)
+
+let is_sp g = Result.is_ok (recognize g)

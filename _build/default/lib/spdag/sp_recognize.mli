@@ -1,0 +1,60 @@
+(** Recognition of two-terminal series-parallel DAGs.
+
+    Implements the reduction characterization behind the linear-time
+    algorithm of Valdes, Tarjan and Lawler [16]: repeatedly merge
+    parallel edges (same endpoints) and series vertices (inner vertices
+    of in- and out-degree one). A connected two-terminal DAG is
+    series-parallel iff this terminates with a single edge from source
+    to sink. The merges are recorded as a {!Sp_tree.t}, whose leaves are
+    the original {!Fstream_graph.Graph.edge} values, so dummy intervals
+    computed on the tree map directly back to channel ids.
+
+    Worklist-driven; each merge is O(1) amortized, so recognition runs
+    in O(|G|) — the cost step 1 of §IV.A budgets.
+
+    The stalled reduction is also exposed ({!reduce}): when the input is
+    not series-parallel the surviving super-edges form its "core", which
+    the SP-ladder recognizer ({!Fstream_ladder.Ladder}) pattern-matches
+    against the skeleton of Fig. 6. *)
+
+type super_edge = {
+  s_src : Fstream_graph.Graph.node;
+  s_dst : Fstream_graph.Graph.node;
+  s_tree : Sp_tree.t;
+      (** decomposition of the series-parallel subgraph this super-edge
+          replaces; its terminals are [s_src] and [s_dst] *)
+}
+
+type failure =
+  | Not_two_terminal
+      (** cyclic, disconnected, multiple sources/sinks, or no edges *)
+  | Irreducible of { remaining_edges : int }
+      (** two-terminal but not series-parallel: the reduction stalled
+          with this many super-edges left *)
+
+val reduce :
+  nodes:int ->
+  protect:(Fstream_graph.Graph.node -> bool) ->
+  Fstream_graph.Graph.edge list ->
+  super_edge list
+(** Run the series/parallel reduction to a fixpoint over the given edge
+    multiset. Nodes for which [protect] holds are never series-merged
+    (use it to protect the intended terminals). Node ids may be sparse:
+    [nodes] only bounds them. *)
+
+val recognize_block :
+  nodes:int ->
+  source:Fstream_graph.Graph.node ->
+  sink:Fstream_graph.Graph.node ->
+  Fstream_graph.Graph.edge list ->
+  (Sp_tree.t, failure) result
+(** Recognize a subgraph given by an explicit edge list and intended
+    terminals — used on the biconnected blocks of a CS4 candidate. *)
+
+val recognize : Fstream_graph.Graph.t -> (Sp_tree.t, failure) result
+(** Whole-graph recognition: checks the connected two-terminal DAG
+    property, then reduces. *)
+
+val is_sp : Fstream_graph.Graph.t -> bool
+
+val pp_failure : Format.formatter -> failure -> unit

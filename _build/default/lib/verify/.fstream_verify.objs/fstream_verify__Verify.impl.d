@@ -1,0 +1,1 @@
+lib/verify/verify.ml: Array Engine Format Fstream_graph Fstream_runtime Fun Graph Hashtbl List Marshal Printf Queue String

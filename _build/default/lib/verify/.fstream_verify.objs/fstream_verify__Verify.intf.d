@@ -1,0 +1,1 @@
+lib/verify/verify.mli: Format Fstream_graph Fstream_runtime Graph

@@ -1,0 +1,1 @@
+lib/workloads/app_spec.ml: Buffer Format Fstream_graph Fstream_runtime Graph Graph_io In_channel List Printf Random String

@@ -1,0 +1,1 @@
+lib/workloads/app_spec.mli: Format Fstream_graph Fstream_runtime Graph

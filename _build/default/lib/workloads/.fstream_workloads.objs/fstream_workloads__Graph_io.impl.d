@@ -1,0 +1,1 @@
+lib/workloads/graph_io.ml: Buffer Fstream_graph Graph In_channel List Out_channel Printf String

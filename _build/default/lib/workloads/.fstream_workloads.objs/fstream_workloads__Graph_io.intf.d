@@ -1,0 +1,1 @@
+lib/workloads/graph_io.mli: Fstream_graph Graph

@@ -1,0 +1,1 @@
+lib/workloads/topo_gen.ml: Array Fstream_graph Fstream_spdag Fun Graph List Random Sp_build Stdlib

@@ -1,0 +1,1 @@
+lib/workloads/topo_gen.mli: Fstream_graph Fstream_spdag Graph Random Sp_build

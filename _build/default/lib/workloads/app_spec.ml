@@ -1,0 +1,139 @@
+open Fstream_graph
+
+type behavior =
+  | Passthrough
+  | Drop
+  | Bernoulli of float
+  | Periodic of int
+  | Route_one
+  | Block of int
+
+type t = {
+  graph : Graph.t;
+  behaviors : (Graph.node * behavior) list;
+  default : behavior;
+}
+
+let pp_behavior ppf = function
+  | Passthrough -> Format.pp_print_string ppf "passthrough"
+  | Drop -> Format.pp_print_string ppf "drop"
+  | Bernoulli p -> Format.fprintf ppf "bernoulli %g" p
+  | Periodic k -> Format.fprintf ppf "periodic %d" k
+  | Route_one -> Format.pp_print_string ppf "route-one"
+  | Block e -> Format.fprintf ppf "block %d" e
+
+let parse_behavior words =
+  match words with
+  | [ "passthrough" ] -> Ok Passthrough
+  | [ "drop" ] -> Ok Drop
+  | [ "bernoulli"; p ] -> (
+    match float_of_string_opt p with
+    | Some p when p >= 0. && p <= 1. -> Ok (Bernoulli p)
+    | _ -> Error "bernoulli expects a probability in [0, 1]")
+  | [ "periodic"; k ] -> (
+    match int_of_string_opt k with
+    | Some k when k >= 1 -> Ok (Periodic k)
+    | _ -> Error "periodic expects a positive period")
+  | [ "route-one" ] -> Ok Route_one
+  | [ "block"; e ] -> (
+    match int_of_string_opt e with
+    | Some e -> Ok (Block e)
+    | None -> Error "block expects an edge id")
+  | _ -> Error "unknown behaviour"
+
+let of_string text =
+  (* Split behaviour directives out, hand the rest to Graph_io. *)
+  let strip line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let lines = String.split_on_char '\n' text in
+  let graph_lines = Buffer.create 256 in
+  let result =
+    List.fold_left
+      (fun acc line ->
+        match acc with
+        | Error _ -> acc
+        | Ok (behaviors, default) -> (
+          let words =
+            String.split_on_char ' ' (String.trim (strip line))
+            |> List.filter (fun w -> w <> "")
+          in
+          match words with
+          | "node" :: id :: rest -> (
+            match (int_of_string_opt id, parse_behavior rest) with
+            | Some v, Ok b -> Ok ((v, b) :: behaviors, default)
+            | None, _ -> Error "node directive expects a node id"
+            | _, Error e -> Error e)
+          | "default" :: rest -> (
+            match parse_behavior rest with
+            | Ok b -> Ok (behaviors, b)
+            | Error e -> Error e)
+          | _ ->
+            Buffer.add_string graph_lines line;
+            Buffer.add_char graph_lines '\n';
+            acc))
+      (Ok ([], Passthrough))
+      lines
+  in
+  match result with
+  | Error e -> Error e
+  | Ok (behaviors, default) -> (
+    match Graph_io.of_string (Buffer.contents graph_lines) with
+    | Error e -> Error e
+    | Ok graph ->
+      let bad =
+        List.find_opt
+          (fun (v, b) ->
+            v < 0
+            || v >= Graph.num_nodes graph
+            ||
+            match b with
+            | Block e ->
+              not
+                (List.exists
+                   (fun (edge : Graph.edge) -> edge.id = e)
+                   (Graph.out_edges graph v))
+            | _ -> false)
+          behaviors
+      in
+      (match bad with
+      | Some (v, _) ->
+        Error (Printf.sprintf "node %d: bad node id or blocked channel" v)
+      | None -> Ok { graph; behaviors = List.rev behaviors; default }))
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Graph_io.to_string t.graph);
+  List.iter
+    (fun (v, b) ->
+      Buffer.add_string buf
+        (Format.asprintf "node %d %a\n" v pp_behavior b))
+    t.behaviors;
+  Buffer.add_string buf (Format.asprintf "default %a\n" pp_behavior t.default);
+  Buffer.contents buf
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> of_string text
+  | exception Sys_error msg -> Error msg
+
+let kernels t ~seed v =
+  let module Filters = Fstream_runtime.Filters in
+  let behavior =
+    match List.assoc_opt v t.behaviors with
+    | Some b -> b
+    | None -> t.default
+  in
+  let outs =
+    List.map (fun (e : Graph.edge) -> e.id) (Graph.out_edges t.graph v)
+  in
+  match behavior with
+  | Passthrough -> Filters.passthrough outs
+  | Drop -> Filters.drop_all outs
+  | Bernoulli p ->
+    Filters.bernoulli (Random.State.make [| seed; v |]) ~keep:p outs
+  | Periodic k -> Filters.periodic ~keep_every:k outs
+  | Route_one -> Filters.route_one (Random.State.make [| seed; v |]) outs
+  | Block e -> Filters.block_edge e outs

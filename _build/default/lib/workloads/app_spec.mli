@@ -1,0 +1,48 @@
+(** Declarative application specifications.
+
+    The paper's conclusion proposes extending a coordination language
+    (their X language) with the filtering model; this module is the
+    miniature version: one text file describes both the topology and
+    each node's filtering behaviour, and compiles to runnable kernels.
+    The [streamcheck simulate --file] command accepts it directly.
+
+    Format (extends the {!Graph_io} format):
+    {v
+    nodes 4
+    edge 0 1 2
+    edge 1 3 2          # ...
+    node 0 bernoulli 0.7    # keep each output with probability 0.7
+    node 1 periodic 3       # keep every 3rd input
+    node 2 block 4          # always filter channel 4
+    default passthrough     # behaviour of unlisted nodes
+    v}
+
+    Behaviours: [passthrough], [drop], [bernoulli P], [periodic K],
+    [route-one], [block E]. The default default is [passthrough]. *)
+
+open Fstream_graph
+
+type behavior =
+  | Passthrough
+  | Drop
+  | Bernoulli of float
+  | Periodic of int
+  | Route_one
+  | Block of int
+
+type t = {
+  graph : Graph.t;
+  behaviors : (Graph.node * behavior) list;
+  default : behavior;
+}
+
+val of_string : string -> (t, string) result
+val to_string : t -> string
+val load : string -> (t, string) result
+
+val kernels : t -> seed:int -> Graph.node -> Fstream_runtime.Engine.kernel
+(** Instantiate the behaviours as engine kernels; randomized behaviours
+    draw from per-node states derived from [seed], so runs are
+    reproducible and the kernels are safe for the parallel engine. *)
+
+val pp_behavior : Format.formatter -> behavior -> unit

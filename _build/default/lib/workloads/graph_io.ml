@@ -1,0 +1,64 @@
+open Fstream_graph
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let parse (nodes, edges, lineno) line =
+    match (nodes, edges, lineno) with
+    | Error _, _, _ -> (nodes, edges, lineno + 1)
+    | Ok n, edges, _ -> (
+      let words =
+        String.split_on_char ' ' (String.trim (strip_comment line))
+        |> List.filter (fun w -> w <> "")
+      in
+      match words with
+      | [] -> (Ok n, edges, lineno + 1)
+      | [ "nodes"; count ] -> (
+        match int_of_string_opt count with
+        | Some c when c >= 1 -> (Ok (Some c), edges, lineno + 1)
+        | _ ->
+          ( Error (Printf.sprintf "line %d: bad node count" lineno),
+            edges,
+            lineno + 1 ))
+      | [ "edge"; src; dst; cap ] -> (
+        match
+          (int_of_string_opt src, int_of_string_opt dst, int_of_string_opt cap)
+        with
+        | Some s, Some d, Some c -> (Ok n, (s, d, c) :: edges, lineno + 1)
+        | _ ->
+          ( Error (Printf.sprintf "line %d: bad edge" lineno),
+            edges,
+            lineno + 1 ))
+      | _ ->
+        ( Error (Printf.sprintf "line %d: unrecognized directive" lineno),
+          edges,
+          lineno + 1 ))
+  in
+  let nodes, edges, _ = List.fold_left parse (Ok None, [], 1) lines in
+  match nodes with
+  | Error e -> Error e
+  | Ok None -> Error "missing 'nodes N' directive"
+  | Ok (Some n) -> (
+    try Ok (Graph.make ~nodes:n (List.rev edges))
+    with Invalid_argument msg -> Error msg)
+
+let to_string g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "nodes %d\n" (Graph.num_nodes g));
+  List.iter
+    (fun (e : Graph.edge) ->
+      Buffer.add_string buf (Printf.sprintf "edge %d %d %d\n" e.src e.dst e.cap))
+    (Graph.edges g);
+  Buffer.contents buf
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> of_string text
+  | exception Sys_error msg -> Error msg
+
+let save path g = Out_channel.with_open_text path (fun oc ->
+    Out_channel.output_string oc (to_string g))

@@ -1,0 +1,21 @@
+(** Plain-text exchange format for streaming topologies.
+
+    The format is line based:
+    {v
+    # comment
+    nodes 4
+    edge 0 1 3     # src dst buffer-capacity
+    edge 1 3 2
+    v}
+    Blank lines and [#] comments are ignored. Used by the
+    [streamcheck] CLI and by tests; [to_string]/[of_string] round-trip. *)
+
+open Fstream_graph
+
+val of_string : string -> (Graph.t, string) result
+val to_string : Graph.t -> string
+
+val load : string -> (Graph.t, string) result
+(** Read a graph from a file path. *)
+
+val save : string -> Graph.t -> unit

@@ -1,0 +1,290 @@
+open Fstream_graph
+open Fstream_spdag
+
+(* Incremental edge-list builder shared by all generators. *)
+type builder = { mutable next_node : int; mutable rev_edges : (int * int * int) list }
+
+let builder first_free = { next_node = first_free; rev_edges = [] }
+
+let fresh b =
+  let v = b.next_node in
+  b.next_node <- v + 1;
+  v
+
+let edge b u v cap = b.rev_edges <- (u, v, cap) :: b.rev_edges
+
+let finish b = Graph.make ~nodes:b.next_node (List.rev b.rev_edges)
+
+(* Splice a series-parallel spec between two existing nodes, allocating
+   its inner nodes from the builder. *)
+let rec splice b spec src dst =
+  match spec with
+  | Sp_build.Edge cap -> edge b src dst cap
+  | Sp_build.Series [] -> invalid_arg "Topo_gen.splice: empty Series"
+  | Sp_build.Series [ s ] -> splice b s src dst
+  | Sp_build.Series (s :: rest) ->
+    let j = fresh b in
+    splice b s src j;
+    splice b (Sp_build.Series rest) j dst
+  | Sp_build.Parallel [] -> invalid_arg "Topo_gen.splice: empty Parallel"
+  | Sp_build.Parallel l -> List.iter (fun s -> splice b s src dst) l
+
+(* {1 Paper figures} *)
+
+let fig1_split_join ~branches ~cap =
+  if branches < 1 then invalid_arg "fig1_split_join: branches < 1";
+  let join = branches + 1 in
+  let edges =
+    List.concat_map
+      (fun i -> [ (0, i + 1, cap); (i + 1, join, cap) ])
+      (List.init branches Fun.id)
+  in
+  Graph.make ~nodes:(branches + 2) edges
+
+let fig2_triangle ~cap =
+  Graph.make ~nodes:3 [ (0, 1, cap); (1, 2, cap); (0, 2, cap) ]
+
+let fig3_hexagon () =
+  (* a=0 b=1 e=2 f=3 c=4 d=5; branch a-b-e-f buffers 2,5,1 and branch
+     a-c-d-f buffers 3,1,2, as in the worked example. *)
+  Graph.make ~nodes:6
+    [ (0, 1, 2); (1, 2, 5); (2, 3, 1); (0, 4, 3); (4, 5, 1); (5, 3, 2) ]
+
+let fig4_left ~cap =
+  (* X=0 a=1 b=2 Y=3 with cross channel a->b *)
+  Graph.make ~nodes:4
+    [ (0, 1, cap); (0, 2, cap); (1, 2, cap); (1, 3, cap); (2, 3, cap) ]
+
+let fig4_butterfly ~cap =
+  (* X=0 a=1 b=2 c=3 d=4 Y=5 *)
+  Graph.make ~nodes:6
+    [
+      (0, 1, cap);
+      (0, 2, cap);
+      (1, 3, cap);
+      (1, 4, cap);
+      (2, 3, cap);
+      (2, 4, cap);
+      (3, 5, cap);
+      (4, 5, cap);
+    ]
+
+let fig5_ladder ~cap =
+  (* a=0 b=1 c=2 d=3 e=4 f=5 g=6 h=7 i=8 j=9 k=10 l=11 m=12.
+     Skeleton (right panel of the figure): left rail a-b-f-j-m, right
+     rail a-k-m, three cross-links into the shared endpoint k. The
+     other nodes decorate constituents: d/e a split between b and f,
+     i a chord bypass between f and j, g and h inner nodes of two
+     cross-links, c inside the upper right segment, l a split between
+     k and m. *)
+  let c = cap in
+  Graph.make ~nodes:13
+    [
+      (0, 1, c) (* a->b *);
+      (1, 3, c) (* b->d *);
+      (3, 5, c) (* d->f *);
+      (1, 4, c) (* b->e *);
+      (4, 5, c) (* e->f *);
+      (5, 9, c) (* f->j *);
+      (5, 8, c) (* f->i *);
+      (8, 9, c) (* i->j *);
+      (9, 12, c) (* j->m *);
+      (0, 2, c) (* a->c *);
+      (2, 10, c) (* c->k *);
+      (10, 12, c) (* k->m *);
+      (10, 11, c) (* k->l *);
+      (11, 12, c) (* l->m *);
+      (1, 10, c) (* b->k : cross-link K1 *);
+      (5, 6, c) (* f->g *);
+      (6, 10, c) (* g->k : cross-link K2 *);
+      (9, 7, c) (* j->h *);
+      (7, 10, c) (* h->k : cross-link K3 *);
+    ]
+
+let erosion_counterexample () =
+  (* s=0, m=1, w=2, t=3. Cycle {C | D,E} grants C the Propagation
+     budget cap(D)+cap(E)=6, eroding cycle {A | B,C} whose full side
+     has capacity 1: m may lag C by 6 sequence numbers while s blocks
+     on A after 2. Found by the bounded model checker (Verify). *)
+  Graph.make ~nodes:4
+    [
+      (0, 3, 1) (* A: s->t *);
+      (0, 1, 1) (* B: s->m *);
+      (1, 3, 1) (* C: m->t *);
+      (1, 2, 3) (* D: m->w *);
+      (2, 3, 3) (* E: w->t *);
+    ]
+
+(* {1 Random families} *)
+
+let rand_cap rng max_cap = 1 + Random.State.int rng max_cap
+
+let random_sp_spec rng ~target_edges ~max_cap =
+  let rec gen budget =
+    if budget <= 1 then Sp_build.Edge (rand_cap rng max_cap)
+    else begin
+      let k = Stdlib.min budget (2 + Random.State.int rng 2) in
+      (* Random composition of k children over the remaining budget. *)
+      let cuts =
+        List.init (k - 1) (fun _ -> 1 + Random.State.int rng (budget - 1))
+        |> List.sort compare
+      in
+      let rec parts prev = function
+        | [] -> [ budget - prev ]
+        | c :: rest -> (c - prev) :: parts c rest
+      in
+      let children =
+        List.filter_map
+          (fun p -> if p <= 0 then None else Some (gen p))
+          (parts 0 cuts)
+      in
+      match children with
+      | [] -> Sp_build.Edge (rand_cap rng max_cap)
+      | [ one ] -> one
+      | _ ->
+        if Random.State.bool rng then Sp_build.Series children
+        else Sp_build.Parallel children
+    end
+  in
+  gen (Stdlib.max 1 target_edges)
+
+let random_sp rng ~target_edges ~max_cap =
+  Sp_build.to_graph (random_sp_spec rng ~target_edges ~max_cap)
+
+(* A ladder between [src] and [dst]: random skeleton honouring the DAG
+   constraints on shared rung endpoints, every skeleton edge expanded
+   into a random SP constituent. *)
+let emit_ladder b rng ~rungs ~segment_edges ~max_cap ~src ~dst =
+  if rungs < 1 then invalid_arg "emit_ladder: rungs < 1";
+  let spec () =
+    random_sp_spec rng
+      ~target_edges:(1 + Random.State.int rng (Stdlib.max 1 segment_edges))
+      ~max_cap
+  in
+  let seg u v = splice b (spec ()) u v in
+  (* Build rung endpoint lists with occasional sharing. *)
+  let lefts = Array.make rungs 0 and rights = Array.make rungs 0 in
+  let dirs = Array.make rungs false (* true = left-to-right *) in
+  for i = 0 to rungs - 1 do
+    let share_left =
+      i > 0 && Random.State.float rng 1.0 < 0.25
+    in
+    let share_right = (not share_left) && i > 0 && Random.State.float rng 1.0 < 0.25 in
+    lefts.(i) <- (if share_left then lefts.(i - 1) else fresh b);
+    rights.(i) <- (if share_right then rights.(i - 1) else fresh b);
+    let dir = Random.State.bool rng in
+    (* Avoid directed cycles through shared endpoints: at a shared left
+       vertex an outgoing rung (l2r) followed by an incoming one (r2l)
+       closes a directed cycle through the right rail, and symmetrically
+       at a shared right vertex. Force the second rung's direction. *)
+    dirs.(i) <-
+      (if share_left && dirs.(i - 1) && not dir then true
+       else if share_right && (not dirs.(i - 1)) && dir then false
+       else dir)
+  done;
+  (* Rails. *)
+  let rail ends prev0 =
+    let prev = ref prev0 in
+    Array.iter
+      (fun v ->
+        if v <> !prev then begin
+          seg !prev v;
+          prev := v
+        end)
+      ends;
+    seg !prev dst
+  in
+  rail lefts src;
+  rail rights src;
+  (* Rungs. *)
+  for i = 0 to rungs - 1 do
+    if dirs.(i) then seg lefts.(i) rights.(i) else seg rights.(i) lefts.(i)
+  done
+
+let random_ladder rng ~rungs ~segment_edges ~max_cap =
+  let b = builder 1 in
+  let dst = fresh b in
+  emit_ladder b rng ~rungs ~segment_edges ~max_cap ~src:0 ~dst;
+  (* [dst] was allocated before the internals, so relabel it to the
+     maximum id by swapping: easier to just accept an inner sink id. *)
+  finish b
+
+let random_cs4 rng ~blocks ~block_edges ~max_cap =
+  let b = builder 1 in
+  let src = ref 0 in
+  for i = 1 to blocks do
+    let dst = fresh b in
+    if Random.State.bool rng then
+      splice b
+        (random_sp_spec rng ~target_edges:block_edges ~max_cap)
+        !src dst
+    else begin
+      let rungs = 1 + Random.State.int rng 3 in
+      emit_ladder b rng ~rungs
+        ~segment_edges:(Stdlib.max 1 (block_edges / (4 + (3 * rungs))))
+        ~max_cap ~src:!src ~dst
+    end;
+    if i < blocks then src := dst
+  done;
+  finish b
+
+(* {1 Structured families} *)
+
+let pipeline ~stages ~cap =
+  if stages < 1 then invalid_arg "pipeline: stages < 1";
+  Graph.make ~nodes:(stages + 1)
+    (List.init stages (fun i -> (i, i + 1, cap)))
+
+let diamond_chain ?(bypass = false) ~diamonds ~cap () =
+  if diamonds < 1 then invalid_arg "diamond_chain: diamonds < 1";
+  let per =
+    List.concat_map
+      (fun i -> [ (i, i + 1, cap); (i, i + 1, cap + 1) ])
+      (List.init diamonds Fun.id)
+  in
+  let edges = if bypass then (0, diamonds, cap) :: per else per in
+  Graph.make ~nodes:(diamonds + 1) edges
+
+let parallel_paths ~paths ~hops ~cap =
+  if paths < 1 || hops < 1 then invalid_arg "parallel_paths";
+  let b = builder 2 in
+  List.iter
+    (fun _ ->
+      let prev = ref 0 in
+      for _ = 1 to hops - 1 do
+        let v = fresh b in
+        edge b !prev v cap;
+        prev := v
+      done;
+      edge b !prev 1 cap)
+    (List.init paths Fun.id);
+  finish b
+
+let nested_parallel ~depth ~cap =
+  let rec build d =
+    if d = 0 then Sp_build.Edge cap
+    else
+      Sp_build.Parallel
+        [ Sp_build.Edge cap; Sp_build.Series [ Sp_build.Edge cap; build (d - 1) ] ]
+  in
+  Sp_build.to_graph (build depth)
+
+let wide_ladder ~rungs ~cap =
+  if rungs < 1 then invalid_arg "wide_ladder: rungs < 1";
+  let b = builder 2 in
+  let lefts = Array.init rungs (fun _ -> fresh b) in
+  let rights = Array.init rungs (fun _ -> fresh b) in
+  let rail vs =
+    edge b 0 vs.(0) cap;
+    for i = 0 to rungs - 2 do
+      edge b vs.(i) vs.(i + 1) cap
+    done;
+    edge b vs.(rungs - 1) 1 cap
+  in
+  rail lefts;
+  rail rights;
+  for i = 0 to rungs - 1 do
+    if i mod 2 = 0 then edge b lefts.(i) rights.(i) cap
+    else edge b rights.(i) lefts.(i) cap
+  done;
+  finish b

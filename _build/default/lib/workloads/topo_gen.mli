@@ -1,0 +1,101 @@
+(** Topology generators: the paper's figures and parameterized random
+    families for tests and benchmarks.
+
+    All randomized generators take an explicit [Random.State.t] and are
+    deterministic given the state. Buffer capacities are drawn from
+    [1 .. max_cap]. *)
+
+open Fstream_graph
+open Fstream_spdag
+
+(** {1 Paper figures} *)
+
+val fig1_split_join : branches:int -> cap:int -> Graph.t
+(** Fig. 1: split node, [branches] parallel recognizers, join node.
+    Node 0 is the split, node [branches + 1] the join. *)
+
+val fig2_triangle : cap:int -> Graph.t
+(** Fig. 2: A -> B -> C with the shortcut A -> C; edge ids 0: A->B,
+    1: B->C, 2: A->C. All capacities [cap]. *)
+
+val fig3_hexagon : unit -> Graph.t
+(** Fig. 3 with the worked capacities: the a-b-e-f branch has buffers
+    2, 5, 1 and the a-c-d-f branch 3, 1, 2 (edge ids 0..5 as listed in
+    the figure caption order ab, be, ef, ac, cd, df). *)
+
+val fig4_left : cap:int -> Graph.t
+(** Fig. 4 left: split-join with a one-way channel between branches —
+    the smallest non-SP CS4 DAG. *)
+
+val fig4_butterfly : cap:int -> Graph.t
+(** Fig. 4 right: FFT butterfly; not CS4 (cycle a-c-b-d). *)
+
+val fig5_ladder : cap:int -> Graph.t
+(** The 13-node SP-ladder of Fig. 5 (nodes a..m as drawn: two rails
+    a-b-f-j-m and a-c/d/e...-m with cross-links, chord decorations
+    included). *)
+
+val erosion_counterexample : unit -> Graph.t
+(** The minimal budget-erosion instance (4 nodes, 5 channels) on which
+    the paper-literal Propagation interval table deadlocks under
+    adversarial filtering while the Non-Propagation table is provably
+    safe — both facts machine-checked exhaustively by
+    {!Fstream_verify.Verify}. See DESIGN.md, "Deviations" and
+    EXPERIMENTS.md §S1/§V2. *)
+
+(** {1 Random families} *)
+
+val random_sp_spec :
+  Random.State.t -> target_edges:int -> max_cap:int -> Sp_build.spec
+(** Random series-parallel spec with roughly [target_edges] edges. *)
+
+val random_sp : Random.State.t -> target_edges:int -> max_cap:int -> Graph.t
+
+val random_ladder :
+  Random.State.t ->
+  rungs:int ->
+  segment_edges:int ->
+  max_cap:int ->
+  Graph.t
+(** Random SP-ladder: [rungs] cross-links with random directions and
+    occasional shared endpoints; every constituent (rail segment,
+    cross-link) is a random SP subgraph of roughly [segment_edges]
+    edges. The result is guaranteed two-terminal and CS4. *)
+
+val random_cs4 :
+  Random.State.t ->
+  blocks:int ->
+  block_edges:int ->
+  max_cap:int ->
+  Graph.t
+(** Serial chain of [blocks] blocks, each randomly an SP-DAG or an
+    SP-ladder. *)
+
+(** {1 Structured families for scaling experiments} *)
+
+val pipeline : stages:int -> cap:int -> Graph.t
+
+val diamond_chain : ?bypass:bool -> diamonds:int -> cap:int -> unit -> Graph.t
+(** Serial chain of two-parallel-edge diamonds (capacities [cap] and
+    [cap + 1]). Without [bypass] (default) every simple cycle is
+    confined to one diamond, so there are exactly [diamonds] cycles.
+    With [bypass:true] an extra source-to-sink edge turns every one of
+    the [2^diamonds] source-to-sink paths into a distinct undirected
+    simple cycle — the family that blows up the exponential general-DAG
+    baseline while remaining a plain SP-DAG (experiment C4). *)
+
+val parallel_paths : paths:int -> hops:int -> cap:int -> Graph.t
+(** [paths] disjoint directed paths of [hops] edges sharing only the
+    terminals: an SP-DAG with [paths * (paths - 1) / 2] long cycles —
+    the quadratic-cycle-count control family. *)
+
+val nested_parallel : depth:int -> cap:int -> Graph.t
+(** Maximally nested parallel compositions,
+    [P(e, S(e, P(e, S(e, ...))))]: every parallel node encloses the
+    whole remaining nesting, so the SP Non-Propagation sweep touches
+    O(depth^2) edges — the worst case behind the paper's O(|G|^2)
+    bound (2 * depth + 1 edges). *)
+
+val wide_ladder : rungs:int -> cap:int -> Graph.t
+(** Minimal ladder skeleton with [rungs] alternating-direction
+    cross-links and unit constituents — the ladder scaling family. *)

@@ -1,0 +1,1 @@
+test/test_app.ml: Alcotest App Compiler Engine Fstream_core Fstream_parallel Fstream_runtime Fstream_workloads Fun List Result Topo_gen

@@ -1,0 +1,1 @@
+test/test_app_spec.ml: Alcotest App_spec Compiler Engine Fstream_core Fstream_graph Fstream_runtime Fstream_workloads List

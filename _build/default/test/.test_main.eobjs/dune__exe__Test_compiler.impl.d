@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Array Compiler Format Fstream_core Fstream_graph Fstream_workloads Fun Interval List Topo_gen Tutil

@@ -1,0 +1,1 @@
+test/test_crossval.ml: Alcotest Array Compiler Fstream_core Fstream_workloads Fun Gen General Interval List QCheck Tutil

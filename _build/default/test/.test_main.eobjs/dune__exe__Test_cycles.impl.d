@@ -1,0 +1,1 @@
+test/test_cycles.ml: Alcotest Array Cycles Fstream_graph Fstream_workloads Fun Graph List Printf Topo_gen Tutil

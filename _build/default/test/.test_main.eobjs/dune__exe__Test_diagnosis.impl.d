@@ -1,0 +1,1 @@
+test/test_diagnosis.ml: Alcotest Array Cycles Diagnosis Engine Filters Fstream_graph Fstream_runtime Fstream_workloads Graph List Topo_gen Tutil

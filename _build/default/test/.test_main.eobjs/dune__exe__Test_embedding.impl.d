@@ -1,0 +1,1 @@
+test/test_embedding.ml: Alcotest Array Embedding Fstream_graph Fstream_ladder Fstream_workloads Graph List Topo_gen Tutil

@@ -1,0 +1,1 @@
+test/test_fig3.ml: Alcotest Compiler Fstream_core Fstream_spdag Fstream_workloads General Interval Sp_nonprop Sp_prop Topo_gen Tutil

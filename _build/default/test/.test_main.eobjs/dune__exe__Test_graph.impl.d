@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Articulation Dominators Fstream_graph Fstream_workloads Fun Graph List Paths Topo Topo_gen Tutil

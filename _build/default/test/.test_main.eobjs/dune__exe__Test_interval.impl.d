@@ -1,0 +1,1 @@
+test/test_interval.ml: Alcotest Fstream_core Interval QCheck Tutil

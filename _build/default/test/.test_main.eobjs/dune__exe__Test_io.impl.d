@@ -1,0 +1,1 @@
+test/test_io.ml: Alcotest Array Dot Fstream_graph Fstream_workloads Graph Graph_io List Printf QCheck String Topo_gen Tutil

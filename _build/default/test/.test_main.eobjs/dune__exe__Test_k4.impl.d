@@ -1,0 +1,1 @@
+test/test_k4.ml: Alcotest Fstream_graph Fstream_ladder Fstream_workloads Graph List Topo Topo_gen Tutil Undirected_sp

@@ -1,0 +1,1 @@
+test/test_ladder.ml: Alcotest Array Cs4 Cycles Format Fstream_graph Fstream_ladder Fstream_spdag Fstream_workloads Fun Graph Hashtbl Ladder List Sp_tree Topo Topo_gen Tutil

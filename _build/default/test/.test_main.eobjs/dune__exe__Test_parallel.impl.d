@@ -1,0 +1,1 @@
+test/test_parallel.ml: Alcotest Compiler Engine Filters Fstream_core Fstream_graph Fstream_parallel Fstream_runtime Fstream_workloads Random Topo_gen Tutil

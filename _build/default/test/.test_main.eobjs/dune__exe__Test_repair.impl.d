@@ -1,0 +1,1 @@
+test/test_repair.ml: Alcotest Cs4 Fstream_graph Fstream_ladder Fstream_repair Fstream_workloads Graph List QCheck Repair Topo_gen Tutil

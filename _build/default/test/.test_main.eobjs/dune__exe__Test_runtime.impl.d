@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Buffer Channel Compiler Engine Filters Format Fstream_core Fstream_graph Fstream_runtime Fstream_workloads Message Random Topo_gen

@@ -1,0 +1,1 @@
+test/test_sizing.ml: Alcotest Array Compiler Fstream_core Fstream_workloads Fun Interval List QCheck Sizing Topo_gen Tutil

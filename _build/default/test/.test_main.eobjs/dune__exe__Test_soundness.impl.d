@@ -1,0 +1,1 @@
+test/test_soundness.ml: Alcotest Compiler Engine Filters Fstream_core Fstream_graph Fstream_runtime Fstream_workloads Graph List Random Tutil

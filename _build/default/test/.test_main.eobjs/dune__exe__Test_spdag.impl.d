@@ -1,0 +1,1 @@
+test/test_spdag.ml: Alcotest Array Cycles Dominators Fstream_graph Fstream_spdag Fstream_workloads Fun Graph List Paths Random Sp_build Sp_recognize Sp_tree Topo Topo_gen Tutil

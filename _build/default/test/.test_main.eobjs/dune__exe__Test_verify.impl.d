@@ -1,0 +1,1 @@
+test/test_verify.ml: Alcotest Compiler Engine Filters Fstream_core Fstream_runtime Fstream_verify Fstream_workloads List Random String Topo_gen Tutil Verify

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Cs4 Cycles Format Fstream_graph Fstream_ladder Fstream_spdag Fstream_workloads Graph Ladder List Sp_recognize Topo Topo_gen Tutil

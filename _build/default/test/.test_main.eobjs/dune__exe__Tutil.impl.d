@@ -1,0 +1,1 @@
+test/tutil.ml: Alcotest Array Fstream_core Fstream_graph Fstream_workloads Graph Interval List QCheck QCheck_alcotest Random Topo

@@ -1,0 +1,2 @@
+  $ streamcheck classify --demo fig3 | tail -2
+  $ streamcheck classify --demo butterfly | tail -2

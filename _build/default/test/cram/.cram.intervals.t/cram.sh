@@ -1,0 +1,2 @@
+  $ streamcheck intervals --demo fig3 --algorithm propagation
+  $ streamcheck intervals --demo fig3 --algorithm non-propagation

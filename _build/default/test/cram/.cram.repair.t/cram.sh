@@ -1,0 +1,1 @@
+  $ streamcheck repair --demo butterfly | head -3

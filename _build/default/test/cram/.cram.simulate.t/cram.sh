@@ -1,0 +1,2 @@
+  $ streamcheck simulate --demo fig2 --inputs 200 --keep 0.6 --seed 3
+  $ streamcheck simulate --demo fig2 --inputs 200 --keep 0.6 --seed 3 --avoidance none

@@ -1,0 +1,9 @@
+  $ cat > app.fstream <<'SPEC'
+  > nodes 3
+  > edge 0 1 2
+  > edge 1 2 2
+  > edge 0 2 2
+  > node 0 block 2
+  > SPEC
+  $ streamcheck simulate --file app.fstream --inputs 100 --avoidance none
+  $ streamcheck simulate --file app.fstream --inputs 100 --avoidance non-propagation

@@ -1,0 +1,2 @@
+  $ streamcheck verify --demo fig2 --avoidance non-propagation --inputs 4
+  $ streamcheck verify --demo fig2 --avoidance none --inputs 4

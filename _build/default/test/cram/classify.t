@@ -1,0 +1,11 @@
+The hexagon of Fig. 3 is series-parallel:
+
+  $ streamcheck classify --demo fig3 | tail -2
+  CS4: serial composition of 1 block(s)
+    block 0..3: series-parallel, 6 edges
+
+The butterfly is rejected with the a-c-b-d witness:
+
+  $ streamcheck classify --demo butterfly | tail -2
+  not CS4: block 0..5 is neither SP nor an SP-ladder: missing cross-link at rail frontier
+    witness cycle with sources {1, 2} and sinks {3, 4}

@@ -1,0 +1,23 @@
+Fig. 3 worked example, Propagation:
+
+  $ streamcheck intervals --demo fig3 --algorithm propagation
+  route: CS4 (1 SP block, 0 ladders)
+  edge   channel     cap   interval  threshold
+  e0       0 -> 1       2          6          6
+  e1       1 -> 2       5        inf          1
+  e2       2 -> 3       1        inf          1
+  e3       0 -> 4       3          8          8
+  e4       4 -> 5       1        inf          1
+  e5       5 -> 3       2        inf          1
+
+And Non-Propagation:
+
+  $ streamcheck intervals --demo fig3 --algorithm non-propagation
+  route: CS4 (1 SP block, 0 ladders)
+  edge   channel     cap   interval  threshold
+  e0       0 -> 1       2          2          2
+  e1       1 -> 2       5          2          2
+  e2       2 -> 3       1          2          2
+  e3       0 -> 4       3        8/3          2
+  e4       4 -> 5       1        8/3          2
+  e5       5 -> 3       2        8/3          2

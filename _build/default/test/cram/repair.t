@@ -1,0 +1,6 @@
+The butterfly repairs into a ladder in one reroute:
+
+  $ streamcheck repair --demo butterfly | head -3
+  repaired: 1 channel(s) deleted, 1 added
+    reroute 1->3 via 4 (added 4->3)
+  reachability preserved: true

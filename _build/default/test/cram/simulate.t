@@ -1,0 +1,18 @@
+Fig. 2 under a random filtering workload, protected:
+
+  $ streamcheck simulate --demo fig2 --inputs 200 --keep 0.6 --seed 3
+  completed: 206 rounds, 314 data msgs, 201 dummy msgs, 188 data at sinks
+
+Unprotected it wedges, and the CLI prints the witness cycle:
+
+  $ streamcheck simulate --demo fig2 --inputs 200 --keep 0.6 --seed 3 --avoidance none
+  deadlock state:
+    e0 0->1 cap=2 len=0 head=- last_sent=10
+    e1 1->2 cap=2 len=0 head=- last_sent=8
+    e2 0->2 cap=2 len=2 head=#9:9 last_sent=11
+    node 0 pending:1 next_in=12
+  DEADLOCKED: 13 rounds, 24 data msgs, 0 dummy msgs, 13 data at sinks
+  deadlock witness cycle (§II.B):
+    full:  e2 (0->2)
+    empty: e1 (1->2), e0 (0->1)
+  [2]

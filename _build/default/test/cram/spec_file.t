@@ -1,0 +1,26 @@
+An application spec file carries both topology and filtering behaviour
+(this one is the Fig. 2 wedge):
+
+  $ cat > app.fstream <<'SPEC'
+  > nodes 3
+  > edge 0 1 2
+  > edge 1 2 2
+  > edge 0 2 2
+  > node 0 block 2
+  > SPEC
+
+  $ streamcheck simulate --file app.fstream --inputs 100 --avoidance none
+  deadlock state:
+    e0 0->1 cap=2 len=2 head=#3:3 last_sent=5
+    e1 1->2 cap=2 len=2 head=#0:0 last_sent=2
+    e2 0->2 cap=2 len=0 head=- last_sent=-1
+    node 0 pending:1 next_in=6
+    node 1 pending:1 next_in=0
+  DEADLOCKED: 7 rounds, 7 data msgs, 0 dummy msgs, 0 data at sinks
+  deadlock witness cycle (§II.B):
+    full:  e0 (0->1), e1 (1->2)
+    empty: e2 (0->2)
+  [2]
+
+  $ streamcheck simulate --file app.fstream --inputs 100 --avoidance non-propagation
+  completed: 105 rounds, 200 data msgs, 25 dummy msgs, 100 data at sinks

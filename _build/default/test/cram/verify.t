@@ -1,0 +1,16 @@
+Exhaustive check of Fig. 2 with the Non-Propagation wrapper:
+
+  $ streamcheck verify --demo fig2 --avoidance non-propagation --inputs 4
+  safe (20396 states explored, all filtering choices)
+
+And without avoidance (exit code 2, trace found):
+
+  $ streamcheck verify --demo fig2 --avoidance none --inputs 4
+  deadlocks after 200 states; trace:
+      n0 fires seq 0, keeps {2}
+      n0 delivers #0 on e2
+      n0 fires seq 1, keeps {2}
+      n0 delivers #1 on e2
+      n0 fires seq 2, keeps {2}
+  
+  [2]

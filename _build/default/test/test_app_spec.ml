@@ -1,0 +1,89 @@
+open Fstream_core
+open Fstream_runtime
+open Fstream_workloads
+
+let fig2_spec =
+  "nodes 3\n\
+   edge 0 1 2\n\
+   edge 1 2 2\n\
+   edge 0 2 2\n\
+   node 0 block 2   # the adversarial filter of Fig. 2\n\
+   default passthrough\n"
+
+let test_parse () =
+  match App_spec.of_string fig2_spec with
+  | Error e -> Alcotest.fail e
+  | Ok spec ->
+    Alcotest.(check int) "graph edges" 3
+      (Fstream_graph.Graph.num_edges spec.graph);
+    Alcotest.(check int) "one behaviour" 1 (List.length spec.behaviors);
+    Alcotest.(check bool) "block parsed" true
+      (List.assoc 0 spec.behaviors = App_spec.Block 2)
+
+let test_roundtrip () =
+  match App_spec.of_string fig2_spec with
+  | Error e -> Alcotest.fail e
+  | Ok spec -> (
+    match App_spec.of_string (App_spec.to_string spec) with
+    | Error e -> Alcotest.fail e
+    | Ok spec' ->
+      Alcotest.(check bool) "behaviours survive" true
+        (spec.behaviors = spec'.behaviors && spec.default = spec'.default))
+
+let test_validation () =
+  let bad s =
+    match App_spec.of_string s with Error _ -> true | Ok _ -> false
+  in
+  Alcotest.(check bool) "unknown behaviour" true
+    (bad "nodes 2\nedge 0 1 1\nnode 0 teleport\n");
+  Alcotest.(check bool) "bad probability" true
+    (bad "nodes 2\nedge 0 1 1\nnode 0 bernoulli 1.5\n");
+  Alcotest.(check bool) "blocking a foreign channel" true
+    (bad "nodes 3\nedge 0 1 1\nedge 1 2 1\nnode 0 block 1\n");
+  Alcotest.(check bool) "node id out of range" true
+    (bad "nodes 2\nedge 0 1 1\nnode 5 drop\n")
+
+let test_simulates_fig2 () =
+  match App_spec.of_string fig2_spec with
+  | Error e -> Alcotest.fail e
+  | Ok spec ->
+    let g = spec.graph in
+    let bare =
+      Engine.run ~graph:g ~kernels:(App_spec.kernels spec ~seed:1) ~inputs:30
+        ~avoidance:Engine.No_avoidance ()
+    in
+    Alcotest.(check bool) "spec reproduces the Fig. 2 wedge" true
+      (bare.Engine.outcome = Engine.Deadlocked);
+    (match Compiler.plan Compiler.Non_propagation g with
+    | Error e -> Alcotest.fail e
+    | Ok p ->
+      let s =
+        Engine.run ~graph:g ~kernels:(App_spec.kernels spec ~seed:1) ~inputs:30
+          ~avoidance:(Engine.Non_propagation (Compiler.send_thresholds p.intervals))
+          ()
+      in
+      Alcotest.(check bool) "and the wrapper fixes it" true
+        (s.Engine.outcome = Engine.Completed))
+
+let test_periodic_behavior () =
+  let spec_text =
+    "nodes 3\nedge 0 1 3\nedge 1 2 3\nnode 0 periodic 5\n"
+  in
+  match App_spec.of_string spec_text with
+  | Error e -> Alcotest.fail e
+  | Ok spec ->
+    let s =
+      Engine.run ~graph:spec.graph
+        ~kernels:(App_spec.kernels spec ~seed:1) ~inputs:50
+        ~avoidance:Engine.No_avoidance ()
+    in
+    Alcotest.(check int) "every fifth input survives" 10 s.Engine.sink_data
+
+let suite =
+  [
+    Alcotest.test_case "parse" `Quick test_parse;
+    Alcotest.test_case "round trip" `Quick test_roundtrip;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "fig2 end to end" `Quick test_simulates_fig2;
+    Alcotest.test_case "periodic behaviour" `Quick test_periodic_behavior;
+  ]

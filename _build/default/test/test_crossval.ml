@@ -1,0 +1,77 @@
+(* Experiment V1: the polynomial algorithms agree exactly with the
+   exponential cycle-enumeration baseline, on every family and for all
+   three interval tables. This is the property that caught both ladder
+   recurrence bugs (see DESIGN.md, "Deviations"). *)
+
+open Fstream_core
+
+let agree algorithm baseline g =
+  match Compiler.plan ~allow_general:false algorithm g with
+  | Error _ -> false
+  | Ok p ->
+    let base = baseline g in
+    Array.length p.intervals = Array.length base
+    && Array.for_all Fun.id
+         (Array.mapi (fun i v -> Interval.equal v base.(i)) p.intervals)
+
+let all_agree g =
+  agree Compiler.Propagation General.propagation g
+  && agree Compiler.Non_propagation General.non_propagation g
+  && agree Compiler.Relay_propagation General.relay_propagation g
+
+let prop_sp =
+  Tutil.qtest ~count:300 "fast = baseline on random SP graphs" Tutil.seed_gen
+    (fun seed -> all_agree (Tutil.random_sp_of_seed seed))
+
+let prop_ladder =
+  Tutil.qtest ~count:300 "fast = baseline on random ladders" Tutil.seed_gen
+    (fun seed -> all_agree (Tutil.random_ladder_of_seed seed))
+
+let prop_cs4 =
+  Tutil.qtest ~count:300 "fast = baseline on random CS4 chains"
+    Tutil.seed_gen (fun seed -> all_agree (Tutil.random_cs4_of_seed seed))
+
+let prop_wide_ladders =
+  Tutil.qtest ~count:40 "fast = baseline on wide unit ladders"
+    QCheck.(make ~print:string_of_int (Gen.int_range 1 9))
+    (fun rungs ->
+      all_agree (Fstream_workloads.Topo_gen.wide_ladder ~rungs ~cap:2))
+
+let test_figures () =
+  let module T = Fstream_workloads.Topo_gen in
+  List.iter
+    (fun (name, g) ->
+      Alcotest.(check bool) name true (all_agree g))
+    [
+      ("fig1 split-join", T.fig1_split_join ~branches:4 ~cap:3);
+      ("fig2 triangle", T.fig2_triangle ~cap:2);
+      ("fig3 hexagon", T.fig3_hexagon ());
+      ("fig4 left", T.fig4_left ~cap:2);
+      ("fig5 ladder", T.fig5_ladder ~cap:3);
+      ("diamond chain", T.diamond_chain ~diamonds:5 ~cap:2 ());
+      ("bypassed diamonds", T.diamond_chain ~bypass:true ~diamonds:5 ~cap:2 ());
+      ("parallel paths", T.parallel_paths ~paths:4 ~hops:3 ~cap:2);
+      ("wide ladder", T.wide_ladder ~rungs:6 ~cap:2);
+    ]
+
+let test_general_fallback_butterfly () =
+  (* the butterfly is not CS4: plan takes the exponential route and
+     must still equal the direct baseline *)
+  let g = Fstream_workloads.Topo_gen.fig4_butterfly ~cap:2 in
+  match Compiler.plan Compiler.Non_propagation g with
+  | Ok { route = Compiler.General_route { cycles }; intervals; _ } ->
+    Alcotest.(check int) "7 cycles enumerated" 7 cycles;
+    Tutil.check_intervals "fallback equals baseline"
+      (General.non_propagation g) intervals
+  | Ok _ -> Alcotest.fail "expected general fallback route"
+  | Error e -> Alcotest.fail e
+
+let suite =
+  [
+    Alcotest.test_case "paper figure graphs" `Quick test_figures;
+    Alcotest.test_case "butterfly fallback" `Quick test_general_fallback_butterfly;
+    prop_sp;
+    prop_ladder;
+    prop_cs4;
+    prop_wide_ladders;
+  ]

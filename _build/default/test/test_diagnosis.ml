@@ -1,0 +1,123 @@
+(* Deadlock diagnosis: §II.B says every deadlock corresponds to an
+   undirected cycle with a full side and an empty side. The diagnosis
+   module recovers it from a wedged run; these tests check it on the
+   canonical example and as a universal property of every wedge the
+   engine reaches. *)
+
+open Fstream_graph
+open Fstream_runtime
+open Fstream_workloads
+
+let wedge_of_fig2 () =
+  let g = Topo_gen.fig2_triangle ~cap:2 in
+  let kernels =
+    Filters.for_graph g (fun v outs ->
+        if v = 0 then Filters.block_edge 2 outs else Filters.passthrough outs)
+  in
+  let s = Engine.run ~graph:g ~kernels ~inputs:30 ~avoidance:Engine.No_avoidance () in
+  (g, s)
+
+let test_fig2_witness () =
+  let g, s = wedge_of_fig2 () in
+  Alcotest.(check bool) "deadlocked" true (s.Engine.outcome = Engine.Deadlocked);
+  match s.Engine.wedge with
+  | None -> Alcotest.fail "expected a wedge snapshot"
+  | Some snap -> (
+    match Diagnosis.explain g snap with
+    | None -> Alcotest.fail "expected a witness"
+    | Some w ->
+      Alcotest.(check (list int)) "full side is A->B, B->C" [ 0; 1 ]
+        (List.sort compare
+           (List.map (fun (e : Graph.edge) -> e.id) w.full_channels));
+      Alcotest.(check (list int)) "empty side is A->C" [ 2 ]
+        (List.map (fun (e : Graph.edge) -> e.id) w.empty_channels);
+      Alcotest.(check int) "cycle covers all three channels" 3
+        (List.length w.cycle))
+
+let test_no_witness_when_completed () =
+  let g = Topo_gen.pipeline ~stages:2 ~cap:1 in
+  let kernels = Filters.for_graph g (fun _ o -> Filters.passthrough o) in
+  let s = Engine.run ~graph:g ~kernels ~inputs:5 ~avoidance:Engine.No_avoidance () in
+  Alcotest.(check bool) "no wedge on completion" true (s.Engine.wedge = None)
+
+let witness_is_sound (snap : Engine.snapshot) (w : Diagnosis.witness) =
+  (* the witness must be a genuine simple cycle of g ... *)
+  let ids =
+    List.sort compare (List.map (fun o -> o.Cycles.edge.Graph.id) w.cycle)
+  in
+  let simple = List.length (List.sort_uniq compare ids) = List.length ids in
+  let verts = Cycles.vertices w.cycle in
+  let distinct_verts =
+    List.length (List.sort_uniq compare verts) = List.length verts
+  in
+  (* ... with the advertised buffer occupancies *)
+  let occupancies_ok =
+    List.for_all
+      (fun (e : Graph.edge) ->
+        snap.Engine.channel_lengths.(e.id) >= e.cap)
+      w.full_channels
+    && List.for_all
+         (fun (e : Graph.edge) -> snap.Engine.channel_lengths.(e.id) = 0)
+         w.empty_channels
+  in
+  (* ... and both sides non-trivial in a filtering deadlock *)
+  simple && distinct_verts && occupancies_ok
+  && w.full_channels <> []
+  && List.length w.cycle
+     = List.length w.full_channels + List.length w.empty_channels
+
+let prop_every_wedge_has_witness =
+  (* the computational content of §II.B's deadlock characterization *)
+  Tutil.qtest ~count:150 "every reached deadlock yields a sound witness"
+    Tutil.seed_gen (fun seed ->
+      let g = Tutil.random_cs4_of_seed seed in
+      let rng = Tutil.rng_of (seed + 1) in
+      let kernels =
+        Filters.for_graph g (fun _ outs ->
+            Filters.bernoulli rng ~keep:0.55 outs)
+      in
+      let s =
+        Engine.run ~graph:g ~kernels ~inputs:60 ~avoidance:Engine.No_avoidance ()
+      in
+      match (s.Engine.outcome, s.Engine.wedge) with
+      | Engine.Deadlocked, Some snap -> (
+        match Diagnosis.explain g snap with
+        | Some w -> witness_is_sound snap w
+        | None -> false)
+      | Engine.Deadlocked, None -> false
+      | _ -> true)
+
+let prop_witness_cycle_is_enumerable =
+  (* the witness is one of the graph's undirected simple cycles *)
+  Tutil.qtest ~count:60 "witness appears in the cycle enumeration"
+    Tutil.seed_gen (fun seed ->
+      let g = Tutil.random_cs4_of_seed seed in
+      let rng = Tutil.rng_of (seed + 2) in
+      let kernels =
+        Filters.for_graph g (fun _ outs ->
+            Filters.bernoulli rng ~keep:0.5 outs)
+      in
+      let s =
+        Engine.run ~graph:g ~kernels ~inputs:50 ~avoidance:Engine.No_avoidance ()
+      in
+      match s.Engine.wedge with
+      | None -> true
+      | Some snap -> (
+        match Diagnosis.explain g snap with
+        | None -> false
+        | Some w ->
+          let key c =
+            List.sort compare (List.map (fun o -> o.Cycles.edge.Graph.id) c)
+          in
+          List.exists
+            (fun c -> key c = key w.cycle)
+            (Cycles.enumerate g)))
+
+let suite =
+  [
+    Alcotest.test_case "fig2 witness" `Quick test_fig2_witness;
+    Alcotest.test_case "no witness when completed" `Quick
+      test_no_witness_when_completed;
+    prop_every_wedge_has_witness;
+    prop_witness_cycle_is_enumerable;
+  ]

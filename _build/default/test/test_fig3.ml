@@ -1,0 +1,66 @@
+(* Exact reproduction of the paper's only worked example (Fig. 3):
+   the hexagon with branch buffers 2,5,1 (a-b-e-f) and 3,1,2 (a-c-d-f).
+   Propagation: [ab] = 3+1+2 = 6, [ac] = 2+5+1 = 8, every other edge
+   infinite. Non-Propagation: the a-b-e-f edges get 6/3 = 2 and the
+   a-c-d-f edges 8/3 (displayed as 3 after the paper's round-up). *)
+
+open Fstream_core
+open Fstream_workloads
+
+let i = Interval.of_int
+let r = Interval.ratio
+let inf = Interval.inf
+
+(* Edge ids in Topo_gen.fig3_hexagon: 0=ab 1=be 2=ef 3=ac 4=cd 5=df *)
+let expected_prop = [| i 6; inf; inf; i 8; inf; inf |]
+let expected_nonprop = [| i 2; i 2; i 2; r 8 3; r 8 3; r 8 3 |]
+
+let g () = Topo_gen.fig3_hexagon ()
+
+let test_general () =
+  Tutil.check_intervals "baseline propagation" expected_prop
+    (General.propagation (g ()));
+  Tutil.check_intervals "baseline non-propagation" expected_nonprop
+    (General.non_propagation (g ()))
+
+let test_fast_sp () =
+  match Fstream_spdag.Sp_recognize.recognize (g ()) with
+  | Error _ -> Alcotest.fail "hexagon is SP"
+  | Ok tree ->
+    Tutil.check_intervals "SETIVALS" expected_prop
+      (Sp_prop.intervals (g ()) tree);
+    Tutil.check_intervals "SP non-propagation" expected_nonprop
+      (Sp_nonprop.intervals (g ()) tree)
+
+let test_compiler_plan () =
+  (match Compiler.plan Compiler.Propagation (g ()) with
+  | Ok p -> Tutil.check_intervals "plan propagation" expected_prop p.intervals
+  | Error e -> Alcotest.fail e);
+  match Compiler.plan Compiler.Non_propagation (g ()) with
+  | Ok p ->
+    Tutil.check_intervals "plan non-propagation" expected_nonprop p.intervals
+  | Error e -> Alcotest.fail e
+
+let test_roundup_display () =
+  (* the figure displays 8/3 as 3 ("roundup") *)
+  Alcotest.(check (option int)) "8/3 rounds up to 3" (Some 3)
+    (Interval.ceil_opt (Interval.ratio 8 3));
+  (* the runtime threshold takes the conservative floor, clamped *)
+  Alcotest.(check (option int)) "threshold of 8/3 is 2" (Some 2)
+    (Interval.threshold (Interval.ratio 8 3))
+
+let test_relay_table () =
+  (* Relay-Propagation on the hexagon: every edge bounded by the whole
+     opposing branch, no hop division. *)
+  Tutil.check_intervals "relay propagation"
+    [| i 6; i 6; i 6; i 8; i 8; i 8 |]
+    (General.relay_propagation (g ()))
+
+let suite =
+  [
+    Alcotest.test_case "general baseline matches Fig. 3" `Quick test_general;
+    Alcotest.test_case "fast SP algorithms match Fig. 3" `Quick test_fast_sp;
+    Alcotest.test_case "compiler plan matches Fig. 3" `Quick test_compiler_plan;
+    Alcotest.test_case "round-up display" `Quick test_roundup_display;
+    Alcotest.test_case "relay table" `Quick test_relay_table;
+  ]

@@ -1,0 +1,109 @@
+open Fstream_core
+
+let check = Alcotest.check Tutil.interval
+
+let test_construction () =
+  check "of_int normalizes to den 1" (Interval.of_int 5) (Interval.ratio 10 2);
+  check "ratio reduces by gcd" (Interval.ratio 2 3) (Interval.ratio 8 12);
+  Alcotest.check_raises "of_int 0 rejected"
+    (Invalid_argument "Interval.of_int: not positive") (fun () ->
+      ignore (Interval.of_int 0));
+  Alcotest.check_raises "ratio with zero den rejected"
+    (Invalid_argument "Interval.ratio: not positive") (fun () ->
+      ignore (Interval.ratio 1 0))
+
+let test_compare () =
+  Alcotest.(check bool)
+    "1/2 < 2/3" true
+    (Interval.compare (Interval.ratio 1 2) (Interval.ratio 2 3) < 0);
+  Alcotest.(check bool)
+    "inf greater than any finite" true
+    (Interval.compare Interval.inf (Interval.of_int max_int) > 0);
+  check "min picks finite" (Interval.of_int 3)
+    (Interval.min Interval.inf (Interval.of_int 3));
+  check "min of ratios" (Interval.ratio 8 3)
+    (Interval.min (Interval.ratio 8 3) (Interval.of_int 3))
+
+let test_rounding () =
+  Alcotest.(check (option int)) "ceil 8/3 = 3 (Fig. 3 roundup)" (Some 3)
+    (Interval.ceil_opt (Interval.ratio 8 3));
+  Alcotest.(check (option int)) "floor 8/3 = 2" (Some 2)
+    (Interval.floor_opt (Interval.ratio 8 3));
+  Alcotest.(check (option int)) "ceil of integral is itself" (Some 6)
+    (Interval.ceil_opt (Interval.of_int 6));
+  Alcotest.(check (option int)) "ceil of inf is none" None
+    (Interval.ceil_opt Interval.inf);
+  Alcotest.(check (option int)) "threshold clamps to >= 1" (Some 1)
+    (Interval.threshold (Interval.ratio 1 4));
+  Alcotest.(check (option int)) "threshold of inf is none" None
+    (Interval.threshold Interval.inf)
+
+let test_add_int () =
+  check "add_int on finite" (Interval.ratio 7 3)
+    (Interval.add_int (Interval.ratio 1 3) 2);
+  check "add_int absorbs on inf" Interval.inf (Interval.add_int Interval.inf 5)
+
+let test_to_float () =
+  Alcotest.(check (float 1e-9)) "2/4 = 0.5" 0.5
+    (Interval.to_float (Interval.ratio 2 4));
+  Alcotest.(check bool) "inf maps to infinity" true
+    (Interval.to_float Interval.inf = infinity)
+
+let pos_pair = QCheck.(pair (int_range 1 1000) (int_range 1 1000))
+
+let prop_min_commutes =
+  Tutil.qtest "min commutes"
+    QCheck.(pair pos_pair pos_pair)
+    (fun ((a, b), (c, d)) ->
+      let x = Interval.ratio a b and y = Interval.ratio c d in
+      Interval.equal (Interval.min x y) (Interval.min y x))
+
+let prop_floor_ceil =
+  Tutil.qtest "floor <= value <= ceil, gap < 1" pos_pair (fun (a, b) ->
+      let v = Interval.ratio a b in
+      match (Interval.floor_opt v, Interval.ceil_opt v) with
+      | Some f, Some c ->
+        let x = Interval.to_float v in
+        float_of_int f <= x && x <= float_of_int c && c - f <= 1
+      | _ -> false)
+
+let prop_compare_total =
+  Tutil.qtest "compare is consistent with to_float"
+    QCheck.(pair pos_pair pos_pair)
+    (fun ((a, b), (c, d)) ->
+      let x = Interval.ratio a b and y = Interval.ratio c d in
+      let cf = compare (Interval.to_float x) (Interval.to_float y) in
+      (* float comparison is exact here: numerators/denominators are small *)
+      compare (Interval.compare x y) 0 = compare cf 0)
+
+let prop_min_assoc =
+  Tutil.qtest "min associates"
+    QCheck.(triple pos_pair pos_pair pos_pair)
+    (fun ((a, b), (c, d), (e, f)) ->
+      let x = Interval.ratio a b
+      and y = Interval.ratio c d
+      and z = Interval.ratio e f in
+      Interval.equal
+        (Interval.min x (Interval.min y z))
+        (Interval.min (Interval.min x y) z))
+
+let prop_threshold_bounds =
+  Tutil.qtest "1 <= threshold <= ceil" pos_pair (fun (a, b) ->
+      let v = Interval.ratio a b in
+      match (Interval.threshold v, Interval.ceil_opt v) with
+      | Some t, Some c -> 1 <= t && t <= c
+      | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "construction" `Quick test_construction;
+    Alcotest.test_case "compare and min" `Quick test_compare;
+    Alcotest.test_case "rounding" `Quick test_rounding;
+    Alcotest.test_case "add_int" `Quick test_add_int;
+    Alcotest.test_case "to_float" `Quick test_to_float;
+    prop_min_commutes;
+    prop_floor_ceil;
+    prop_compare_total;
+    prop_min_assoc;
+    prop_threshold_bounds;
+  ]

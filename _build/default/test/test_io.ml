@@ -1,0 +1,90 @@
+open Fstream_graph
+open Fstream_workloads
+
+let test_roundtrip () =
+  let g = Topo_gen.fig3_hexagon () in
+  match Graph_io.of_string (Graph_io.to_string g) with
+  | Error e -> Alcotest.fail e
+  | Ok g' ->
+    Alcotest.(check int) "nodes" (Graph.num_nodes g) (Graph.num_nodes g');
+    Alcotest.(check (list (triple int int int))) "edges"
+      (List.map (fun (e : Graph.edge) -> (e.src, e.dst, e.cap)) (Graph.edges g))
+      (List.map (fun (e : Graph.edge) -> (e.src, e.dst, e.cap)) (Graph.edges g'))
+
+let test_comments_and_blanks () =
+  let text = "# header\n\nnodes 3\nedge 0 1 2  # channel one\n\nedge 1 2 4\n" in
+  match Graph_io.of_string text with
+  | Error e -> Alcotest.fail e
+  | Ok g ->
+    Alcotest.(check int) "nodes parsed" 3 (Graph.num_nodes g);
+    Alcotest.(check int) "edges parsed" 2 (Graph.num_edges g);
+    Alcotest.(check int) "capacity parsed" 4 (Graph.edge g 1).cap
+
+let test_errors () =
+  let bad l =
+    match Graph_io.of_string l with Error _ -> true | Ok _ -> false
+  in
+  Alcotest.(check bool) "missing nodes" true (bad "edge 0 1 2\n");
+  Alcotest.(check bool) "garbage directive" true (bad "nodes 2\nfoo\n");
+  Alcotest.(check bool) "bad arity" true (bad "nodes 2\nedge 0 1\n");
+  Alcotest.(check bool) "non-numeric" true (bad "nodes 2\nedge 0 x 1\n");
+  Alcotest.(check bool) "semantic error surfaces" true
+    (bad "nodes 2\nedge 0 0 1\n")
+
+let prop_roundtrip =
+  Tutil.qtest "to_string/of_string round-trips" Tutil.seed_gen (fun seed ->
+      let g = Tutil.random_cs4_of_seed seed in
+      match Graph_io.of_string (Graph_io.to_string g) with
+      | Error _ -> false
+      | Ok g' ->
+        Graph.num_nodes g = Graph.num_nodes g'
+        && List.equal
+             (fun (a : Graph.edge) (b : Graph.edge) ->
+               a.src = b.src && a.dst = b.dst && a.cap = b.cap)
+             (Graph.edges g) (Graph.edges g'))
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let prop_parser_total =
+  (* the parser is total: arbitrary byte soup yields Ok or Error,
+     never an exception *)
+  Tutil.qtest ~count:300 "of_string never raises"
+    QCheck.(string_gen_of_size (QCheck.Gen.int_range 0 80) QCheck.Gen.printable)
+    (fun s ->
+      match Graph_io.of_string s with Ok _ | Error _ -> true)
+
+let test_dot () =
+  let g = Topo_gen.fig2_triangle ~cap:2 in
+  let dot = Dot.render g in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "contains %S" needle) true
+        (contains dot needle))
+    [ "digraph stream"; "n0 -> n1"; "n1 -> n2"; "n0 -> n2"; "label=\"2\"" ]
+
+let test_dot_decorations () =
+  let g = Topo_gen.fig2_triangle ~cap:1 in
+  let dot =
+    Dot.render
+      ~node_label:(fun v -> [| "A"; "B"; "C" |].(v))
+      ~edge_class:(fun e -> if e.Graph.id = 2 then Some "filtered" else None)
+      g
+  in
+  Alcotest.(check bool) "custom node label" true
+    (contains dot "label=\"A\"");
+  Alcotest.(check bool) "edge class attribute" true
+    (contains dot "class=\"filtered\"")
+
+let suite =
+  [
+    Alcotest.test_case "graph file round-trip" `Quick test_roundtrip;
+    Alcotest.test_case "comments and blanks" `Quick test_comments_and_blanks;
+    Alcotest.test_case "parse errors" `Quick test_errors;
+    Alcotest.test_case "dot rendering" `Quick test_dot;
+    Alcotest.test_case "dot decorations" `Quick test_dot_decorations;
+    prop_roundtrip;
+    prop_parser_total;
+  ]

@@ -1,0 +1,279 @@
+open Fstream_graph
+open Fstream_spdag
+open Fstream_ladder
+open Fstream_workloads
+
+let recognize g =
+  match Topo.is_two_terminal g with
+  | Some (x, y) ->
+    Ladder.recognize_block ~nodes:(Graph.num_nodes g) ~source:x ~sink:y
+      (Graph.edges g)
+  | None -> Error "not two-terminal"
+
+let test_fig4_left () =
+  match recognize (Topo_gen.fig4_left ~cap:1) with
+  | Error e -> Alcotest.failf "fig4 left should be a ladder: %s" e
+  | Ok lad ->
+    Alcotest.(check int) "one rung" 1 (Ladder.num_rungs lad);
+    Alcotest.(check int) "source X" 0 lad.Ladder.source;
+    Alcotest.(check int) "sink Y" 3 lad.Ladder.sink;
+    let r = lad.Ladder.rungs.(0) in
+    (* rail naming is arbitrary: normalize on the a(1) -> b(2) channel *)
+    let ends = (r.Ladder.left_end, r.Ladder.right_end) in
+    Alcotest.(check bool) "rung joins a and b" true
+      (ends = (1, 2) || ends = (2, 1));
+    Alcotest.(check bool) "rung directed a->b" true
+      (if ends = (1, 2) then r.Ladder.left_to_right
+       else not r.Ladder.left_to_right)
+
+let test_fig5 () =
+  let g = Topo_gen.fig5_ladder ~cap:2 in
+  match recognize g with
+  | Error e -> Alcotest.failf "fig5 should be a ladder: %s" e
+  | Ok lad ->
+    Alcotest.(check int) "three rungs into k" 3 (Ladder.num_rungs lad);
+    (* rail naming is arbitrary: one rail is {b,f,j}, the other {k},
+       and all rungs share the k endpoint *)
+    let sorted a = List.sort compare (Array.to_list a) in
+    let rails =
+      List.sort compare
+        [ sorted lad.Ladder.left_nodes; sorted lad.Ladder.right_nodes ]
+    in
+    Alcotest.(check (list (list int))) "rail vertex sets"
+      [ [ 1; 5; 9 ]; [ 10 ] ]
+      rails;
+    let k_side r =
+      if Array.to_list lad.Ladder.right_nodes = [ 10 ] then
+        r.Ladder.right_end
+      else r.Ladder.left_end
+    in
+    Alcotest.(check (list int)) "rungs share endpoint k" [ 10 ]
+      (List.sort_uniq compare
+         (Array.to_list (Array.map k_side lad.Ladder.rungs)));
+    (* constituents partition the edges *)
+    let ids =
+      List.sort compare
+        (List.map (fun (e : Graph.edge) -> e.id) (Ladder.edges lad))
+    in
+    Alcotest.(check (list int)) "edges partitioned"
+      (List.init (Graph.num_edges g) Fun.id)
+      ids;
+    Alcotest.(check int) "constituent count: 4 left + 2 right + 3 rungs" 9
+      (List.length (Ladder.constituents lad))
+
+let test_not_ladders () =
+  (match recognize (Topo_gen.fig4_butterfly ~cap:1) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "butterfly must not be a ladder");
+  (match recognize (Topo_gen.fig3_hexagon ()) with
+  | Error e -> Alcotest.(check string) "SP is reported as such" "series-parallel" e
+  | Ok _ -> Alcotest.fail "hexagon is SP, not a ladder");
+  (* K4 as a DAG: not a ladder and not CS4 *)
+  let k4 =
+    Graph.make ~nodes:4
+      [ (0, 1, 1); (0, 2, 1); (0, 3, 1); (1, 2, 1); (1, 3, 1); (2, 3, 1) ]
+  in
+  match recognize k4 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "K4 must not be a ladder"
+
+let test_classify_fig4_left () =
+  match Cs4.classify (Topo_gen.fig4_left ~cap:1) with
+  | Ok { blocks = [ (0, 3, Cs4.Ladder_block _) ]; _ } -> ()
+  | Ok _ -> Alcotest.fail "expected a single ladder block"
+  | Error e ->
+    Alcotest.failf "classification failed: %s"
+      (Format.asprintf "%a" Cs4.pp_failure e)
+
+let test_classify_butterfly () =
+  (match Cs4.classify (Topo_gen.fig4_butterfly ~cap:1) with
+  | Error (Cs4.Bad_block _) -> ()
+  | _ -> Alcotest.fail "butterfly should fail classification");
+  Alcotest.(check bool) "brute agrees" false
+    (Cs4.is_cs4_brute (Topo_gen.fig4_butterfly ~cap:1));
+  match Cs4.bad_cycle_witness (Topo_gen.fig4_butterfly ~cap:1) with
+  | Some c ->
+    Alcotest.(check (list int)) "witness is the a-c-b-d cycle" [ 1; 2 ]
+      (Cycles.cycle_sources c)
+  | None -> Alcotest.fail "expected a bad-cycle witness"
+
+let test_classify_serial_mix () =
+  (* hexagon ; fig4-left ; single edge, composed serially *)
+  let edges =
+    List.concat
+      [
+        (* hexagon on 0..5 (sink 3) *)
+        [ (0, 1, 2); (1, 2, 5); (2, 3, 1); (0, 4, 3); (4, 5, 1); (5, 3, 2) ];
+        (* fig4-left on 3,6,7,8 *)
+        [ (3, 6, 1); (3, 7, 1); (6, 7, 1); (6, 8, 1); (7, 8, 1) ];
+        [ (8, 9, 4) ];
+      ]
+  in
+  let g = Graph.make ~nodes:10 edges in
+  match Cs4.classify g with
+  | Error e -> Alcotest.failf "should classify: %s" (Format.asprintf "%a" Cs4.pp_failure e)
+  | Ok { blocks; source; sink } ->
+    Alcotest.(check int) "source" 0 source;
+    Alcotest.(check int) "sink" 9 sink;
+    let shape =
+      List.map
+        (fun (_, _, b) ->
+          match b with Cs4.Sp_block _ -> "sp" | Cs4.Ladder_block _ -> "lad")
+        blocks
+    in
+    Alcotest.(check (list string)) "block shapes" [ "sp"; "lad"; "sp" ] shape
+
+let prop_random_ladder_recognized =
+  Tutil.qtest "generated ladders are recognized as single ladder blocks"
+    Tutil.seed_gen (fun seed ->
+      let g = Tutil.random_ladder_of_seed seed in
+      match Cs4.classify g with
+      | Ok { blocks; _ } ->
+        List.exists
+          (fun (_, _, b) -> match b with Cs4.Ladder_block _ -> true | _ -> false)
+          blocks
+      | Error _ -> false)
+
+let prop_ladder_edges_partition =
+  Tutil.qtest "ladder constituents partition the block edges" Tutil.seed_gen
+    (fun seed ->
+      let g = Tutil.random_ladder_of_seed seed in
+      match Cs4.classify g with
+      | Error _ -> false
+      | Ok { blocks; _ } ->
+        let ids =
+          List.concat_map
+            (fun (_, _, b) ->
+              match b with
+              | Cs4.Sp_block t -> List.map (fun (e : Graph.edge) -> e.id) (Sp_tree.edges t)
+              | Cs4.Ladder_block lad ->
+                List.map (fun (e : Graph.edge) -> e.id) (Ladder.edges lad))
+            blocks
+        in
+        List.sort compare ids = List.init (Graph.num_edges g) Fun.id)
+
+let prop_theorem_v7 =
+  (* Theorem V.7, computationally: the constructive classifier agrees
+     with the brute-force cycle-structure definition of CS4. *)
+  Tutil.qtest ~count:300 "Theorem V.7: classifier = brute force"
+    Tutil.seed_gen (fun seed ->
+      let g = Tutil.random_dag_of_seed seed in
+      Cs4.is_cs4 g = Cs4.is_cs4_brute g)
+
+let prop_theorem_v7_on_cs4 =
+  Tutil.qtest ~count:200 "generated CS4 graphs satisfy both definitions"
+    Tutil.seed_gen (fun seed ->
+      let g = Tutil.random_cs4_of_seed seed in
+      Cs4.is_cs4 g && Cs4.is_cs4_brute g)
+
+let prop_ladders_are_cs4_brute =
+  (* Corollary V.5: every SP-ladder is CS4. *)
+  Tutil.qtest ~count:150 "Corollary V.5 on generated ladders" Tutil.seed_gen
+    (fun seed ->
+      let g = Tutil.random_ladder_of_seed ~max_rungs:4 seed in
+      Cs4.is_cs4_brute g)
+
+let prop_rung_order_consistent =
+  (* Non-crossing: rung endpoints are monotone along both rails. *)
+  Tutil.qtest "rungs are order-consistent on both rails" Tutil.seed_gen
+    (fun seed ->
+      let g = Tutil.random_ladder_of_seed seed in
+      match Cs4.classify g with
+      | Error _ -> false
+      | Ok { blocks; _ } ->
+        List.for_all
+          (fun (_, _, b) ->
+            match b with
+            | Cs4.Sp_block _ -> true
+            | Cs4.Ladder_block lad ->
+              let pos nodes =
+                let t = Hashtbl.create 16 in
+                Array.iteri (fun i v -> Hashtbl.replace t v i) nodes;
+                Hashtbl.find t
+              in
+              let pl = pos lad.Ladder.left_nodes
+              and pr = pos lad.Ladder.right_nodes in
+              let monotone f =
+                let prev = ref (-1) in
+                Array.for_all
+                  (fun r ->
+                    let p = f r in
+                    let ok = p >= !prev in
+                    prev := p;
+                    ok)
+                  lad.Ladder.rungs
+              in
+              monotone (fun r -> pl r.Ladder.left_end)
+              && monotone (fun r -> pr r.Ladder.right_end))
+          blocks)
+
+let prop_fact_vi_1 =
+  (* Facts VI.1/VI.3: in a ladder, the source of every cycle that spans
+     more than one constituent is the ladder source or a cross-link
+     tail, and its sink is the ladder sink or a cross-link head. *)
+  Tutil.qtest ~count:100 "Fact VI.1: external cycle sources are rung tails"
+    Tutil.seed_gen (fun seed ->
+      let g = Tutil.random_ladder_of_seed ~max_rungs:4 seed in
+      match Cs4.classify g with
+      | Error _ -> false
+      | Ok { blocks; _ } ->
+        List.for_all
+          (fun (bsrc, bsnk, b) ->
+            match b with
+            | Cs4.Sp_block _ -> true
+            | Cs4.Ladder_block lad ->
+              let rung_tails, rung_heads =
+                Array.fold_left
+                  (fun (tails, heads) r ->
+                    if r.Ladder.left_to_right then
+                      (r.Ladder.left_end :: tails, r.Ladder.right_end :: heads)
+                    else
+                      (r.Ladder.right_end :: tails, r.Ladder.left_end :: heads))
+                  ([], []) lad.Ladder.rungs
+              in
+              (* a cycle is external iff it uses edges of more than one
+                 constituent *)
+              let constituent_of =
+                let t = Hashtbl.create 32 in
+                List.iteri
+                  (fun ci (_, tree) ->
+                    List.iter
+                      (fun (e : Graph.edge) -> Hashtbl.replace t e.id ci)
+                      (Fstream_spdag.Sp_tree.edges tree))
+                  (Ladder.constituents lad);
+                Hashtbl.find t
+              in
+              List.for_all
+                (fun c ->
+                  let cs =
+                    List.sort_uniq compare
+                      (List.map
+                         (fun o -> constituent_of o.Cycles.edge.Graph.id)
+                         c)
+                  in
+                  List.length cs <= 1
+                  ||
+                  match (Cycles.cycle_sources c, Cycles.cycle_sinks c) with
+                  | [ s ], [ t ] ->
+                    (s = bsrc || List.mem s rung_tails)
+                    && (t = bsnk || List.mem t rung_heads)
+                  | _ -> false)
+                (Cycles.enumerate g))
+          blocks)
+
+let suite =
+  [
+    Alcotest.test_case "fig4 left ladder" `Quick test_fig4_left;
+    Alcotest.test_case "fig5 decomposition" `Quick test_fig5;
+    Alcotest.test_case "non-ladders rejected" `Quick test_not_ladders;
+    Alcotest.test_case "classify fig4 left" `Quick test_classify_fig4_left;
+    Alcotest.test_case "classify butterfly" `Quick test_classify_butterfly;
+    Alcotest.test_case "classify serial mix" `Quick test_classify_serial_mix;
+    prop_random_ladder_recognized;
+    prop_ladder_edges_partition;
+    prop_theorem_v7;
+    prop_theorem_v7_on_cs4;
+    prop_ladders_are_cs4_brute;
+    prop_rung_order_consistent;
+    prop_fact_vi_1;
+  ]

@@ -1,0 +1,162 @@
+(* The shared-memory parallel engine: one domain per node, genuinely
+   blocking sends. Deadlocks (and their avoidance) here are real
+   concurrency phenomena, detected by a stall watchdog. *)
+
+open Fstream_core
+open Fstream_runtime
+open Fstream_workloads
+module P = Fstream_parallel.Parallel_engine
+
+let fig2_kernels g =
+  Filters.for_graph g (fun v outs ->
+      if v = 0 then Filters.block_edge 2 outs else Filters.passthrough outs)
+
+let test_fig2_deadlocks () =
+  let g = Topo_gen.fig2_triangle ~cap:2 in
+  let s =
+    P.run ~stall_ms:100 ~graph:g ~kernels:(fig2_kernels g) ~inputs:50
+      ~avoidance:Engine.No_avoidance ()
+  in
+  Alcotest.(check bool) "deadlocked across domains" true
+    (s.outcome = P.Deadlocked);
+  Alcotest.(check int) "wedged with the same traffic as the sequential engine"
+    7 s.data_messages
+
+let test_fig2_avoided () =
+  let g = Topo_gen.fig2_triangle ~cap:2 in
+  match Compiler.plan Compiler.Non_propagation g with
+  | Error e -> Alcotest.fail e
+  | Ok p ->
+    let s =
+      P.run ~stall_ms:100 ~graph:g ~kernels:(fig2_kernels g) ~inputs:50
+        ~avoidance:(Engine.Non_propagation (Compiler.send_thresholds p.intervals))
+        ()
+    in
+    Alcotest.(check bool) "completed" true (s.outcome = P.Completed);
+    Alcotest.(check int) "all data delivered" 50 s.sink_data
+
+let test_matches_sequential_engine () =
+  (* deterministic kernels: message counts are schedule-independent, so
+     the parallel run must reproduce the sequential engine's stats *)
+  let g = Topo_gen.fig4_left ~cap:2 in
+  let kernels () =
+    Filters.for_graph g (fun v outs ->
+        if v = 1 then Filters.periodic ~keep_every:3 outs
+        else Filters.passthrough outs)
+  in
+  match Compiler.plan Compiler.Non_propagation g with
+  | Error e -> Alcotest.fail e
+  | Ok p ->
+    let avoidance =
+      Engine.Non_propagation (Compiler.send_thresholds p.intervals)
+    in
+    let seq = Engine.run ~graph:g ~kernels:(kernels ()) ~inputs:60 ~avoidance () in
+    let par =
+      P.run ~stall_ms:150 ~graph:g ~kernels:(kernels ()) ~inputs:60 ~avoidance ()
+    in
+    Alcotest.(check bool) "both complete" true
+      (seq.Engine.outcome = Engine.Completed && par.outcome = P.Completed);
+    Alcotest.(check int) "same data count" seq.Engine.data_messages
+      par.data_messages;
+    Alcotest.(check int) "same sink deliveries" seq.Engine.sink_data
+      par.sink_data
+
+let test_pipeline_parallel () =
+  let g = Topo_gen.pipeline ~stages:6 ~cap:2 in
+  let kernels = Filters.for_graph g (fun _ outs -> Filters.passthrough outs) in
+  let s =
+    P.run ~stall_ms:100 ~graph:g ~kernels ~inputs:200
+      ~avoidance:Engine.No_avoidance ()
+  in
+  Alcotest.(check bool) "completed" true (s.outcome = P.Completed);
+  Alcotest.(check int) "all delivered" 200 s.sink_data
+
+let test_node_limit () =
+  let g = Topo_gen.pipeline ~stages:70 ~cap:1 in
+  Alcotest.check_raises "too many nodes rejected"
+    (Invalid_argument "Parallel_engine.run: more than 64 nodes") (fun () ->
+      ignore
+        (P.run ~graph:g
+           ~kernels:(Filters.for_graph g (fun _ o -> Filters.passthrough o))
+           ~inputs:1 ~avoidance:Engine.No_avoidance ()))
+
+let prop_avoidance_sound_in_parallel =
+  (* randomized soundness under real concurrency: per-node RNG keeps
+     kernels thread-safe *)
+  Tutil.qtest ~count:15 "non-propagation sound across domains"
+    Tutil.seed_gen (fun seed ->
+      let rng = Tutil.rng_of seed in
+      let g =
+        Topo_gen.random_cs4 rng
+          ~blocks:(1 + Random.State.int rng 2)
+          ~block_edges:6 ~max_cap:3
+      in
+      Fstream_graph.Graph.num_nodes g > 20
+      ||
+      match Compiler.plan Compiler.Non_propagation g with
+      | Error _ -> false
+      | Ok p ->
+        let kseed = Random.State.int rng 1_000_000 in
+        let kernels =
+          Filters.for_graph g (fun v outs ->
+              let r = Random.State.make [| kseed; v |] in
+              Filters.bernoulli r ~keep:0.6 outs)
+        in
+        let s =
+          P.run ~stall_ms:150 ~graph:g ~kernels ~inputs:40
+            ~avoidance:
+              (Engine.Non_propagation (Compiler.send_thresholds p.intervals))
+            ()
+        in
+        s.outcome = P.Completed)
+
+let prop_engines_agree_on_deterministic_kernels =
+  (* deterministic filtering makes the delivered message multiset
+     schedule-independent: both engines must agree exactly *)
+  Tutil.qtest ~count:15 "parallel = sequential on deterministic kernels"
+    Tutil.seed_gen (fun seed ->
+      let rng = Tutil.rng_of seed in
+      let g =
+        Topo_gen.random_cs4 rng
+          ~blocks:(1 + Random.State.int rng 2)
+          ~block_edges:6 ~max_cap:3
+      in
+      Fstream_graph.Graph.num_nodes g > 16
+      ||
+      match Compiler.plan Compiler.Non_propagation g with
+      | Error _ -> false
+      | Ok p ->
+        let period = 2 + Random.State.int rng 3 in
+        let kernels () =
+          Filters.for_graph g (fun v outs ->
+              if v mod 2 = 0 then Filters.periodic ~keep_every:period outs
+              else Filters.passthrough outs)
+        in
+        let avoidance =
+          Engine.Non_propagation (Compiler.send_thresholds p.intervals)
+        in
+        let seq =
+          Engine.run ~graph:g ~kernels:(kernels ()) ~inputs:30 ~avoidance ()
+        in
+        let par =
+          P.run ~stall_ms:150 ~graph:g ~kernels:(kernels ()) ~inputs:30
+            ~avoidance ()
+        in
+        seq.Engine.outcome = Engine.Completed
+        && par.outcome = P.Completed
+        && seq.Engine.data_messages = par.data_messages
+        && seq.Engine.sink_data = par.sink_data)
+
+let suite =
+  [
+    Alcotest.test_case "fig2 deadlocks across domains" `Quick
+      test_fig2_deadlocks;
+    Alcotest.test_case "fig2 avoided across domains" `Quick test_fig2_avoided;
+    Alcotest.test_case "matches sequential engine" `Quick
+      test_matches_sequential_engine;
+    Alcotest.test_case "pipeline flows in parallel" `Quick
+      test_pipeline_parallel;
+    Alcotest.test_case "node limit" `Quick test_node_limit;
+    prop_avoidance_sound_in_parallel;
+    prop_engines_agree_on_deterministic_kernels;
+  ]

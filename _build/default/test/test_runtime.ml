@@ -1,0 +1,224 @@
+open Fstream_core
+open Fstream_runtime
+open Fstream_workloads
+
+let test_channel () =
+  let c = Channel.create ~capacity:2 in
+  Alcotest.(check bool) "empty at start" true (Channel.is_empty c);
+  Alcotest.(check bool) "push 0" true (Channel.push c (Message.data ~seq:0 0));
+  Alcotest.(check bool) "push 1" true (Channel.push c (Message.dummy ~seq:1));
+  Alcotest.(check bool) "full now" true (Channel.is_full c);
+  Alcotest.(check bool) "push on full fails" false
+    (Channel.push c (Message.data ~seq:2 2));
+  Alcotest.(check int) "dummies counted" 1 (Channel.dummies_pushed c);
+  Alcotest.(check int) "data counted" 1 (Channel.data_pushed c);
+  (match Channel.pop c with
+  | Some m -> Alcotest.(check int) "FIFO head" 0 m.Message.seq
+  | None -> Alcotest.fail "expected a message");
+  Alcotest.check_raises "non-monotone sequence rejected"
+    (Invalid_argument "Channel.push: sequence numbers must increase")
+    (fun () -> ignore (Channel.push c (Message.data ~seq:1 1)))
+
+let test_channel_validation () =
+  Alcotest.check_raises "capacity must be positive"
+    (Invalid_argument "Channel.create: capacity < 1") (fun () ->
+      ignore (Channel.create ~capacity:0))
+
+let run_fig2 avoidance =
+  let g = Topo_gen.fig2_triangle ~cap:2 in
+  let kernels =
+    Filters.for_graph g (fun v outs ->
+        if v = 0 then Filters.block_edge 2 outs else Filters.passthrough outs)
+  in
+  Engine.run ~graph:g ~kernels ~inputs:25 ~avoidance ()
+
+let test_fig2_deadlock () =
+  let s = run_fig2 Engine.No_avoidance in
+  Alcotest.(check bool) "deadlocks without avoidance" true
+    (s.outcome = Engine.Deadlocked);
+  Alcotest.(check int) "no dummies sent" 0 s.dummy_messages
+
+let test_fig2_avoided () =
+  let g = Topo_gen.fig2_triangle ~cap:2 in
+  (match Compiler.plan Compiler.Propagation g with
+  | Ok p ->
+    let s =
+      run_fig2 (Engine.Propagation (Compiler.propagation_thresholds g p.intervals))
+    in
+    Alcotest.(check bool) "propagation completes" true
+      (s.outcome = Engine.Completed);
+    Alcotest.(check int) "all data delivered to sink" 25 s.sink_data;
+    Alcotest.(check bool) "some dummies were needed" true (s.dummy_messages > 0)
+  | Error e -> Alcotest.fail e);
+  match Compiler.plan Compiler.Non_propagation g with
+  | Ok p ->
+    let s =
+      run_fig2 (Engine.Non_propagation (Compiler.send_thresholds p.intervals))
+    in
+    Alcotest.(check bool) "non-propagation completes" true
+      (s.outcome = Engine.Completed);
+    Alcotest.(check int) "all data delivered to sink" 25 s.sink_data
+  | Error e -> Alcotest.fail e
+
+let test_no_filtering_never_deadlocks () =
+  (* without filtering the DAG behaves like SDF: no avoidance needed *)
+  let g = Topo_gen.fig4_left ~cap:1 in
+  let kernels = Filters.for_graph g (fun _ outs -> Filters.passthrough outs) in
+  let s = Engine.run ~graph:g ~kernels ~inputs:50 ~avoidance:Engine.No_avoidance () in
+  Alcotest.(check bool) "completed" true (s.outcome = Engine.Completed);
+  Alcotest.(check int) "sink consumed both channels each seq" 100 s.sink_data
+
+let test_drop_all_is_safe_on_pipeline () =
+  (* a pipeline has no cycles; filtering everything simply starves the
+     sink but the run still terminates via EOS *)
+  let g = Topo_gen.pipeline ~stages:3 ~cap:2 in
+  let kernels =
+    Filters.for_graph g (fun v outs ->
+        if v = 1 then Filters.drop_all outs else Filters.passthrough outs)
+  in
+  let s = Engine.run ~graph:g ~kernels ~inputs:30 ~avoidance:Engine.No_avoidance () in
+  Alcotest.(check bool) "completed" true (s.outcome = Engine.Completed);
+  Alcotest.(check int) "nothing reached the sink" 0 s.sink_data
+
+let test_periodic_filter () =
+  let g = Topo_gen.pipeline ~stages:2 ~cap:3 in
+  let kernels =
+    Filters.for_graph g (fun v outs ->
+        if v = 0 then Filters.periodic ~keep_every:3 outs
+        else Filters.passthrough outs)
+  in
+  let s = Engine.run ~graph:g ~kernels ~inputs:30 ~avoidance:Engine.No_avoidance () in
+  Alcotest.(check bool) "completed" true (s.outcome = Engine.Completed);
+  Alcotest.(check int) "every third input survives" 10 s.sink_data
+
+let test_determinism () =
+  let g = Topo_gen.fig1_split_join ~branches:3 ~cap:2 in
+  let mk seed =
+    let rng = Random.State.make [| seed |] in
+    Filters.for_graph g (fun v outs ->
+        if v = 0 then Filters.route_one rng outs else Filters.passthrough outs)
+  in
+  let thresholds =
+    match Compiler.plan Compiler.Non_propagation g with
+    | Ok p -> Compiler.send_thresholds p.intervals
+    | Error e -> Alcotest.fail e
+  in
+  let run () =
+    Engine.run ~graph:g ~kernels:(mk 7) ~inputs:40
+      ~avoidance:(Engine.Non_propagation thresholds) ()
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "identical stats across runs" true (a = b)
+
+let test_kernel_validation () =
+  let g = Topo_gen.pipeline ~stages:2 ~cap:1 in
+  let kernels _ ~seq:_ ~got:_ = [ 99 ] in
+  Alcotest.check_raises "invalid out edge rejected"
+    (Invalid_argument "Engine: kernel of node 0 returned edge 99") (fun () ->
+      ignore (Engine.run ~graph:g ~kernels ~inputs:1 ~avoidance:Engine.No_avoidance ()))
+
+let test_route_one_conservation () =
+  (* a router sends each input to exactly one branch: the join sees
+     exactly one data message per sequence number *)
+  let g = Topo_gen.fig1_split_join ~branches:4 ~cap:2 in
+  let rng = Random.State.make [| 11 |] in
+  let kernels =
+    Filters.for_graph g (fun v outs ->
+        if v = 0 then Filters.route_one rng outs else Filters.passthrough outs)
+  in
+  let thresholds =
+    match Compiler.plan Compiler.Non_propagation g with
+    | Ok p -> Compiler.send_thresholds p.intervals
+    | Error e -> Alcotest.fail e
+  in
+  let s =
+    Engine.run ~graph:g ~kernels ~inputs:60
+      ~avoidance:(Engine.Non_propagation thresholds) ()
+  in
+  Alcotest.(check bool) "completed" true (s.outcome = Engine.Completed);
+  Alcotest.(check int) "one data message per input at the join" 60 s.sink_data
+
+let test_dummy_slots_coalesce () =
+  (* with very tight thresholds and heavy filtering, superseded dummies
+     are counted rather than lost *)
+  let g = Topo_gen.fig2_triangle ~cap:1 in
+  let kernels =
+    Filters.for_graph g (fun v outs ->
+        if v = 0 then Filters.block_edge 2 outs else Filters.passthrough outs)
+  in
+  let s =
+    Engine.run ~graph:g ~kernels ~inputs:40
+      ~avoidance:(Engine.Propagation [| Some 1; Some 1; Some 1 |])
+      ()
+  in
+  Alcotest.(check bool) "completed" true (s.outcome = Engine.Completed);
+  Alcotest.(check bool) "dummy accounting is consistent" true
+    (s.dummy_messages >= 0 && s.dropped_dummies >= 0)
+
+let test_multiple_sources () =
+  (* two independent sources feeding a shared join: the model presents
+     each input sequence number at every source *)
+  let g =
+    Fstream_graph.Graph.make ~nodes:4
+      [ (0, 2, 2); (1, 2, 2); (2, 3, 2) ]
+  in
+  let kernels = Filters.for_graph g (fun _ outs -> Filters.passthrough outs) in
+  let s = Engine.run ~graph:g ~kernels ~inputs:25 ~avoidance:Engine.No_avoidance () in
+  Alcotest.(check bool) "completed" true (s.outcome = Engine.Completed);
+  Alcotest.(check int) "sink sees one merged message per seq" 25 s.sink_data
+
+let test_budget_exhausted () =
+  let g = Topo_gen.pipeline ~stages:2 ~cap:1 in
+  let kernels = Filters.for_graph g (fun _ outs -> Filters.passthrough outs) in
+  let s =
+    Engine.run ~max_rounds:1 ~graph:g ~kernels ~inputs:100
+      ~avoidance:Engine.No_avoidance ()
+  in
+  Alcotest.(check bool) "budget reported" true
+    (s.outcome = Engine.Budget_exhausted)
+
+let test_deadlock_dump_smoke () =
+  (* the diagnostic dump must render without raising *)
+  let g = Topo_gen.fig2_triangle ~cap:1 in
+  let kernels =
+    Filters.for_graph g (fun v outs ->
+        if v = 0 then Filters.block_edge 2 outs else Filters.passthrough outs)
+  in
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  let s =
+    Engine.run ~deadlock_dump:ppf ~graph:g ~kernels ~inputs:10
+      ~avoidance:Engine.No_avoidance ()
+  in
+  Format.pp_print_flush ppf ();
+  Alcotest.(check bool) "deadlocked" true (s.outcome = Engine.Deadlocked);
+  Alcotest.(check bool) "dump mentions the empty channel" true
+    (Buffer.length buf > 0)
+
+let test_zero_inputs () =
+  let g = Topo_gen.fig4_left ~cap:1 in
+  let kernels = Filters.for_graph g (fun _ outs -> Filters.passthrough outs) in
+  let s = Engine.run ~graph:g ~kernels ~inputs:0 ~avoidance:Engine.No_avoidance () in
+  Alcotest.(check bool) "empty stream drains" true (s.outcome = Engine.Completed);
+  Alcotest.(check int) "no data" 0 s.data_messages
+
+let suite =
+  [
+    Alcotest.test_case "channel basics" `Quick test_channel;
+    Alcotest.test_case "channel validation" `Quick test_channel_validation;
+    Alcotest.test_case "fig2 deadlocks bare" `Quick test_fig2_deadlock;
+    Alcotest.test_case "fig2 avoided by both wrappers" `Quick test_fig2_avoided;
+    Alcotest.test_case "no filtering, no deadlock" `Quick
+      test_no_filtering_never_deadlocks;
+    Alcotest.test_case "acyclic drop-all terminates" `Quick
+      test_drop_all_is_safe_on_pipeline;
+    Alcotest.test_case "periodic filter" `Quick test_periodic_filter;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "kernel validation" `Quick test_kernel_validation;
+    Alcotest.test_case "router conservation" `Quick test_route_one_conservation;
+    Alcotest.test_case "dummy slots coalesce" `Quick test_dummy_slots_coalesce;
+    Alcotest.test_case "multiple sources" `Quick test_multiple_sources;
+    Alcotest.test_case "budget exhausted" `Quick test_budget_exhausted;
+    Alcotest.test_case "deadlock dump" `Quick test_deadlock_dump_smoke;
+    Alcotest.test_case "zero inputs" `Quick test_zero_inputs;
+  ]

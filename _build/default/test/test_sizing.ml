@@ -1,0 +1,96 @@
+open Fstream_core
+open Fstream_workloads
+
+let scaled_interval c = function
+  | Interval.Inf -> Interval.inf
+  | Interval.Fin { num; den } -> Interval.ratio (num * c) den
+
+let prop_homogeneity =
+  (* the structural property behind Sizing: interval tables are
+     homogeneous of degree 1 in the capacities, for every algorithm *)
+  Tutil.qtest ~count:150 "intervals scale linearly with capacities"
+    QCheck.(pair Tutil.seed_gen (int_range 2 5))
+    (fun (seed, c) ->
+      let g = Tutil.random_cs4_of_seed seed in
+      let g' = Sizing.scale_caps g c in
+      List.for_all
+        (fun algo ->
+          match
+            ( Compiler.plan ~allow_general:false algo g,
+              Compiler.plan ~allow_general:false algo g' )
+          with
+          | Ok p, Ok p' ->
+            Array.for_all Fun.id
+              (Array.mapi
+                 (fun i v ->
+                   Interval.equal p'.intervals.(i) (scaled_interval c v))
+                 p.intervals)
+          | _ -> false)
+        [ Compiler.Propagation; Compiler.Non_propagation; Compiler.Relay_propagation ])
+
+let test_fig2_sizing () =
+  (* fig2 with caps 2 has tightest non-prop interval 1 (= 2/2); to
+     guarantee intervals >= 5 everywhere, buffers must scale by 5 *)
+  let g = Topo_gen.fig2_triangle ~cap:2 in
+  (match Sizing.min_uniform_scale g Compiler.Non_propagation ~target:5 with
+  | Ok c -> Alcotest.(check int) "scale factor" 5 c
+  | Error e -> Alcotest.fail e);
+  match Sizing.min_uniform_scale g Compiler.Propagation ~target:5 with
+  | Ok c ->
+    (* tightest propagation interval is 2 (A->B): ceil(5/2) = 3 *)
+    Alcotest.(check int) "propagation scale factor" 3 c
+  | Error e -> Alcotest.fail e
+
+let test_acyclic_needs_nothing () =
+  let g = Topo_gen.pipeline ~stages:4 ~cap:1 in
+  match Sizing.min_uniform_scale g Compiler.Non_propagation ~target:100 with
+  | Ok 1 -> ()
+  | Ok c -> Alcotest.failf "expected 1, got %d" c
+  | Error e -> Alcotest.fail e
+
+let prop_sizing_achieves_target =
+  Tutil.qtest ~count:100 "scaled graphs meet the target interval"
+    QCheck.(pair Tutil.seed_gen (int_range 2 9))
+    (fun (seed, target) ->
+      let g = Tutil.random_cs4_of_seed seed in
+      match Sizing.min_uniform_scale g Compiler.Non_propagation ~target with
+      | Error _ -> false
+      | Ok c -> (
+        let g' = Sizing.scale_caps g c in
+        match Compiler.plan ~allow_general:false Compiler.Non_propagation g' with
+        | Error _ -> false
+        | Ok p ->
+          Array.for_all
+            (fun v ->
+              (not (Interval.is_finite v))
+              || Interval.compare v (Interval.of_int target) >= 0)
+            p.intervals))
+
+let prop_sizing_minimal =
+  Tutil.qtest ~count:100 "one step smaller misses the target"
+    QCheck.(pair Tutil.seed_gen (int_range 2 9))
+    (fun (seed, target) ->
+      let g = Tutil.random_cs4_of_seed seed in
+      match Sizing.min_uniform_scale g Compiler.Non_propagation ~target with
+      | Error _ -> false
+      | Ok 1 -> true
+      | Ok c -> (
+        let g' = Sizing.scale_caps g (c - 1) in
+        match Compiler.plan ~allow_general:false Compiler.Non_propagation g' with
+        | Error _ -> false
+        | Ok p ->
+          Array.exists
+            (fun v ->
+              Interval.is_finite v
+              && Interval.compare v (Interval.of_int target) < 0)
+            p.intervals))
+
+let suite =
+  [
+    Alcotest.test_case "fig2 sizing" `Quick test_fig2_sizing;
+    Alcotest.test_case "acyclic graphs need nothing" `Quick
+      test_acyclic_needs_nothing;
+    prop_homogeneity;
+    prop_sizing_achieves_target;
+    prop_sizing_minimal;
+  ]

@@ -1,0 +1,108 @@
+(* Experiment S1 as properties: the deadlock-avoidance wrappers driven
+   by the computed intervals never deadlock, under the filtering
+   disciplines for which each table is sound (DESIGN.md, deviation 3):
+
+   - Non-Propagation table + absorbing wrapper: arbitrary filtering.
+   - Propagation table + forwarding wrapper: filtering at graph sources
+     and pure relay nodes (the paper's motivating pattern).
+   - Non-Propagation table + forwarding wrapper ("sound propagation"):
+     arbitrary filtering. *)
+
+open Fstream_graph
+open Fstream_core
+open Fstream_runtime
+
+let adversarial g seed =
+  let rng = Random.State.make [| seed |] in
+  Filters.for_graph g (fun _ outs -> Filters.bernoulli rng ~keep:0.6 outs)
+
+let source_and_relay g seed =
+  let rng = Random.State.make [| seed |] in
+  Filters.for_graph g (fun v outs ->
+      if Graph.in_degree g v = 0 || Graph.out_degree g v = 1 then
+        Filters.bernoulli rng ~keep:0.6 outs
+      else Filters.passthrough outs)
+
+let completes g kernels avoidance =
+  let s = Engine.run ~graph:g ~kernels ~inputs:50 ~avoidance () in
+  s.Engine.outcome = Engine.Completed
+
+let prop_nonprop_sound =
+  Tutil.qtest ~count:120 "non-propagation: sound under arbitrary filtering"
+    Tutil.seed_gen (fun seed ->
+      let g = Tutil.random_cs4_of_seed seed in
+      match Compiler.plan Compiler.Non_propagation g with
+      | Error _ -> false
+      | Ok p ->
+        completes g (adversarial g seed)
+          (Engine.Non_propagation (Compiler.send_thresholds p.intervals)))
+
+let prop_propagation_sound_on_paper_pattern =
+  Tutil.qtest ~count:120
+    "propagation: sound when filtering sits at sources and relays"
+    Tutil.seed_gen (fun seed ->
+      let g = Tutil.random_cs4_of_seed seed in
+      match Compiler.plan Compiler.Propagation g with
+      | Error _ -> false
+      | Ok p ->
+        completes g (source_and_relay g seed)
+          (Engine.Propagation (Compiler.propagation_thresholds g p.intervals)))
+
+let prop_hybrid_sound =
+  Tutil.qtest ~count:120
+    "forwarding wrapper with run-sum thresholds: sound under arbitrary filtering"
+    Tutil.seed_gen (fun seed ->
+      let g = Tutil.random_cs4_of_seed seed in
+      match Compiler.plan Compiler.Non_propagation g with
+      | Error _ -> false
+      | Ok p ->
+        completes g (adversarial g seed)
+          (Engine.Propagation (Compiler.send_thresholds p.intervals)))
+
+let prop_all_data_delivered =
+  (* liveness + integrity: with avoidance on, every kept data message
+     reaches the sinks (the engine counts sink-consumed data) *)
+  Tutil.qtest ~count:80 "avoidance does not lose or duplicate data"
+    Tutil.seed_gen (fun seed ->
+      let g = Tutil.random_cs4_of_seed seed in
+      match Compiler.plan Compiler.Non_propagation g with
+      | Error _ -> false
+      | Ok p ->
+        let thresholds = Compiler.send_thresholds p.intervals in
+        let run kernels =
+          Engine.run ~graph:g ~kernels ~inputs:50
+            ~avoidance:(Engine.Non_propagation thresholds) ()
+        in
+        (* no filtering: a two-terminal DAG delivers every seq on every
+           sink in-edge; with filtering: never more than that *)
+        let full = run (Filters.for_graph g (fun _ o -> Filters.passthrough o)) in
+        let filtered = run (adversarial g seed) in
+        let sink_in =
+          List.fold_left
+            (fun acc v -> acc + Graph.in_degree g v)
+            0 (Graph.sinks g)
+        in
+        full.Engine.outcome = Engine.Completed
+        && full.Engine.sink_data = 50 * sink_in
+        && filtered.Engine.sink_data <= full.Engine.sink_data)
+
+let test_deadlock_exists_without_avoidance () =
+  (* sanity for the whole experiment: the bare model really does
+     deadlock on an adversarial workload (Fig. 2) *)
+  let g = Fstream_workloads.Topo_gen.fig2_triangle ~cap:1 in
+  let kernels =
+    Filters.for_graph g (fun v outs ->
+        if v = 0 then Filters.block_edge 2 outs else Filters.passthrough outs)
+  in
+  let s = Engine.run ~graph:g ~kernels ~inputs:10 ~avoidance:Engine.No_avoidance () in
+  Alcotest.(check bool) "deadlocked" true (s.Engine.outcome = Engine.Deadlocked)
+
+let suite =
+  [
+    Alcotest.test_case "bare model deadlocks" `Quick
+      test_deadlock_exists_without_avoidance;
+    prop_nonprop_sound;
+    prop_propagation_sound_on_paper_pattern;
+    prop_hybrid_sound;
+    prop_all_data_delivered;
+  ]

@@ -1,0 +1,132 @@
+(* The bounded model checker: exhaustive soundness proofs for small
+   instances, and machine-found counterexamples. These are the
+   strongest results in the repository — "Safe" means every
+   interleaving and every filtering choice was explored. *)
+
+open Fstream_core
+open Fstream_runtime
+open Fstream_workloads
+open Fstream_verify
+
+let nonprop_avoidance g =
+  match Compiler.plan Compiler.Non_propagation g with
+  | Ok p -> Engine.Non_propagation (Compiler.send_thresholds p.intervals)
+  | Error e -> Alcotest.fail e
+
+let prop_avoidance g =
+  match Compiler.plan Compiler.Propagation g with
+  | Ok p -> Engine.Propagation (Compiler.propagation_thresholds g p.intervals)
+  | Error e -> Alcotest.fail e
+
+let is_safe = function Verify.Safe _ -> true | _ -> false
+let is_deadlock = function Verify.Deadlocks _ -> true | _ -> false
+
+let test_fig2 () =
+  let g = Topo_gen.fig2_triangle ~cap:1 in
+  Alcotest.(check bool) "bare model deadlocks somewhere" true
+    (is_deadlock (Verify.check ~graph:g ~avoidance:Engine.No_avoidance ~inputs:4 ()));
+  Alcotest.(check bool) "non-propagation provably safe" true
+    (is_safe (Verify.check ~graph:g ~avoidance:(nonprop_avoidance g) ~inputs:4 ()));
+  Alcotest.(check bool) "propagation provably safe" true
+    (is_safe (Verify.check ~graph:g ~avoidance:(prop_avoidance g) ~inputs:4 ()))
+
+let test_fig2_trace_replay () =
+  (* the checker's counterexample must be meaningful: a trace exists
+     and begins with a source firing *)
+  let g = Topo_gen.fig2_triangle ~cap:1 in
+  match Verify.check ~graph:g ~avoidance:Engine.No_avoidance ~inputs:4 () with
+  | Verify.Deadlocks { trace; _ } ->
+    Alcotest.(check bool) "trace non-empty" true (trace <> []);
+    Alcotest.(check bool) "starts at the source" true
+      (String.length (List.hd trace) > 2
+      && String.sub (List.hd trace) 0 2 = "n0")
+  | _ -> Alcotest.fail "expected a deadlock"
+
+let test_erosion_counterexample () =
+  let g = Topo_gen.erosion_counterexample () in
+  (* the paper-literal Propagation table wedges... *)
+  Alcotest.(check bool) "paper propagation table deadlocks" true
+    (is_deadlock
+       (Verify.check ~strategy:`Dfs ~graph:g ~avoidance:(prop_avoidance g)
+          ~inputs:4 ()))
+
+let test_erosion_nonprop_safe () =
+  let g = Topo_gen.erosion_counterexample () in
+  (* ...while the run-sum (L/h) table is exhaustively safe *)
+  Alcotest.(check bool) "non-propagation table provably safe" true
+    (is_safe
+       (Verify.check ~graph:g ~avoidance:(nonprop_avoidance g) ~inputs:4 ()))
+
+let test_pipeline_trivially_safe () =
+  let g = Topo_gen.pipeline ~stages:3 ~cap:1 in
+  Alcotest.(check bool) "acyclic pipeline safe without avoidance" true
+    (is_safe (Verify.check ~graph:g ~avoidance:Engine.No_avoidance ~inputs:3 ()))
+
+let test_budget () =
+  let g = Topo_gen.fig4_left ~cap:2 in
+  match
+    Verify.check ~max_states:50 ~graph:g ~avoidance:Engine.No_avoidance
+      ~inputs:5 ()
+  with
+  | Verify.Out_of_budget _ | Verify.Deadlocks _ -> ()
+  | Verify.Safe _ -> Alcotest.fail "50 states cannot cover this space"
+
+let prop_checker_agrees_with_engine =
+  (* consistency of the two semantics: when the checker proves a small
+     instance safe, the engine must complete on it under arbitrary
+     sampled kernels *)
+  Tutil.qtest ~count:12 "Safe verdicts imply engine completion"
+    Tutil.seed_gen (fun seed ->
+      let rng = Tutil.rng_of seed in
+      let g =
+        Topo_gen.random_sp rng ~target_edges:(2 + Random.State.int rng 2)
+          ~max_cap:2
+      in
+      let avoidance = nonprop_avoidance g in
+      match
+        Verify.check ~max_states:60_000 ~graph:g ~avoidance ~inputs:3 ()
+      with
+      | Verify.Out_of_budget _ | Verify.Deadlocks _ ->
+        true (* no claim to cross-check *)
+      | Verify.Safe _ ->
+        List.for_all
+          (fun kseed ->
+            let krng = Random.State.make [| kseed |] in
+            let kernels =
+              Filters.for_graph g (fun _ outs ->
+                  Filters.bernoulli krng ~keep:0.5 outs)
+            in
+            let s = Engine.run ~graph:g ~kernels ~inputs:3 ~avoidance () in
+            s.Engine.outcome = Engine.Completed)
+          [ 1; 2; 3 ])
+
+let test_tightness_fig2 () =
+  (* A3: the computed table is safe; tripling the branch budgets brings
+     the wedge back — the intervals are near-minimal *)
+  let g = Topo_gen.fig2_triangle ~cap:2 in
+  let check ?strategy ~inputs t =
+    Verify.check ?strategy ~graph:g ~avoidance:(Engine.Non_propagation t)
+      ~inputs ()
+  in
+  (* safety needs the full space: BFS at 6 inputs (~290k states);
+     wedges are found quickly by DFS at 8 inputs *)
+  Alcotest.(check bool) "computed table safe" true
+    (is_safe (check ~inputs:6 [| Some 1; Some 1; Some 4 |]));
+  Alcotest.(check bool) "tripled branch budgets deadlock" true
+    (is_deadlock (check ~strategy:`Dfs ~inputs:8 [| Some 3; Some 3; Some 4 |]));
+  Alcotest.(check bool) "doubled shortcut budget deadlocks" true
+    (is_deadlock (check ~strategy:`Dfs ~inputs:8 [| Some 1; Some 1; Some 8 |]))
+
+let suite =
+  [
+    Alcotest.test_case "fig2 verdicts" `Quick test_fig2;
+    Alcotest.test_case "fig2 trace replay" `Quick test_fig2_trace_replay;
+    Alcotest.test_case "erosion: paper propagation deadlocks" `Quick
+      test_erosion_counterexample;
+    Alcotest.test_case "erosion: non-propagation safe" `Slow
+      test_erosion_nonprop_safe;
+    Alcotest.test_case "pipeline safe" `Quick test_pipeline_trivially_safe;
+    Alcotest.test_case "budget handling" `Quick test_budget;
+    Alcotest.test_case "tightness on fig2 (A3)" `Slow test_tightness_fig2;
+    prop_checker_agrees_with_engine;
+  ]

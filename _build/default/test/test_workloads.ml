@@ -1,0 +1,92 @@
+open Fstream_graph
+open Fstream_spdag
+open Fstream_ladder
+open Fstream_workloads
+
+let test_figures_shapes () =
+  let sj = Topo_gen.fig1_split_join ~branches:3 ~cap:2 in
+  Alcotest.(check int) "split-join nodes" 5 (Graph.num_nodes sj);
+  Alcotest.(check bool) "split-join is SP" true (Sp_recognize.is_sp sj);
+  let t = Topo_gen.fig2_triangle ~cap:1 in
+  Alcotest.(check int) "triangle edges" 3 (Graph.num_edges t);
+  let f5 = Topo_gen.fig5_ladder ~cap:1 in
+  Alcotest.(check int) "fig5 has 13 nodes" 13 (Graph.num_nodes f5);
+  Alcotest.(check bool) "fig5 two-terminal" true
+    (Topo.is_two_terminal f5 = Some (0, 12));
+  Alcotest.(check bool) "fig5 is CS4 but not SP" true
+    (Cs4.is_cs4 f5 && not (Sp_recognize.is_sp f5))
+
+let test_pipeline () =
+  let g = Topo_gen.pipeline ~stages:5 ~cap:3 in
+  Alcotest.(check int) "nodes" 6 (Graph.num_nodes g);
+  Alcotest.(check bool) "pipelines are SP" true (Sp_recognize.is_sp g)
+
+let test_diamond_chain () =
+  let g = Topo_gen.diamond_chain ~diamonds:4 ~cap:2 () in
+  Alcotest.(check int) "edges" 8 (Graph.num_edges g);
+  Alcotest.(check bool) "SP" true (Sp_recognize.is_sp g);
+  let gb = Topo_gen.diamond_chain ~bypass:true ~diamonds:4 ~cap:2 () in
+  Alcotest.(check int) "bypass adds one edge" 9 (Graph.num_edges gb);
+  Alcotest.(check bool) "still SP" true (Sp_recognize.is_sp gb)
+
+let test_parallel_paths () =
+  let g = Topo_gen.parallel_paths ~paths:4 ~hops:3 ~cap:1 in
+  Alcotest.(check bool) "SP" true (Sp_recognize.is_sp g);
+  Alcotest.(check int) "cycle count C(4,2)" 6 (Cycles.count g)
+
+let test_wide_ladder () =
+  let g = Topo_gen.wide_ladder ~rungs:5 ~cap:1 in
+  match Cs4.classify g with
+  | Ok { blocks = [ (_, _, Cs4.Ladder_block lad) ]; _ } ->
+    Alcotest.(check int) "five rungs" 5 (Ladder.num_rungs lad);
+    (* rail naming is arbitrary; directions must strictly alternate *)
+    let dirs =
+      Array.to_list (Array.map (fun r -> r.Ladder.left_to_right) lad.Ladder.rungs)
+    in
+    let rec alternating = function
+      | a :: (b :: _ as rest) -> a <> b && alternating rest
+      | _ -> true
+    in
+    Alcotest.(check bool) "alternating directions" true (alternating dirs)
+  | Ok _ -> Alcotest.fail "expected one ladder block"
+  | Error e -> Alcotest.failf "classify failed: %s" (Format.asprintf "%a" Cs4.pp_failure e)
+
+let test_nested_parallel () =
+  let g = Topo_gen.nested_parallel ~depth:5 ~cap:2 in
+  Alcotest.(check int) "edges = 2 * depth + 1" 11 (Graph.num_edges g);
+  Alcotest.(check bool) "SP" true (Sp_recognize.is_sp g)
+
+let prop_random_sp_is_sp =
+  Tutil.qtest "random_sp generates SP graphs" Tutil.seed_gen (fun seed ->
+      Sp_recognize.is_sp (Tutil.random_sp_of_seed seed))
+
+let prop_random_ladder_two_terminal =
+  Tutil.qtest "random ladders are two-terminal DAGs" Tutil.seed_gen
+    (fun seed ->
+      let g = Tutil.random_ladder_of_seed seed in
+      Topo.is_dag g && Topo.is_two_terminal g <> None)
+
+let prop_random_cs4_is_cs4 =
+  Tutil.qtest "random_cs4 generates CS4 graphs" Tutil.seed_gen (fun seed ->
+      Cs4.is_cs4 (Tutil.random_cs4_of_seed seed))
+
+let prop_caps_in_range =
+  Tutil.qtest "generated capacities are within [1, max_cap]" Tutil.seed_gen
+    (fun seed ->
+      let g = Tutil.random_cs4_of_seed seed in
+      List.for_all (fun (e : Graph.edge) -> e.cap >= 1 && e.cap <= 7)
+        (Graph.edges g))
+
+let suite =
+  [
+    Alcotest.test_case "figure topologies" `Quick test_figures_shapes;
+    Alcotest.test_case "pipeline" `Quick test_pipeline;
+    Alcotest.test_case "diamond chain" `Quick test_diamond_chain;
+    Alcotest.test_case "parallel paths" `Quick test_parallel_paths;
+    Alcotest.test_case "wide ladder" `Quick test_wide_ladder;
+    Alcotest.test_case "nested parallel" `Quick test_nested_parallel;
+    prop_random_sp_is_sp;
+    prop_random_ladder_two_terminal;
+    prop_random_cs4_is_cs4;
+    prop_caps_in_range;
+  ]

@@ -1,0 +1,65 @@
+(* Shared helpers for the test suites. *)
+
+open Fstream_graph
+open Fstream_core
+
+let interval : Interval.t Alcotest.testable =
+  Alcotest.testable Interval.pp Interval.equal
+
+let ival_array : Interval.t array Alcotest.testable =
+  Alcotest.(array interval)
+
+let check_intervals msg expected actual =
+  Alcotest.check ival_array msg expected actual
+
+let rng_of seed = Random.State.make [| seed; 0x5f1ee7 |]
+
+(* Random graph families keyed by an integer seed, so QCheck can use a
+   plain int generator (with shrinking) while the graphs stay
+   reproducible. *)
+let random_sp_of_seed ?(max_edges = 16) seed =
+  let rng = rng_of seed in
+  Fstream_workloads.Topo_gen.random_sp rng
+    ~target_edges:(2 + Random.State.int rng (max_edges - 1))
+    ~max_cap:7
+
+let random_ladder_of_seed ?(max_rungs = 5) seed =
+  let rng = rng_of seed in
+  Fstream_workloads.Topo_gen.random_ladder rng
+    ~rungs:(1 + Random.State.int rng max_rungs)
+    ~segment_edges:(1 + Random.State.int rng 4)
+    ~max_cap:7
+
+let random_cs4_of_seed ?(max_blocks = 4) seed =
+  let rng = rng_of seed in
+  Fstream_workloads.Topo_gen.random_cs4 rng
+    ~blocks:(1 + Random.State.int rng max_blocks)
+    ~block_edges:(2 + Random.State.int rng 9)
+    ~max_cap:7
+
+(* A random two-terminal DAG that is usually *not* CS4: a random SP
+   skeleton plus random forward chords. *)
+let random_dag_of_seed seed =
+  let rng = rng_of seed in
+  let g0 =
+    Fstream_workloads.Topo_gen.random_sp rng
+      ~target_edges:(3 + Random.State.int rng 8)
+      ~max_cap:4
+  in
+  let n = Graph.num_nodes g0 in
+  let rank = Topo.rank g0 in
+  let edges =
+    ref
+      (List.map (fun (e : Graph.edge) -> (e.src, e.dst, e.cap)) (Graph.edges g0))
+  in
+  for _ = 1 to Random.State.int rng 4 do
+    let a = Random.State.int rng n and b = Random.State.int rng n in
+    if rank.(a) < rank.(b) then
+      edges := (a, b, 1 + Random.State.int rng 3) :: !edges
+  done;
+  Graph.make ~nodes:n (List.rev !edges)
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let seed_gen = QCheck.make ~print:string_of_int QCheck.Gen.nat
