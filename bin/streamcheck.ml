@@ -196,8 +196,18 @@ let keep_arg =
 let seed_arg =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed.")
 
+let scheduler_arg =
+  Arg.(
+    value
+    & opt (enum [ ("ready", Engine.Ready); ("sweep", Engine.Sweep) ]) Engine.Ready
+    & info [ "scheduler" ] ~docv:"SCHED"
+        ~doc:
+          "Engine scheduler: $(b,ready) (event-driven worklist, the default) \
+           or $(b,sweep) (reference full-sweep oracle). Both produce \
+           identical stats.")
+
 let simulate_cmd =
-  let run file demo avoidance inputs keep seed =
+  let run file demo avoidance inputs keep seed scheduler =
     let loaded =
       (* files may carry per-node behaviours (App_spec); demos and plain
          graph files get the uniform Bernoulli workload *)
@@ -245,8 +255,8 @@ let simulate_cmd =
         1
       | Ok avoidance ->
         let stats =
-          Engine.run ~deadlock_dump:Format.std_formatter ~graph:g ~kernels
-            ~inputs ~avoidance ()
+          Engine.run ~scheduler ~deadlock_dump:Format.std_formatter ~graph:g
+            ~kernels ~inputs ~avoidance ()
         in
         Format.printf "%a@." Engine.pp_stats stats;
         (match stats.wedge with
@@ -262,7 +272,7 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc)
     Term.(
       const run $ file_arg $ demo_arg $ avoidance_arg $ inputs_arg $ keep_arg
-      $ seed_arg)
+      $ seed_arg $ scheduler_arg)
 
 (* ------------------------------------------------------------------ *)
 (* verify                                                               *)

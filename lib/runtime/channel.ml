@@ -1,3 +1,5 @@
+type event = Became_nonempty | Freed_slot
+
 type t = {
   capacity : int;
   queue : Message.t Queue.t;
@@ -5,6 +7,7 @@ type t = {
   mutable total_pushed : int;
   mutable dummies_pushed : int;
   mutable data_pushed : int;
+  mutable notify : event -> unit;
 }
 
 let create ~capacity =
@@ -16,12 +19,14 @@ let create ~capacity =
     total_pushed = 0;
     dummies_pushed = 0;
     data_pushed = 0;
+    notify = ignore;
   }
 
 let capacity c = c.capacity
 let length c = Queue.length c.queue
 let is_full c = length c >= c.capacity
 let is_empty c = Queue.is_empty c.queue
+let subscribe c f = c.notify <- f
 
 let push c (m : Message.t) =
   if is_full c then false
@@ -34,12 +39,22 @@ let push c (m : Message.t) =
     | Message.Data _ -> c.data_pushed <- c.data_pushed + 1
     | Message.Dummy -> c.dummies_pushed <- c.dummies_pushed + 1
     | Message.Eos -> ());
+    let was_empty = Queue.is_empty c.queue in
     Queue.add m c.queue;
+    if was_empty then c.notify Became_nonempty;
     true
   end
 
 let peek c = Queue.peek_opt c.queue
-let pop c = Queue.take_opt c.queue
+
+let pop c =
+  let was_full = is_full c in
+  match Queue.take_opt c.queue with
+  | None -> None
+  | Some m ->
+    if was_full then c.notify Freed_slot;
+    Some m
+
 let total_pushed c = c.total_pushed
 let dummies_pushed c = c.dummies_pushed
 let data_pushed c = c.data_pushed

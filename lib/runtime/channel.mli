@@ -2,9 +2,19 @@
 
     A channel models one edge of the application DAG: reliable, in
     order, with a finite buffer of [capacity] messages — the finiteness
-    that makes filtering deadlocks possible. *)
+    that makes filtering deadlocks possible.
+
+    Channels report their occupancy {e transitions} to a subscriber:
+    exactly the two state changes that can make an idle node runnable
+    again (its input gained a first message; its clogged output freed a
+    slot). The event-driven scheduler in {!Engine} is built on these
+    facts, so it never has to rescan quiescent nodes. *)
 
 type t
+
+type event =
+  | Became_nonempty  (** a push landed on an empty channel *)
+  | Freed_slot  (** a pop drained a message from a full channel *)
 
 val create : capacity:int -> t
 (** @raise Invalid_argument if [capacity < 1]. *)
@@ -13,6 +23,12 @@ val capacity : t -> int
 val length : t -> int
 val is_full : t -> bool
 val is_empty : t -> bool
+
+val subscribe : t -> (event -> unit) -> unit
+(** [subscribe c f] makes [c] call [f] on every occupancy transition,
+    after the channel state has been updated (so [f] observes the new
+    state). At most one subscriber; a second call replaces the first.
+    Fresh channels have no subscriber. *)
 
 val push : t -> Message.t -> bool
 (** [false] (and no effect) when full. Enforces sequence-number

@@ -9,6 +9,8 @@ type avoidance =
 
 type outcome = Completed | Deadlocked | Budget_exhausted
 
+type scheduler = Sweep | Ready
+
 type snapshot = {
   channel_lengths : int array;  (* per edge id *)
   node_blocked : bool array;  (* pending sends stuck on a full channel *)
@@ -43,7 +45,8 @@ let pp_stats ppf s =
     "%a: %d rounds, %d data msgs, %d dummy msgs, %d data at sinks"
     pp_outcome s.outcome s.rounds s.data_messages s.dummy_messages s.sink_data
 
-let run ?max_rounds ?deadlock_dump ?trace ~graph:g ~kernels ~inputs ~avoidance () =
+let run ?(scheduler = Ready) ?max_rounds ?deadlock_dump ?trace ~graph:g
+    ~kernels ~inputs ~avoidance () =
   let tr fmt =
     match trace with
     | Some ppf -> Format.fprintf ppf fmt
@@ -238,33 +241,159 @@ let run ?max_rounds ?deadlock_dump ?trace ~graph:g ~kernels ~inputs ~avoidance (
     end
     else false
   in
+  (* One scheduler step for node [v]: retry pending sends and dummy
+     slots, then fire if the node is runnable. Both schedulers execute
+     exactly this; they differ only in which nodes they bother to
+     visit. *)
+  let visit v =
+    let s = st.(v) in
+    let progress = flush v in
+    if Queue.is_empty s.pending then begin
+      let fired =
+        if is_source.(v) then fire_source v
+        else if not s.finished then fire_inner v
+        else false
+      in
+      if fired then ignore (flush v);
+      progress || fired
+    end
+    else progress
+  in
   let default_budget = ((inputs + 2) * ((2 * m) + n + 2) * 2) + 64 in
   let budget = Option.value max_rounds ~default:default_budget in
   let rounds = ref 0 in
   let outcome = ref None in
   let wedge = ref None in
+  (* The sweep scheduler visits every node every round. The ready
+     scheduler visits only woken nodes, yet a skipped node's visit
+     would have been a no-op (its pending sends and dummy slots sit on
+     full channels, and it cannot fire), so both schedulers perform the
+     same state transitions in the same order and [stats] — including
+     the round count and the wedge snapshot — are bit-identical.
+
+     Wake discipline (matching the sweep's topological round order):
+     - a push onto an empty channel may make the consumer runnable; the
+       consumer sits later in topological order than the producer being
+       visited, so it joins the *current* round, exactly where the
+       sweep would reach it;
+     - a pop from a full channel may unblock the producer's pending
+       sends or queued dummy slot; the producer sits earlier in
+       topological order, already visited this round, so it joins the
+       *next* round — again just like the sweep;
+     - a node that remains runnable on its own (an unfinished source,
+       or a node whose inputs are all still non-empty) re-arms itself
+       for the next round. *)
+  let sweep_round () =
+    let progress = ref false in
+    Array.iter (fun v -> if visit v then progress := true) order;
+    !progress
+  in
+  let ready_round =
+    match scheduler with
+    | Sweep -> sweep_round
+    | Ready ->
+      let rank = Array.make n 0 in
+      Array.iteri (fun i v -> rank.(v) <- i) order;
+      (* current round: binary min-heap over topo rank, deduplicated by
+         a per-node flag; next round: an unordered stack, heapified by
+         promotion at the round boundary *)
+      let heap = Array.make (n + 1) 0 in
+      let hlen = ref 0 in
+      let heap_push r =
+        incr hlen;
+        heap.(!hlen) <- r;
+        let i = ref !hlen in
+        while !i > 1 && heap.(!i / 2) > heap.(!i) do
+          let p = !i / 2 in
+          let tmp = heap.(p) in
+          heap.(p) <- heap.(!i);
+          heap.(!i) <- tmp;
+          i := p
+        done
+      in
+      let heap_pop () =
+        let top = heap.(1) in
+        heap.(1) <- heap.(!hlen);
+        decr hlen;
+        let i = ref 1 in
+        let continue = ref true in
+        while !continue do
+          let l = 2 * !i and r = (2 * !i) + 1 in
+          let smallest = ref !i in
+          if l <= !hlen && heap.(l) < heap.(!smallest) then smallest := l;
+          if r <= !hlen && heap.(r) < heap.(!smallest) then smallest := r;
+          if !smallest = !i then continue := false
+          else begin
+            let tmp = heap.(!smallest) in
+            heap.(!smallest) <- heap.(!i);
+            heap.(!i) <- tmp;
+            i := !smallest
+          end
+        done;
+        top
+      in
+      let in_cur = Array.make n false in
+      let in_next = Array.make n false in
+      let next = ref [] in
+      let wake_cur v =
+        if not in_cur.(v) then begin
+          in_cur.(v) <- true;
+          heap_push rank.(v)
+        end
+      in
+      let wake_next v =
+        if not in_next.(v) then begin
+          in_next.(v) <- true;
+          next := v :: !next
+        end
+      in
+      List.iter
+        (fun (e : Graph.edge) ->
+          Channel.subscribe chan.(e.id) (function
+            | Channel.Became_nonempty -> wake_cur e.dst
+            | Channel.Freed_slot -> wake_next e.src))
+        (Graph.edges g);
+      (* Runnable again next round with no external event needed: only
+         then does the node re-arm itself. Blocked nodes (non-empty
+         pending, or a dummy slot waiting out a full channel) are woken
+         by the Freed_slot event instead. *)
+      let self_arming v =
+        let s = st.(v) in
+        (not s.finished)
+        && Queue.is_empty s.pending
+        && (is_source.(v)
+           || List.for_all
+                (fun (e : Graph.edge) -> not (Channel.is_empty chan.(e.id)))
+                (Graph.in_edges g v))
+      in
+      (* round 1 is the sweep's full pass: seed every node *)
+      Array.iter
+        (fun v ->
+          in_cur.(v) <- true;
+          heap_push rank.(v))
+        order;
+      fun () ->
+        let progress = ref false in
+        while !hlen > 0 do
+          let v = order.(heap_pop ()) in
+          in_cur.(v) <- false;
+          if visit v then progress := true;
+          if self_arming v then wake_next v
+        done;
+        List.iter
+          (fun v ->
+            in_next.(v) <- false;
+            wake_cur v)
+          !next;
+        next := [];
+        !progress
+  in
   while !outcome = None do
     incr rounds;
     if !rounds > budget then outcome := Some Budget_exhausted
     else begin
-      let progress = ref false in
-      Array.iter
-        (fun v ->
-          let s = st.(v) in
-          if flush v then progress := true;
-          if Queue.is_empty s.pending then begin
-            let fired =
-              if is_source.(v) then fire_source v
-              else if not s.finished then fire_inner v
-              else false
-            in
-            if fired then begin
-              progress := true;
-              ignore (flush v)
-            end
-          end)
-        order;
-      if not !progress then
+      let progress = ready_round () in
+      if not progress then
         if
           Array.for_all
             (fun s -> s.finished && Queue.is_empty s.pending)

@@ -45,6 +45,21 @@ type avoidance =
 
 type outcome = Completed | Deadlocked | Budget_exhausted
 
+type scheduler =
+  | Sweep
+      (** reference scheduler: every round visits every node in
+          topological order — O(n) per round even when almost nothing
+          is runnable *)
+  | Ready
+      (** event-driven scheduler: a worklist of runnable nodes
+          maintained incrementally from {!Channel} occupancy
+          transitions, drained in topological-rank order each round.
+          Per-round cost is proportional to actual activity, and the
+          executed transitions — hence the resulting {!stats},
+          including the round count and wedge snapshot — are
+          bit-identical to [Sweep] (differentially tested in
+          [test/test_sched.ml]) *)
+
 type snapshot = {
   channel_lengths : int array;  (** per edge id, at the wedge *)
   node_blocked : bool array;
@@ -70,6 +85,7 @@ type stats = {
 }
 
 val run :
+  ?scheduler:scheduler ->
   ?max_rounds:int ->
   ?deadlock_dump:Format.formatter ->
   ?trace:Format.formatter ->
@@ -81,8 +97,10 @@ val run :
   stats
 (** Execute the application on [inputs] external sequence numbers
     (0 .. inputs-1, presented to every source). Channel capacities come
-    from the graph's edge capacities. Deterministic: nodes are swept in
-    topological order. [max_rounds] defaults to a generous bound; an
-    execution that exceeds it reports [Budget_exhausted]. *)
+    from the graph's edge capacities. Deterministic: runnable nodes are
+    processed in topological order within each round, whichever
+    [scheduler] (default {!Ready}) maintains the runnable set.
+    [max_rounds] defaults to a generous bound; an execution that
+    exceeds it reports [Budget_exhausted]. *)
 
 val pp_stats : Format.formatter -> stats -> unit

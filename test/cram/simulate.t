@@ -16,3 +16,26 @@ Unprotected it wedges, and the CLI prints the witness cycle:
     full:  e2 (0->2)
     empty: e1 (1->2), e0 (0->1)
   [2]
+
+The event-driven ready-queue scheduler and the reference sweep produce
+bit-identical output, on completions:
+
+  $ streamcheck simulate --demo fig2 --inputs 200 --keep 0.6 --seed 3 --scheduler sweep > sweep.out
+  $ streamcheck simulate --demo fig2 --inputs 200 --keep 0.6 --seed 3 --scheduler ready > ready.out
+  $ diff sweep.out ready.out
+  $ cat ready.out
+  completed: 206 rounds, 314 data msgs, 201 dummy msgs, 188 data at sinks
+
+and on deadlocks (same wedge round, same frozen state, same witness):
+
+  $ streamcheck simulate --demo fig2 --inputs 200 --keep 0.6 --seed 3 --avoidance none --scheduler sweep > sweep-dl.out
+  [2]
+  $ streamcheck simulate --demo fig2 --inputs 200 --keep 0.6 --seed 3 --avoidance none --scheduler ready > ready-dl.out
+  [2]
+  $ diff sweep-dl.out ready-dl.out
+
+A deeper spot check on a demo with more idle structure:
+
+  $ streamcheck simulate --demo pipeline --inputs 500 --keep 0.5 --seed 9 --scheduler sweep > p-sweep.out
+  $ streamcheck simulate --demo pipeline --inputs 500 --keep 0.5 --seed 9 --scheduler ready > p-ready.out
+  $ diff p-sweep.out p-ready.out

@@ -10,6 +10,7 @@ let () =
       ("crossval", Test_crossval.suite);
       ("compiler", Test_compiler.suite);
       ("runtime", Test_runtime.suite);
+      ("sched", Test_sched.suite);
       ("soundness", Test_soundness.suite);
       ("workloads", Test_workloads.suite);
       ("k4", Test_k4.suite);

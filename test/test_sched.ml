@@ -1,0 +1,236 @@
+(* Differential testing of the event-driven ready-queue scheduler
+   against the reference sweep scheduler: identical [Engine.stats]
+   (outcome, rounds, message counts, per-edge dummy counts, wedge
+   snapshot) on randomized workloads and on the paper's figure
+   topologies, under all three avoidance modes. This is the oracle that
+   licenses making [Ready] the default. *)
+
+open Fstream_core
+open Fstream_runtime
+open Fstream_workloads
+
+(* Fresh kernels per run: the engines mutate nothing shared, but the
+   Bernoulli filters draw from an RNG, so each engine needs its own
+   identically-seeded copy. *)
+let bernoulli_kernels g seed =
+  let rng = Random.State.make [| seed; 0xd1f |] in
+  Filters.for_graph g (fun _ outs -> Filters.bernoulli rng ~keep:0.6 outs)
+
+let wrappers g =
+  let none = Some Engine.No_avoidance in
+  let prop =
+    match Compiler.plan Compiler.Propagation g with
+    | Ok p ->
+      Some (Engine.Propagation (Compiler.propagation_thresholds g p.intervals))
+    | Error _ -> None
+  in
+  let nonprop =
+    match Compiler.plan Compiler.Non_propagation g with
+    | Ok p -> Some (Engine.Non_propagation (Compiler.send_thresholds p.intervals))
+    | Error _ -> None
+  in
+  [ none; prop; nonprop ]
+
+let same_stats g ~kernels_of ~inputs avoidance =
+  let run scheduler =
+    Engine.run ~scheduler ~graph:g ~kernels:(kernels_of ()) ~inputs ~avoidance ()
+  in
+  run Engine.Ready = run Engine.Sweep
+
+let differential ?(inputs = 30) g seed =
+  List.for_all
+    (function
+      | None -> true
+      | Some avoidance ->
+        same_stats g ~kernels_of:(fun () -> bernoulli_kernels g seed) ~inputs
+          avoidance)
+    (wrappers g)
+
+let prop_sp =
+  Tutil.qtest ~count:300 "ready = sweep on random SP workloads"
+    Tutil.seed_gen
+    (fun seed -> differential (Tutil.random_sp_of_seed seed) seed)
+
+let prop_ladder =
+  Tutil.qtest ~count:300 "ready = sweep on random ladder workloads"
+    Tutil.seed_gen
+    (fun seed -> differential (Tutil.random_ladder_of_seed seed) seed)
+
+(* Directed cases: the paper's figure topologies with their canonical
+   workloads, checked field by field for a readable failure. *)
+let check_identical name ~kernels_of ~inputs g avoidance =
+  let run scheduler =
+    Engine.run ~scheduler ~graph:g ~kernels:(kernels_of ()) ~inputs ~avoidance ()
+  in
+  let r = run Engine.Ready and s = run Engine.Sweep in
+  Alcotest.(check bool)
+    (name ^ ": outcome") true
+    (r.Engine.outcome = s.Engine.outcome);
+  Alcotest.(check int) (name ^ ": rounds") s.rounds r.rounds;
+  Alcotest.(check int) (name ^ ": data") s.data_messages r.data_messages;
+  Alcotest.(check int) (name ^ ": dummies") s.dummy_messages r.dummy_messages;
+  Alcotest.(check int) (name ^ ": sink data") s.sink_data r.sink_data;
+  Alcotest.(check int) (name ^ ": dropped") s.dropped_dummies r.dropped_dummies;
+  Alcotest.(check (array int))
+    (name ^ ": per-edge dummies") s.per_edge_dummies r.per_edge_dummies;
+  Alcotest.(check bool) (name ^ ": wedge") true (r.wedge = s.wedge);
+  r
+
+let test_fig1 () =
+  let g = Topo_gen.fig1_split_join ~branches:4 ~cap:2 in
+  let kernels_of () =
+    let rng = Random.State.make [| 11 |] in
+    Filters.for_graph g (fun v outs ->
+        if v = 0 then Filters.route_one rng outs else Filters.passthrough outs)
+  in
+  let thresholds =
+    match Compiler.plan Compiler.Non_propagation g with
+    | Ok p -> Compiler.send_thresholds p.intervals
+    | Error e -> Alcotest.fail e
+  in
+  let s =
+    check_identical "fig1" ~kernels_of ~inputs:60 g
+      (Engine.Non_propagation thresholds)
+  in
+  Alcotest.(check bool) "fig1 completes" true (s.outcome = Engine.Completed)
+
+let test_fig2 () =
+  let g = Topo_gen.fig2_triangle ~cap:2 in
+  let kernels_of () =
+    Filters.for_graph g (fun v outs ->
+        if v = 0 then Filters.block_edge 2 outs else Filters.passthrough outs)
+  in
+  (* bare: both engines must wedge in the same round with the same
+     frozen snapshot *)
+  let s = check_identical "fig2 bare" ~kernels_of ~inputs:25 g Engine.No_avoidance in
+  Alcotest.(check bool) "fig2 deadlocks bare" true (s.outcome = Engine.Deadlocked);
+  Alcotest.(check bool) "wedge captured" true (s.wedge <> None);
+  (* protected: both complete with the same dummy traffic *)
+  match Compiler.plan Compiler.Propagation g with
+  | Ok p ->
+    let s =
+      check_identical "fig2 propagation" ~kernels_of ~inputs:25 g
+        (Engine.Propagation (Compiler.propagation_thresholds g p.intervals))
+    in
+    Alcotest.(check bool) "fig2 avoided" true (s.outcome = Engine.Completed)
+  | Error e -> Alcotest.fail e
+
+let test_eos_vs_deadlock () =
+  (* the discrimination the EOS machinery exists for: a starved sink is
+     a completed (drained) run on an acyclic pipeline, a genuine wedge
+     on the Fig. 2 cycle — the ready scheduler must not mistake its own
+     empty worklist for either *)
+  let pipeline = Topo_gen.pipeline ~stages:3 ~cap:2 in
+  let drop_all_of () =
+    Filters.for_graph pipeline (fun v outs ->
+        if v = 1 then Filters.drop_all outs else Filters.passthrough outs)
+  in
+  let s =
+    check_identical "starved pipeline" ~kernels_of:drop_all_of ~inputs:30
+      pipeline Engine.No_avoidance
+  in
+  Alcotest.(check bool) "drained, not deadlocked" true
+    (s.outcome = Engine.Completed);
+  Alcotest.(check int) "sink starved" 0 s.sink_data;
+  let fig2 = Topo_gen.fig2_triangle ~cap:2 in
+  let blocking_of () =
+    Filters.for_graph fig2 (fun v outs ->
+        if v = 0 then Filters.block_edge 2 outs else Filters.passthrough outs)
+  in
+  let s =
+    check_identical "fig2 wedge" ~kernels_of:blocking_of ~inputs:30 fig2
+      Engine.No_avoidance
+  in
+  Alcotest.(check bool) "deadlocked, not drained" true
+    (s.outcome = Engine.Deadlocked)
+
+let test_budget_parity () =
+  (* Budget_exhausted must trip on the same round for both engines *)
+  let g = Topo_gen.pipeline ~stages:4 ~cap:1 in
+  let kernels_of () =
+    Filters.for_graph g (fun _ outs -> Filters.passthrough outs)
+  in
+  let run scheduler =
+    Engine.run ~scheduler ~max_rounds:7 ~graph:g ~kernels:(kernels_of ())
+      ~inputs:100 ~avoidance:Engine.No_avoidance ()
+  in
+  let r = run Engine.Ready and s = run Engine.Sweep in
+  Alcotest.(check bool) "both out of budget" true
+    (r.outcome = Engine.Budget_exhausted && s.outcome = Engine.Budget_exhausted);
+  Alcotest.(check bool) "identical stats at the budget" true (r = s)
+
+(* ------------------------------------------------------------------ *)
+(* Dummy accounting regression: the wrapper semantics the scheduler
+   rewrite must not disturb. Every dummy a node decides to emit
+   (forwarded under Propagation, or originated by a threshold coming
+   due) enters the per-channel dummy slot; from there it is either
+   delivered (counted in [per_edge_dummies] / [dummy_messages]) or
+   superseded (counted in [dropped_dummies]). Conservation: on a
+   completed run, emitted = delivered + dropped, and both engines
+   agree on every term. *)
+
+let dummy_lines buf =
+  String.split_on_char '\n' (Buffer.contents buf)
+  |> List.filter (fun l ->
+         (* emit's trace line: "n%d seq%d: dummy on e%d (due=%b fwd=%b)" *)
+         let rec mem i =
+           i + 10 <= String.length l
+           && (String.sub l i 10 = ": dummy on" || mem (i + 1))
+         in
+         mem 0)
+  |> List.length
+
+let test_dummy_accounting () =
+  (* a seeded S1-style workload: random CS4 topology, Bernoulli
+     filtering everywhere, Propagation wrapper so both forwarded and
+     originated dummies occur *)
+  let rng = Random.State.make [| 31337; 6 |] in
+  let g = Topo_gen.random_cs4 rng ~blocks:3 ~block_edges:6 ~max_cap:3 in
+  let avoidance =
+    match Compiler.plan Compiler.Propagation g with
+    | Ok p -> Engine.Propagation (Compiler.propagation_thresholds g p.intervals)
+    | Error e -> Alcotest.fail e
+  in
+  let traced scheduler =
+    let buf = Buffer.create 4096 in
+    let ppf = Format.formatter_of_buffer buf in
+    let s =
+      Engine.run ~scheduler ~trace:ppf ~graph:g
+        ~kernels:(bernoulli_kernels g 424242) ~inputs:80 ~avoidance ()
+    in
+    Format.pp_print_flush ppf ();
+    (s, dummy_lines buf)
+  in
+  let check name ((s : Engine.stats), emitted) =
+    Alcotest.(check bool) (name ^ ": completed") true
+      (s.outcome = Engine.Completed);
+    Alcotest.(check int)
+      (name ^ ": per-edge dummies sum to the total")
+      s.dummy_messages
+      (Array.fold_left ( + ) 0 s.per_edge_dummies);
+    Alcotest.(check int)
+      (name ^ ": emitted = delivered + dropped")
+      emitted
+      (s.dummy_messages + s.dropped_dummies);
+    Alcotest.(check bool)
+      (name ^ ": dropped bounded by emitted")
+      true
+      (s.dropped_dummies <= emitted);
+    Alcotest.(check bool) (name ^ ": dummies were exercised") true (emitted > 0)
+  in
+  let (rs, re) = traced Engine.Ready and (ss, se) = traced Engine.Sweep in
+  check "ready" (rs, re);
+  check "sweep" (ss, se);
+  Alcotest.(check int) "same emission count" se re;
+  Alcotest.(check bool) "same stats" true (rs = ss)
+
+let suite =
+  [
+    Alcotest.test_case "fig1 split/join" `Quick test_fig1;
+    Alcotest.test_case "fig2 triangle" `Quick test_fig2;
+    Alcotest.test_case "EOS vs deadlock" `Quick test_eos_vs_deadlock;
+    Alcotest.test_case "budget parity" `Quick test_budget_parity;
+    Alcotest.test_case "dummy accounting" `Quick test_dummy_accounting;
+    prop_sp;
+    prop_ladder;
+  ]
