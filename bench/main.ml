@@ -40,10 +40,10 @@ let f1 () =
       Engine.run ~graph:g ~kernels:(kernels ()) ~inputs:frames ~avoidance ()
     in
     row "  %-16s %-11s data=%-7d dummies=%-7d overhead=%5.1f%%@." name
-      (match s.Engine.outcome with
-      | Engine.Completed -> "completed"
-      | Engine.Deadlocked -> "DEADLOCKED"
-      | Engine.Budget_exhausted -> "budget")
+      (match s.Report.outcome with
+      | Report.Completed -> "completed"
+      | Report.Deadlocked -> "DEADLOCKED"
+      | Report.Budget_exhausted -> "budget")
       s.data_messages s.dummy_messages
       (100. *. float s.dummy_messages /. float (max 1 s.data_messages))
   in
@@ -54,12 +54,12 @@ let f1 () =
   | Ok p ->
     run "propagation"
       (Engine.Propagation (Compiler.propagation_thresholds g p.intervals))
-  | Error e -> row "  propagation plan failed: %s@." e);
+  | Error e -> row "  propagation plan failed: %a@." Compiler.pp_error e);
   match Compiler.plan Compiler.Non_propagation g with
   | Ok p ->
     run "non-propagation"
-      (Engine.Non_propagation (Compiler.send_thresholds p.intervals))
-  | Error e -> row "  non-propagation plan failed: %s@." e
+      (Engine.Non_propagation (Compiler.send_thresholds g p.intervals))
+  | Error e -> row "  non-propagation plan failed: %a@." Compiler.pp_error e
 
 (* ------------------------------------------------------------------ *)
 (* F2. Fig. 2: the canonical deadlock and its avoidance.               *)
@@ -74,10 +74,10 @@ let f2 () =
   let run name avoidance =
     let s = Engine.run ~graph:g ~kernels ~inputs:100 ~avoidance () in
     row "  %-16s %s (data=%d dummies=%d delivered=%d)@." name
-      (match s.Engine.outcome with
-      | Engine.Completed -> "completed"
-      | Engine.Deadlocked -> "DEADLOCKED"
-      | Engine.Budget_exhausted -> "budget")
+      (match s.Report.outcome with
+      | Report.Completed -> "completed"
+      | Report.Deadlocked -> "DEADLOCKED"
+      | Report.Budget_exhausted -> "budget")
       s.data_messages s.dummy_messages s.sink_data
   in
   run "no avoidance" Engine.No_avoidance;
@@ -85,12 +85,12 @@ let f2 () =
   | Ok p ->
     run "propagation"
       (Engine.Propagation (Compiler.propagation_thresholds g p.intervals))
-  | Error e -> row "  %s@." e);
+  | Error e -> row "  %a@." Compiler.pp_error e);
   match Compiler.plan Compiler.Non_propagation g with
   | Ok p ->
     run "non-propagation"
-      (Engine.Non_propagation (Compiler.send_thresholds p.intervals))
-  | Error e -> row "  %s@." e
+      (Engine.Non_propagation (Compiler.send_thresholds g p.intervals))
+  | Error e -> row "  %a@." Compiler.pp_error e
 
 (* ------------------------------------------------------------------ *)
 (* F3. Fig. 3: the worked dummy-interval example, exact values.        *)
@@ -383,7 +383,8 @@ let c6 () =
             else Filters.passthrough outs)
       in
       let inputs = 2_000 in
-      let t_ready, (s_ready : Engine.stats) =
+      let rounds_of (s : Report.t) = Option.value (Report.rounds s) ~default:0 in
+      let t_ready, (s_ready : Report.t) =
         time_once (fun () ->
             Engine.run ~scheduler:Engine.Ready ~graph:g ~kernels:(kernels ())
               ~inputs ~avoidance:Engine.No_avoidance ())
@@ -392,15 +393,15 @@ let c6 () =
          rounds/sec rate is measured on a capped prefix of the run and
          the full-length execution (quadratic at 64k nodes) is not
          forced. *)
-      let cap = max 64 (min s_ready.rounds (4_194_304 / (stages + 1))) in
-      let t_sweep, (s_sweep : Engine.stats) =
+      let cap = max 64 (min (rounds_of s_ready) (4_194_304 / (stages + 1))) in
+      let t_sweep, (s_sweep : Report.t) =
         time_once (fun () ->
             Engine.run ~scheduler:Engine.Sweep ~max_rounds:cap ~graph:g
               ~kernels:(kernels ()) ~inputs ~avoidance:Engine.No_avoidance ())
       in
-      let rps t (s : Engine.stats) = float s.Engine.rounds /. (t /. 1e9) in
-      let messages (s : Engine.stats) =
-        max 1 (s.Engine.data_messages + s.Engine.dummy_messages)
+      let rps t (s : Report.t) = float (rounds_of s) /. (t /. 1e9) in
+      let messages (s : Report.t) =
+        max 1 (s.Report.data_messages + s.Report.dummy_messages)
       in
       row "  %8d %a %12.0f %12.1f %a %12.0f %8.1fx@." (stages + 1) pp_ns
         t_ready
@@ -432,16 +433,20 @@ let c6 () =
       | Error _ -> ()
       | Ok p ->
         let avoidance =
-          Engine.Non_propagation (Compiler.send_thresholds p.intervals)
+          Engine.Non_propagation (Compiler.send_thresholds g p.intervals)
         in
-        let t, (s : Engine.stats) =
+        let t, (s : Report.t) =
           time_once (fun () ->
               Engine.run ~scheduler ~graph:g ~kernels ~inputs ~avoidance ())
         in
         elapsed := !elapsed +. t;
         msgs := !msgs + s.data_messages + s.dummy_messages;
         outcomes :=
-          (s.outcome, s.rounds, s.data_messages, s.dummy_messages, s.sink_data)
+          ( s.outcome,
+            Report.rounds s,
+            s.data_messages,
+            s.dummy_messages,
+            s.sink_data )
           :: !outcomes
     done;
     (!outcomes, !elapsed, !msgs)
@@ -455,6 +460,58 @@ let c6 () =
     trials
     (ok (ro = so))
     (st_ /. rt)
+
+(* ------------------------------------------------------------------ *)
+(* O1. Observability overhead: bare run vs null sink vs ring sink.      *)
+
+let o1 () =
+  section "O1" "event-stream tracing overhead (C6 pipeline workload)";
+  let module Obs = Fstream_obs in
+  row "  deep pipelines, 2000 inputs, stage 1 keeps 1 message in 512:@.";
+  row "  %8s %12s %12s %12s %9s %9s@." "nodes" "no sink" "null sink"
+    "ring sink" "null ovh" "ring ovh";
+  List.iter
+    (fun stages ->
+      let g = Topo_gen.pipeline ~stages ~cap:2 in
+      let kernels () =
+        Filters.for_graph g (fun v outs ->
+            if v = 1 then Filters.periodic ~keep_every:512 outs
+            else Filters.passthrough outs)
+      in
+      let inputs = 2_000 in
+      (* one shared closure for every configuration: the engine
+         normalizes [Sink.null] away, so no-sink and null-sink must
+         run the same code — and sharing the call site keeps
+         code-layout effects (measured at several percent on this
+         workload) out of the comparison. Samples are interleaved and
+         the heap compacted before each so GC drift hits every
+         configuration equally; per-configuration best is reported. *)
+      let run_with ?sink () =
+        Engine.run ?sink ~graph:g ~kernels:(kernels ()) ~inputs
+          ~avoidance:Engine.No_avoidance ()
+      in
+      let t_none = ref infinity
+      and t_null = ref infinity
+      and t_ring = ref infinity in
+      let ring = Obs.Ring.create () in
+      let sample cell f =
+        Gc.compact ();
+        let t, _ = time_once f in
+        cell := Float.min !cell t
+      in
+      for _ = 1 to 9 do
+        sample t_none (fun () -> run_with ());
+        sample t_null (fun () -> run_with ~sink:Obs.Sink.null ());
+        Obs.Ring.clear ring;
+        sample t_ring (fun () -> run_with ~sink:(Obs.Ring.sink ring) ())
+      done;
+      row "  %8d %a %a %a %8.1f%% %8.1f%%@." (stages + 1) pp_ns !t_none pp_ns
+        !t_null pp_ns !t_ring
+        (100. *. ((!t_null /. !t_none) -. 1.))
+        (100. *. ((!t_ring /. !t_none) -. 1.)))
+    [ 1_023; 4_095; 16_383; 65_535 ];
+  row "  (null-sink instrumentation is one branch per potential event; the@.";
+  row "   acceptance bar is < 5%% — measured numbers in EXPERIMENTS.md, O1)@."
 
 (* ------------------------------------------------------------------ *)
 (* V1. Cross-validation: fast algorithms == exponential baseline.       *)
@@ -557,9 +614,9 @@ let s1 () =
               Engine.run ~graph:g ~kernels:(mk_kernels g seed) ~inputs
                 ~avoidance ()
             in
-            data := !data + s.Engine.data_messages;
-            dummies := !dummies + s.Engine.dummy_messages;
-            if s.Engine.outcome = Engine.Deadlocked then incr deadlocks
+            data := !data + s.Report.data_messages;
+            dummies := !dummies + s.Report.dummy_messages;
+            if s.Report.outcome = Report.Deadlocked then incr deadlocks
         done;
         row "  %-34s %6d/%-3d %10d %10d %8.1f%%@." name !deadlocks trials
           !data !dummies
@@ -576,12 +633,12 @@ let s1 () =
   let nonprop g =
     match Compiler.plan Compiler.Non_propagation g with
     | Ok p ->
-      Some (Engine.Non_propagation (Compiler.send_thresholds p.intervals))
+      Some (Engine.Non_propagation (Compiler.send_thresholds g p.intervals))
     | Error _ -> None
   in
   let hybrid g =
     match Compiler.plan Compiler.Non_propagation g with
-    | Ok p -> Some (Engine.Propagation (Compiler.send_thresholds p.intervals))
+    | Ok p -> Some (Engine.Propagation (Compiler.send_thresholds g p.intervals))
     | Error _ -> None
   in
   experiment
@@ -611,13 +668,13 @@ let v2 () =
     "exhaustive model checking (all schedules x all filtering choices)";
   let nonprop g =
     match Compiler.plan Compiler.Non_propagation g with
-    | Ok p -> Engine.Non_propagation (Compiler.send_thresholds p.intervals)
-    | Error e -> failwith e
+    | Ok p -> Engine.Non_propagation (Compiler.send_thresholds g p.intervals)
+    | Error e -> failwith (Compiler.error_to_string e)
   in
   let prop g =
     match Compiler.plan Compiler.Propagation g with
     | Ok p -> Engine.Propagation (Compiler.propagation_thresholds g p.intervals)
-    | Error e -> failwith e
+    | Error e -> failwith (Compiler.error_to_string e)
   in
   let report name r =
     row "  %-44s %s@." name
@@ -666,11 +723,11 @@ let s2 () =
             if Graph.out_degree g v = 0 then Filters.passthrough outs
             else Filters.bernoulli r ~keep:0.6 outs)
       in
-      let show (s : P.stats) =
+      let show (s : Report.t) =
         Printf.sprintf "%s (%d delivered)"
           (match s.outcome with
-          | P.Completed -> "completed"
-          | P.Deadlocked -> "DEADLOCKED")
+          | Report.Completed -> "completed"
+          | _ -> "DEADLOCKED")
           s.sink_data
       in
       let bare =
@@ -682,7 +739,7 @@ let s2 () =
         | Ok p ->
           P.run ~stall_ms:150 ~graph:g ~kernels:(kernels ()) ~inputs
             ~avoidance:
-              (Engine.Non_propagation (Compiler.send_thresholds p.intervals))
+              (Engine.Non_propagation (Compiler.send_thresholds g p.intervals))
             ()
         | Error _ -> bare
       in
@@ -708,12 +765,12 @@ let a1 () =
       ( "relay table (min L, no /h)",
         fun g ->
           match Compiler.plan Compiler.Relay_propagation g with
-          | Ok p -> Some (Engine.Non_propagation (Compiler.send_thresholds p.intervals))
+          | Ok p -> Some (Engine.Non_propagation (Compiler.send_thresholds g p.intervals))
           | Error _ -> None );
       ( "non-propagation table (L/h)",
         fun g ->
           match Compiler.plan Compiler.Non_propagation g with
-          | Ok p -> Some (Engine.Non_propagation (Compiler.send_thresholds p.intervals))
+          | Ok p -> Some (Engine.Non_propagation (Compiler.send_thresholds g p.intervals))
           | Error _ -> None );
     ]
   in
@@ -739,10 +796,10 @@ let a1 () =
         | None -> ()
         | Some avoidance ->
           let s = Engine.run ~graph:g ~kernels ~inputs ~avoidance () in
-          data := !data + s.Engine.data_messages;
-          dummies := !dummies + s.Engine.dummy_messages;
-          rounds := !rounds + s.Engine.rounds;
-          if s.Engine.outcome = Engine.Deadlocked then incr deadlocks
+          data := !data + s.Report.data_messages;
+          dummies := !dummies + s.Report.dummy_messages;
+          rounds := !rounds + Option.value (Report.rounds s) ~default:0;
+          if s.Report.outcome = Report.Deadlocked then incr deadlocks
       done;
       row "  %-34s %6d/%-3d %10d %10d %8.1f%% %9d@." name !deadlocks trials
         !data !dummies
@@ -823,7 +880,8 @@ let a3 () =
       in
       let r =
         Verify.check ~strategy ~graph:g
-          ~avoidance:(Engine.Non_propagation t) ~inputs ()
+          ~avoidance:(Engine.Non_propagation (Thresholds.of_array g t))
+          ~inputs ()
       in
       row "  %-34s %s@." name
         (match r with
@@ -881,7 +939,9 @@ let micro () =
                    else Filters.passthrough outs)
              in
              Engine.run ~graph:g ~kernels ~inputs:100
-               ~avoidance:(Engine.Non_propagation [| Some 1; Some 1; Some 4 |])
+               ~avoidance:
+                 (Engine.Non_propagation
+                    (Thresholds.of_array g [| Some 1; Some 1; Some 4 |]))
                ()));
     ]
   in
@@ -918,6 +978,7 @@ let sections =
     ("C4", c4);
     ("C5", c5);
     ("C6", c6);
+    ("O1", o1);
     ("V1", v1);
     ("V2", v2);
     ("S1", s1);

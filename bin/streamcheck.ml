@@ -22,34 +22,48 @@ module Verify = Fstream_verify.Verify
 
 let demos =
   [
-    ("fig1", fun () -> Topo_gen.fig1_split_join ~branches:3 ~cap:2);
-    ("fig2", fun () -> Topo_gen.fig2_triangle ~cap:2);
-    ("fig3", fun () -> Topo_gen.fig3_hexagon ());
-    ("fig4-left", fun () -> Topo_gen.fig4_left ~cap:2);
-    ("erosion", fun () -> Topo_gen.erosion_counterexample ());
-    ("butterfly", fun () -> Topo_gen.fig4_butterfly ~cap:2);
-    ("fig5", fun () -> Topo_gen.fig5_ladder ~cap:2);
-    ("wide-ladder", fun () -> Topo_gen.wide_ladder ~rungs:6 ~cap:2);
-    ("pipeline", fun () -> Topo_gen.pipeline ~stages:8 ~cap:2);
+    ("fig1", fun ~seed:_ -> Topo_gen.fig1_split_join ~branches:3 ~cap:2);
+    ("fig2", fun ~seed:_ -> Topo_gen.fig2_triangle ~cap:2);
+    ("fig3", fun ~seed:_ -> Topo_gen.fig3_hexagon ());
+    ("fig4-left", fun ~seed:_ -> Topo_gen.fig4_left ~cap:2);
+    ("erosion", fun ~seed:_ -> Topo_gen.erosion_counterexample ());
+    ("butterfly", fun ~seed:_ -> Topo_gen.fig4_butterfly ~cap:2);
+    ("fig5", fun ~seed:_ -> Topo_gen.fig5_ladder ~cap:2);
+    ("wide-ladder", fun ~seed:_ -> Topo_gen.wide_ladder ~rungs:6 ~cap:2);
+    ("pipeline", fun ~seed:_ -> Topo_gen.pipeline ~stages:8 ~cap:2);
     ( "random-cs4",
-      fun () ->
+      fun ~seed ->
         Topo_gen.random_cs4
-          (Random.State.make [| 1 |])
+          (Random.State.make [| seed |])
           ~blocks:3 ~block_edges:8 ~max_cap:4 );
   ]
 
-let load_graph file demo =
+let load_graph ~seed file demo =
   match (file, demo) with
   | Some path, None -> Graph_io.load path
   | None, Some name -> (
     match List.assoc_opt name demos with
-    | Some f -> Ok (f ())
+    | Some f -> Ok (f ~seed)
     | None ->
       Error
         (Printf.sprintf "unknown demo %S; available: %s" name
            (String.concat ", " (List.map fst demos))))
   | Some _, Some _ -> Error "pass either --file or --demo, not both"
   | None, None -> Error "pass --file FILE or --demo NAME"
+
+(* Typed compiler errors get their own exit-code band so scripts (and
+   the cram tests) can tell rejection modes apart without parsing
+   stderr. *)
+let plan_error_code = function
+  | Compiler.Not_a_dag -> 10
+  | Compiler.Not_two_terminal -> 11
+  | Compiler.Disconnected -> 12
+  | Compiler.Non_cs4_rejected _ -> 13
+  | Compiler.Cycle_budget_exceeded _ -> 14
+
+let plan_error e =
+  Format.eprintf "error: %a@." Compiler.pp_error e;
+  plan_error_code e
 
 let file_arg =
   Arg.(
@@ -66,12 +80,20 @@ let demo_arg =
     & info [ "d"; "demo" ] ~docv:"NAME"
         ~doc:(Printf.sprintf "Built-in demo topology: %s." names))
 
+let seed_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "seed" ] ~docv:"SEED"
+        ~doc:
+          "Seed for randomized demo topologies ($(b,random-cs4)) and for the \
+           filtering workload of $(b,simulate).")
+
 (* ------------------------------------------------------------------ *)
 (* classify                                                             *)
 
 let classify_cmd =
-  let run file demo =
-    match load_graph file demo with
+  let run file demo seed =
+    match load_graph ~seed file demo with
     | Error e ->
       Format.eprintf "error: %s@." e;
       1
@@ -106,7 +128,7 @@ let classify_cmd =
   let doc = "Classify a topology: SP, SP-ladder, CS4 chain, or general DAG." in
   Cmd.v
     (Cmd.info "classify" ~doc)
-    Term.(const run $ file_arg $ demo_arg)
+    Term.(const run $ file_arg $ demo_arg $ seed_arg)
 
 (* ------------------------------------------------------------------ *)
 (* intervals                                                            *)
@@ -128,24 +150,42 @@ let algorithm_arg =
           "Interval algorithm: $(b,propagation), $(b,non-propagation) or \
            $(b,relay).")
 
+let no_general_arg =
+  Arg.(
+    value & flag
+    & info [ "no-general" ]
+        ~doc:
+          "Reject non-CS4 topologies instead of falling back to the \
+           exponential general-DAG algorithm (mirrors a compiler that only \
+           accepts the polynomial classes).")
+
+let max_cycles_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-cycles" ] ~docv:"N"
+        ~doc:
+          "Budget for the general fallback's simple-cycle enumeration \
+           (default 10 million).")
+
 let intervals_cmd =
-  let run file demo algorithm =
-    match load_graph file demo with
+  let run file demo seed algorithm no_general max_cycles =
+    match load_graph ~seed file demo with
     | Error e ->
       Format.eprintf "error: %s@." e;
       1
     | Ok g -> (
-      match Compiler.plan algorithm g with
-      | Error e ->
-        Format.eprintf "error: %s@." e;
-        1
+      match
+        Compiler.plan ~allow_general:(not no_general) ?max_cycles algorithm g
+      with
+      | Error e -> plan_error e
       | Ok plan ->
         Format.printf "route: %a@." Compiler.pp_route plan.route;
         let thresholds =
           match algorithm with
           | Compiler.Propagation ->
             Compiler.propagation_thresholds g plan.intervals
-          | _ -> Compiler.send_thresholds plan.intervals
+          | _ -> Compiler.send_thresholds g plan.intervals
         in
         Format.printf "%-6s %-10s %4s %10s %10s@." "edge" "channel" "cap"
           "interval" "threshold";
@@ -154,7 +194,7 @@ let intervals_cmd =
             Format.printf "e%-5d %3d -> %-4d %4d %10s %10s@." e.id e.src e.dst
               e.cap
               (Format.asprintf "%a" Interval.pp plan.intervals.(e.id))
-              (match thresholds.(e.id) with
+              (match Thresholds.get thresholds e.id with
               | None -> "-"
               | Some k -> string_of_int k))
           (Graph.edges g);
@@ -163,7 +203,9 @@ let intervals_cmd =
   let doc = "Compute dummy-message intervals for every channel." in
   Cmd.v
     (Cmd.info "intervals" ~doc)
-    Term.(const run $ file_arg $ demo_arg $ algorithm_arg)
+    Term.(
+      const run $ file_arg $ demo_arg $ seed_arg $ algorithm_arg
+      $ no_general_arg $ max_cycles_arg)
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                             *)
@@ -193,9 +235,6 @@ let keep_arg =
         ~doc:"Per-channel probability that a node keeps (does not filter) an \
               output.")
 
-let seed_arg =
-  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed.")
-
 let scheduler_arg =
   Arg.(
     value
@@ -206,8 +245,26 @@ let scheduler_arg =
            or $(b,sweep) (reference full-sweep oracle). Both produce \
            identical stats.")
 
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's event stream to FILE in Chrome trace_event JSON \
+           (open in chrome://tracing or Perfetto).")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "After the run, print the metrics registry: per-channel \
+           high-watermark occupancy and dummy overhead, per-node firing and \
+           blocked-visit counts.")
+
 let simulate_cmd =
-  let run file demo avoidance inputs keep seed scheduler =
+  let run file demo avoidance inputs keep seed scheduler trace_out metrics =
     let loaded =
       (* files may carry per-node behaviours (App_spec); demos and plain
          graph files get the uniform Bernoulli workload *)
@@ -220,7 +277,7 @@ let simulate_cmd =
             Ok (spec.App_spec.graph, None)
           else Ok (spec.App_spec.graph, Some spec))
       | _ -> (
-        match load_graph file demo with
+        match load_graph ~seed file demo with
         | Error e -> Error e
         | Ok g -> Ok (g, None))
     in
@@ -246,40 +303,68 @@ let simulate_cmd =
           | Error e -> Error e)
         | A_nonprop -> (
           match Compiler.plan Compiler.Non_propagation g with
-          | Ok p -> Ok (Engine.Non_propagation (Compiler.send_thresholds p.intervals))
+          | Ok p ->
+            Ok (Engine.Non_propagation (Compiler.send_thresholds g p.intervals))
           | Error e -> Error e)
       in
       match wrapper with
-      | Error e ->
-        Format.eprintf "error: %s@." e;
-        1
+      | Error e -> plan_error e
       | Ok avoidance ->
-        let stats =
-          Engine.run ~scheduler ~deadlock_dump:Format.std_formatter ~graph:g
-            ~kernels ~inputs ~avoidance ()
+        let trace =
+          Option.map
+            (fun path ->
+              let oc = open_out path in
+              (Fstream_obs.Trace_json.sink (Format.formatter_of_out_channel oc), oc))
+            trace_out
         in
-        Format.printf "%a@." Engine.pp_stats stats;
-        (match stats.wedge with
+        let collector =
+          if metrics then Some (Fstream_obs.Metrics.collector ~graph:g ~inputs ())
+          else None
+        in
+        let sink =
+          match (trace, collector) with
+          | None, None -> None
+          | Some (s, _), None -> Some s
+          | None, Some c -> Some (Fstream_obs.Metrics.sink c)
+          | Some (s, _), Some c ->
+            Some (Fstream_obs.Sink.tee s (Fstream_obs.Metrics.sink c))
+        in
+        let report =
+          Engine.run ~scheduler ~deadlock_dump:Format.std_formatter ?sink
+            ~graph:g ~kernels ~inputs ~avoidance ()
+        in
+        Option.iter
+          (fun (s, oc) ->
+            Fstream_obs.Sink.close s;
+            close_out oc)
+          trace;
+        Format.printf "%a@." Report.pp report;
+        (match Report.wedge report with
         | Some snap -> (
           match Diagnosis.explain g snap with
           | Some w -> Format.printf "%a@." Diagnosis.pp_witness w
           | None -> ())
         | None -> ());
-        (match stats.outcome with Engine.Completed -> 0 | _ -> 2))
+        Option.iter
+          (fun c ->
+            Format.printf "%a@." Fstream_obs.Metrics.pp
+              (Fstream_obs.Metrics.result c))
+          collector;
+        (match report.outcome with Report.Completed -> 0 | _ -> 2))
   in
   let doc = "Run a topology under a random filtering workload." in
   Cmd.v
     (Cmd.info "simulate" ~doc)
     Term.(
       const run $ file_arg $ demo_arg $ avoidance_arg $ inputs_arg $ keep_arg
-      $ seed_arg $ scheduler_arg)
+      $ seed_arg $ scheduler_arg $ trace_out_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* verify                                                               *)
 
 let verify_cmd =
-  let run file demo avoidance inputs max_states strategy =
-    match load_graph file demo with
+  let run file demo seed avoidance inputs max_states strategy =
+    match load_graph ~seed file demo with
     | Error e ->
       Format.eprintf "error: %s@." e;
       1
@@ -297,13 +382,11 @@ let verify_cmd =
         | A_nonprop -> (
           match Compiler.plan Compiler.Non_propagation g with
           | Ok p ->
-            Ok (Engine.Non_propagation (Compiler.send_thresholds p.intervals))
+            Ok (Engine.Non_propagation (Compiler.send_thresholds g p.intervals))
           | Error e -> Error e)
       in
       match wrapper with
-      | Error e ->
-        Format.eprintf "error: %s@." e;
-        1
+      | Error e -> plan_error e
       | Ok avoidance -> (
         let r = Verify.check ~max_states ~strategy ~graph:g ~avoidance ~inputs () in
         Format.printf "%a@." Verify.pp_result r;
@@ -336,15 +419,15 @@ let verify_cmd =
   in
   Cmd.v (Cmd.info "verify" ~doc)
     Term.(
-      const run $ file_arg $ demo_arg $ avoidance_arg $ inputs $ max_states
-      $ strategy)
+      const run $ file_arg $ demo_arg $ seed_arg $ avoidance_arg $ inputs
+      $ max_states $ strategy)
 
 (* ------------------------------------------------------------------ *)
 (* repair                                                               *)
 
 let repair_cmd =
-  let run file demo out =
-    match load_graph file demo with
+  let run file demo seed out =
+    match load_graph ~seed file demo with
     | Error e ->
       Format.eprintf "error: %s@." e;
       1
@@ -381,14 +464,15 @@ let repair_cmd =
           ~doc:"Write the repaired topology to FILE (graph file format).")
   in
   let doc = "Rewrite a non-CS4 topology into a CS4 one (paper §VII)." in
-  Cmd.v (Cmd.info "repair" ~doc) Term.(const run $ file_arg $ demo_arg $ out)
+  Cmd.v (Cmd.info "repair" ~doc)
+    Term.(const run $ file_arg $ demo_arg $ seed_arg $ out)
 
 (* ------------------------------------------------------------------ *)
 (* size                                                                 *)
 
 let size_cmd =
-  let run file demo algorithm target =
-    match load_graph file demo with
+  let run file demo seed algorithm target =
+    match load_graph ~seed file demo with
     | Error e ->
       Format.eprintf "error: %s@." e;
       1
@@ -420,14 +504,14 @@ let size_cmd =
     "Compute the minimal uniform buffer scaling for a target dummy rate."
   in
   Cmd.v (Cmd.info "size" ~doc)
-    Term.(const run $ file_arg $ demo_arg $ algorithm_arg $ target)
+    Term.(const run $ file_arg $ demo_arg $ seed_arg $ algorithm_arg $ target)
 
 (* ------------------------------------------------------------------ *)
 (* dot                                                                  *)
 
 let dot_cmd =
-  let run file demo =
-    match load_graph file demo with
+  let run file demo seed =
+    match load_graph ~seed file demo with
     | Error e ->
       Format.eprintf "error: %s@." e;
       1
@@ -436,7 +520,7 @@ let dot_cmd =
       0
   in
   let doc = "Emit Graphviz dot for a topology (to stdout)." in
-  Cmd.v (Cmd.info "dot" ~doc) Term.(const run $ file_arg $ demo_arg)
+  Cmd.v (Cmd.info "dot" ~doc) Term.(const run $ file_arg $ demo_arg $ seed_arg)
 
 (* ------------------------------------------------------------------ *)
 

@@ -22,7 +22,7 @@ let () =
   Format.printf "original butterfly:@.";
   (match Compiler.plan Compiler.Non_propagation g with
   | Ok p -> Format.printf "  interval route: %a@." Compiler.pp_route p.route
-  | Error e -> Format.printf "  %s@." e);
+  | Error e -> Format.printf "  %a@." Compiler.pp_error e);
 
   let r =
     match Fstream_repair.Repair.repair g with
@@ -51,7 +51,7 @@ let () =
   let plan =
     match Compiler.plan Compiler.Non_propagation g' with
     | Ok p -> p
-    | Error e -> failwith e
+    | Error e -> failwith (Compiler.error_to_string e)
   in
   Format.printf "@.repaired topology: %a@." Compiler.pp_route plan.route;
   List.iter
@@ -86,7 +86,7 @@ let () =
   in
   let stats =
     Engine.run ~graph:g' ~kernels ~inputs:2000
-      ~avoidance:(Engine.Non_propagation (Compiler.send_thresholds plan.intervals))
+      ~avoidance:(Engine.Non_propagation (Compiler.send_thresholds g plan.intervals))
       ()
   in
-  Format.printf "@.simulation on repaired topology: %a@." Engine.pp_stats stats
+  Format.printf "@.simulation on repaired topology: %a@." Report.pp stats

@@ -17,7 +17,7 @@ open Fstream_workloads
 
 let overhead g =
   match Compiler.plan Compiler.Non_propagation g with
-  | Error e -> failwith e
+  | Error e -> failwith (Compiler.error_to_string e)
   | Ok plan ->
     let rng = Random.State.make [| 11 |] in
     let kernels =
@@ -28,7 +28,7 @@ let overhead g =
     in
     let s =
       Engine.run ~graph:g ~kernels ~inputs:5000
-        ~avoidance:(Engine.Non_propagation (Compiler.send_thresholds plan.intervals))
+        ~avoidance:(Engine.Non_propagation (Compiler.send_thresholds g plan.intervals))
         ()
     in
     let tightest = Array.fold_left Interval.min Interval.inf plan.intervals in
@@ -43,8 +43,8 @@ let report label g =
     "  %-14s buffers total %4d slots, tightest interval %-5s  %s, dummy overhead %5.1f%%@."
     label mem
     (Format.asprintf "%a" Interval.pp tightest)
-    (match s.Engine.outcome with
-    | Engine.Completed -> "completed"
+    (match s.Report.outcome with
+    | Report.Completed -> "completed"
     | _ -> "FAILED")
     (100. *. float s.dummy_messages /. float (max 1 s.data_messages))
 

@@ -25,8 +25,8 @@ let () =
     Engine.run ~deadlock_dump:Format.std_formatter ~graph:g ~kernels
       ~inputs:50 ~avoidance:Engine.No_avoidance ()
   in
-  Format.printf "%a@." Engine.pp_stats bare;
-  (match bare.wedge with
+  Format.printf "%a@." Report.pp bare;
+  (match Report.wedge bare with
   | Some snap -> (
     match Diagnosis.explain g snap with
     | Some w -> Format.printf "%a@.@." Diagnosis.pp_witness w
@@ -36,7 +36,7 @@ let () =
   let prop_plan =
     match Compiler.plan Compiler.Propagation g with
     | Ok p -> p
-    | Error e -> failwith e
+    | Error e -> failwith (Compiler.error_to_string e)
   in
   Format.printf "--- propagation algorithm ---@.";
   List.iteri
@@ -49,20 +49,20 @@ let () =
            (Compiler.propagation_thresholds g prop_plan.intervals))
       ()
   in
-  Format.printf "%a@.@." Engine.pp_stats prop;
+  Format.printf "%a@.@." Report.pp prop;
 
   Format.printf "--- non-propagation algorithm ---@.";
   let np_plan =
     match Compiler.plan Compiler.Non_propagation g with
     | Ok p -> p
-    | Error e -> failwith e
+    | Error e -> failwith (Compiler.error_to_string e)
   in
   List.iteri
     (fun i v -> Format.printf "  [e%d] = %a@." i Interval.pp v)
     (Array.to_list np_plan.intervals);
   let np =
     Engine.run ~graph:g ~kernels ~inputs:50
-      ~avoidance:(Engine.Non_propagation (Compiler.send_thresholds np_plan.intervals))
+      ~avoidance:(Engine.Non_propagation (Compiler.send_thresholds g np_plan.intervals))
       ()
   in
-  Format.printf "%a@." Engine.pp_stats np
+  Format.printf "%a@." Report.pp np

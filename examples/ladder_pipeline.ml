@@ -46,7 +46,7 @@ let () =
   let plan =
     match Compiler.plan Compiler.Non_propagation g with
     | Ok p -> p
-    | Error e -> failwith e
+    | Error e -> failwith (Compiler.error_to_string e)
   in
   Format.printf "topology: %a@." Compiler.pp_route plan.route;
   (match plan.route with
@@ -74,8 +74,8 @@ let () =
   in
   let run avoidance = Engine.run ~graph:g ~kernels ~inputs:2000 ~avoidance () in
   let bare = run Engine.No_avoidance in
-  Format.printf "@.no avoidance:    %a@." Engine.pp_stats bare;
-  let safe = run (Engine.Non_propagation (Compiler.send_thresholds plan.intervals)) in
-  Format.printf "with avoidance:  %a@." Engine.pp_stats safe;
+  Format.printf "@.no avoidance:    %a@." Report.pp bare;
+  let safe = run (Engine.Non_propagation (Compiler.send_thresholds g plan.intervals)) in
+  Format.printf "with avoidance:  %a@." Report.pp safe;
   Format.printf "dummy overhead:  %.2f%% of data traffic@."
     (100. *. float safe.dummy_messages /. float safe.data_messages)

@@ -33,7 +33,7 @@ let () =
   let plan =
     match Compiler.plan Compiler.Propagation g with
     | Ok p -> p
-    | Error e -> failwith e
+    | Error e -> failwith (Compiler.error_to_string e)
   in
   Format.printf "route: %a@." Compiler.pp_route plan.route;
   List.iter
@@ -59,17 +59,17 @@ let () =
   let frames = 5000 in
   let run avoidance = Engine.run ~graph:g ~kernels ~inputs:frames ~avoidance () in
   let bare = run Engine.No_avoidance in
-  Format.printf "@.no avoidance:     %a@." Engine.pp_stats bare;
+  Format.printf "@.no avoidance:     %a@." Report.pp bare;
   let prop =
     run (Engine.Propagation (Compiler.propagation_thresholds g plan.intervals))
   in
-  Format.printf "propagation:      %a@." Engine.pp_stats prop;
+  Format.printf "propagation:      %a@." Report.pp prop;
   let nonprop =
     match Compiler.plan Compiler.Non_propagation g with
-    | Ok p -> run (Engine.Non_propagation (Compiler.send_thresholds p.intervals))
-    | Error e -> failwith e
+    | Ok p -> run (Engine.Non_propagation (Compiler.send_thresholds g p.intervals))
+    | Error e -> failwith (Compiler.error_to_string e)
   in
-  Format.printf "non-propagation:  %a@." Engine.pp_stats nonprop;
+  Format.printf "non-propagation:  %a@." Report.pp nonprop;
   Format.printf
     "@.dummy overhead: propagation %.1f%% vs non-propagation %.1f%% of data traffic@."
     (100. *. float prop.dummy_messages /. float prop.data_messages)

@@ -30,7 +30,7 @@ let () =
   let plan =
     match Compiler.plan Compiler.Non_propagation g with
     | Ok p -> p
-    | Error e -> failwith e
+    | Error e -> failwith (Compiler.error_to_string e)
   in
   Format.printf "classified as: %a@." Compiler.pp_route plan.route;
   List.iter
@@ -56,11 +56,11 @@ let () =
   (* 4. Run, wrapped by the Non-Propagation deadlock-avoidance layer. *)
   let stats =
     Engine.run ~graph:g ~kernels ~inputs:1000
-      ~avoidance:(Engine.Non_propagation (Compiler.send_thresholds plan.intervals))
+      ~avoidance:(Engine.Non_propagation (Compiler.send_thresholds g plan.intervals))
       ()
   in
-  Format.printf "@.with avoidance:    %a@." Engine.pp_stats stats;
+  Format.printf "@.with avoidance:    %a@." Report.pp stats;
 
   (* 5. The same application without the wrapper deadlocks quickly. *)
   let bare = Engine.run ~graph:g ~kernels ~inputs:1000 ~avoidance:Engine.No_avoidance () in
-  Format.printf "without avoidance: %a@." Engine.pp_stats bare
+  Format.printf "without avoidance: %a@." Report.pp bare

@@ -66,13 +66,13 @@ let () =
   let stats =
     Fstream_parallel.Parallel_engine.run ~graph:g
       ~kernels:(App.to_kernels app) ~inputs:frames
-      ~avoidance:(Engine.Non_propagation (Compiler.send_thresholds plan.intervals))
+      ~avoidance:(Engine.Non_propagation (Compiler.send_thresholds g plan.intervals))
       ()
   in
   Format.printf "parallel run: %s, %d data msgs, %d dummies@."
     (match stats.outcome with
-    | Completed -> "completed"
-    | Deadlocked -> "DEADLOCKED")
+    | Report.Completed -> "completed"
+    | _ -> "DEADLOCKED")
     stats.data_messages stats.dummy_messages;
   Format.printf "%d routine frames archived, %d alerts:@." !routine
     (List.length !alerts);

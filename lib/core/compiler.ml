@@ -13,6 +13,29 @@ type plan = {
   route : route;
 }
 
+type error =
+  | Not_a_dag
+  | Disconnected
+  | Not_two_terminal
+  | Non_cs4_rejected of Cs4.failure
+  | Cycle_budget_exceeded of int
+
+let pp_error ppf = function
+  | Not_a_dag -> Format.pp_print_string ppf "the topology has a directed cycle"
+  | Disconnected -> Format.pp_print_string ppf "the topology is not connected"
+  | Not_two_terminal ->
+    Format.pp_print_string ppf
+      "not a two-terminal DAG (need exactly one source, one sink, every node \
+       on a source-to-sink path)"
+  | Non_cs4_rejected failure ->
+    Format.fprintf ppf "%a, and the general fallback is disabled"
+      Cs4.pp_failure failure
+  | Cycle_budget_exceeded budget ->
+    Format.fprintf ppf
+      "cycle enumeration exceeded the budget of %d simple cycles" budget
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
 let pp_route ppf = function
   | Cs4_route cls ->
     let sp, ladders =
@@ -59,20 +82,31 @@ let run_general algorithm ?max_cycles g =
   { algorithm; intervals = ivals; route = General_route { cycles = List.length cycles } }
 
 let plan ?(allow_general = true) ?max_cycles algorithm g =
-  match Cs4.classify g with
-  | Ok cls ->
-    Ok { algorithm; intervals = run_cs4 algorithm g cls; route = Cs4_route cls }
-  | Error failure ->
-    if allow_general && Topo.is_dag g then
-      try Ok (run_general algorithm ?max_cycles g)
-      with Failure msg -> Error msg
-    else
-      Error (Format.asprintf "%a" Cs4.pp_failure failure)
+  if not (Topo.is_dag g) then Error Not_a_dag
+  else if not (Topo.connected g) then Error Disconnected
+  else
+    match Cs4.classify g with
+    | Ok cls ->
+      Ok
+        { algorithm; intervals = run_cs4 algorithm g cls; route = Cs4_route cls }
+    | Error failure ->
+      if allow_general then
+        try Ok (run_general algorithm ?max_cycles g)
+        with Failure _ ->
+          Error
+            (Cycle_budget_exceeded
+               (Option.value max_cycles ~default:10_000_000))
+      else
+        Error
+          (match failure with
+          | Cs4.Not_two_terminal -> Not_two_terminal
+          | Cs4.Bad_block _ -> Non_cs4_rejected failure)
 
-let send_thresholds = Array.map Interval.threshold
+let send_thresholds g intervals =
+  Thresholds.of_array g (Array.map Interval.threshold intervals)
 
 let sdf_thresholds g =
-  Array.make (Graph.num_edges g) (Some 1)
+  Thresholds.of_array g (Array.make (Graph.num_edges g) (Some 1))
 
 let propagation_thresholds g intervals =
   let on_cycle = Array.make (Graph.num_edges g) false in
@@ -83,9 +117,10 @@ let propagation_thresholds g intervals =
       | edges ->
         List.iter (fun (e : Graph.edge) -> on_cycle.(e.id) <- true) edges)
     (Articulation.biconnected_components g);
-  Array.mapi
-    (fun i v ->
-      match Interval.threshold v with
-      | Some k -> Some k
-      | None -> if on_cycle.(i) then Some 1 else None)
-    intervals
+  Thresholds.of_array g
+    (Array.mapi
+       (fun i v ->
+         match Interval.threshold v with
+         | Some k -> Some k
+         | None -> if on_cycle.(i) then Some 1 else None)
+       intervals)

@@ -38,28 +38,46 @@ type plan = {
   route : route;
 }
 
+type error =
+  | Not_a_dag  (** the topology has a directed cycle *)
+  | Disconnected  (** the underlying undirected graph is not connected *)
+  | Not_two_terminal
+      (** CS4 classification was required and the graph is not a
+          two-terminal DAG *)
+  | Non_cs4_rejected of Cs4.failure
+      (** non-CS4 and [~allow_general:false]: the compiler rejects the
+          topology, as the paper advises, with the offending block *)
+  | Cycle_budget_exceeded of int
+      (** the general fallback gave up after enumerating this many
+          undirected simple cycles *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val error_to_string : error -> string
+
 val plan :
   ?allow_general:bool ->
   ?max_cycles:int ->
   algorithm ->
   Graph.t ->
-  (plan, string) result
+  (plan, error) result
 (** [allow_general] (default [true]) permits the exponential fallback
-    on non-CS4 DAGs; with [~allow_general:false] such graphs are an
-    error, mirroring a compiler that rejects unsupported topologies.
-    Errors also cover graphs that are not connected two-terminal DAGs
-    when CS4 classification is required. The general fallback only
-    needs acyclicity. *)
+    on non-CS4 DAGs; with [~allow_general:false] such graphs are
+    [Non_cs4_rejected], mirroring a compiler that rejects unsupported
+    topologies. The general fallback only needs acyclicity and
+    connectivity; [max_cycles] (default 10 million) bounds its cycle
+    enumeration. *)
 
-val send_thresholds : Interval.t array -> int option array
-(** Integer gap thresholds for the runtime wrappers: [None] means the
-    channel never needs dummies; [Some k] means a dummy is due once the
-    channel has gone [k] sequence numbers without a message
+val send_thresholds : Graph.t -> Interval.t array -> Thresholds.t
+(** Integer gap thresholds for the runtime wrappers, bound to the graph
+    they were computed for: an edge with interval [Inf] never needs
+    dummies; a finite interval means a dummy is due once the channel
+    has gone [threshold] sequence numbers without a message
     ({!Interval.threshold}). Use directly for the Non-Propagation
     wrapper; for the Propagation wrapper use
     {!propagation_thresholds}. *)
 
-val sdf_thresholds : Graph.t -> int option array
+val sdf_thresholds : Graph.t -> Thresholds.t
 (** The strawman the paper's introduction argues against: emulate
     filtering in a synchronous-dataflow setting by sending a message
     (data or null) on every channel for every sequence number —
@@ -67,8 +85,7 @@ val sdf_thresholds : Graph.t -> int option array
     bandwidth ablation (bench A1) to quantify what the computed
     intervals save. *)
 
-val propagation_thresholds :
-  Graph.t -> Interval.t array -> int option array
+val propagation_thresholds : Graph.t -> Interval.t array -> Thresholds.t
 (** Runtime thresholds for the Propagation wrapper from a
     [Propagation] interval table. Edges with finite intervals (cycle
     sources) keep their budget; edges with interval [Inf] that lie on

@@ -8,7 +8,7 @@ let min_uniform_scale g algorithm ~target =
   if target < 1 then Error "target interval must be positive"
   else
     match Compiler.plan ~allow_general:false algorithm g with
-    | Error e -> Error e
+    | Error e -> Error (Compiler.error_to_string e)
     | Ok plan ->
       let tightest =
         Array.fold_left Interval.min Interval.inf plan.intervals

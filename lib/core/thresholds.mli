@@ -1,0 +1,51 @@
+(** Typed per-channel dummy-threshold tables.
+
+    The runtime wrappers used to take a positional [int option array],
+    which made it possible to compute a table for one graph and silently
+    apply it to another — the thresholds would line up with the wrong
+    edges and the soundness guarantee would evaporate without any error.
+    A [Thresholds.t] closes that hole: it is abstract, indexed by edge
+    id, and carries a structural fingerprint of the graph it was
+    computed for. The engines check the fingerprint at the start of
+    every run and refuse mismatched tables.
+
+    Produce tables with {!Compiler.send_thresholds},
+    {!Compiler.propagation_thresholds} or {!Compiler.sdf_thresholds};
+    {!of_array} is the escape hatch for hand-built tables (tests,
+    experiments). *)
+
+open Fstream_graph
+
+type t
+
+val of_array : Graph.t -> int option array -> t
+(** Bind a raw table to the graph it is meant for. [None] means the
+    channel never originates dummies; [Some k] means a dummy is due
+    once the channel has gone [k] sequence numbers without a message.
+    @raise Invalid_argument if the array length is not [num_edges], or
+    some threshold is [< 1]. *)
+
+val get : t -> int -> int option
+(** [get t edge_id]. @raise Invalid_argument if out of range. *)
+
+val length : t -> int
+
+val to_array : t -> int option array
+(** A fresh copy of the raw table (the runtime boundary). *)
+
+val compatible : t -> Graph.t -> bool
+(** Whether the table was computed for (a graph structurally identical
+    to) this graph. *)
+
+val check : t -> Graph.t -> unit
+(** @raise Invalid_argument when not {!compatible} — the error the
+    engines raise on a table/graph mix-up. *)
+
+val graph_fingerprint : Graph.t -> int
+(** Structural fingerprint over node count and every edge's
+    [(id, src, dst, cap)] — capacities included, since thresholds are
+    functions of buffer sizes. *)
+
+val fingerprint : t -> int
+
+val pp : Format.formatter -> t -> unit

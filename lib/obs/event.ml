@@ -1,0 +1,66 @@
+type payload = Data | Dummy | Eos
+
+type outcome = Completed | Deadlocked | Budget_exhausted
+
+type t =
+  | Round_started of { round : int }
+  | Node_fired of {
+      node : int;
+      seq : int;
+      got : int list;
+      got_dummy : bool;
+      sent : int list;
+    }
+  | Push of { edge : int; seq : int; payload : payload }
+  | Pop of { edge : int; seq : int; payload : payload }
+  | Dummy_emitted of { node : int; edge : int; seq : int }
+  | Dummy_dropped of { edge : int; seq : int }
+  | Blocked of { node : int; edge : int }
+  | Eos of { node : int }
+  | Wedge of { round : int }
+  | Run_finished of { outcome : outcome }
+
+let name = function
+  | Round_started _ -> "Round_started"
+  | Node_fired _ -> "Node_fired"
+  | Push _ -> "Push"
+  | Pop _ -> "Pop"
+  | Dummy_emitted _ -> "Dummy_emitted"
+  | Dummy_dropped _ -> "Dummy_dropped"
+  | Blocked _ -> "Blocked"
+  | Eos _ -> "Eos"
+  | Wedge _ -> "Wedge"
+  | Run_finished _ -> "Run_finished"
+
+let pp_payload ppf = function
+  | Data -> Format.pp_print_string ppf "data"
+  | Dummy -> Format.pp_print_string ppf "dummy"
+  | Eos -> Format.pp_print_string ppf "eos"
+
+let pp_outcome ppf = function
+  | Completed -> Format.pp_print_string ppf "completed"
+  | Deadlocked -> Format.pp_print_string ppf "DEADLOCKED"
+  | Budget_exhausted -> Format.pp_print_string ppf "budget exhausted"
+
+let pp_ids ppf ids =
+  Format.fprintf ppf "[%s]" (String.concat "," (List.map string_of_int ids))
+
+let pp ppf = function
+  | Round_started { round } -> Format.fprintf ppf "round %d" round
+  | Node_fired { node; seq; got; got_dummy; sent } ->
+    Format.fprintf ppf "n%d fires seq%d got=%a dummy=%b sent=%a" node seq
+      pp_ids got got_dummy pp_ids sent
+  | Push { edge; seq; payload } ->
+    Format.fprintf ppf "push e%d #%d %a" edge seq pp_payload payload
+  | Pop { edge; seq; payload } ->
+    Format.fprintf ppf "pop e%d #%d %a" edge seq pp_payload payload
+  | Dummy_emitted { node; edge; seq } ->
+    Format.fprintf ppf "n%d emits dummy #%d on e%d" node seq edge
+  | Dummy_dropped { edge; seq } ->
+    Format.fprintf ppf "dummy #%d dropped on e%d" seq edge
+  | Blocked { node; edge } ->
+    Format.fprintf ppf "n%d blocked on full e%d" node edge
+  | Eos { node } -> Format.fprintf ppf "n%d eos" node
+  | Wedge { round } -> Format.fprintf ppf "wedge in round %d" round
+  | Run_finished { outcome } ->
+    Format.fprintf ppf "run finished: %a" pp_outcome outcome

@@ -1,0 +1,65 @@
+(** The structured event vocabulary of the runtime.
+
+    Both engines ({!Fstream_runtime.Engine} and
+    {!Fstream_parallel.Parallel_engine}) narrate a run as a stream of
+    these events, delivered to a {!Sink}. The vocabulary is closed and
+    typed so that downstream consumers — the {!Metrics} registry, the
+    Chrome {!Trace_json} writer, and the replay oracle
+    [Fstream_runtime.Report.of_events] — never parse text.
+
+    Two invariants make the stream a faithful account of a run:
+
+    - {e completeness}: every state transition the engine performs
+      (a push, a pop, a firing, a dummy decision) appears as exactly
+      one event, so a run's {!Fstream_runtime.Report.t} is a pure
+      function of its event log (the replay oracle checks this
+      bit-for-bit);
+    - {e scheduler independence}: the sequential engine emits the same
+      transition events under both schedulers ([Blocked] is the one
+      exception — it narrates visits, and the ready scheduler visits
+      blocked nodes less often). *)
+
+type payload = Data | Dummy | Eos
+(** What kind of message crossed a channel (mirrors
+    [Fstream_runtime.Message.body], without the payload value). *)
+
+type outcome = Completed | Deadlocked | Budget_exhausted
+(** How a run ended. This is the canonical definition; the runtime
+    re-exports it as [Fstream_runtime.Report.outcome]. *)
+
+type t =
+  | Round_started of { round : int }
+      (** sequential engine only: a scheduler round began (1-based) *)
+  | Node_fired of {
+      node : int;
+      seq : int;
+      got : int list;  (** in-edge ids that delivered data for [seq] *)
+      got_dummy : bool;
+      sent : int list;  (** out-edge ids the kernel kept (data enqueued) *)
+    }
+  | Push of { edge : int; seq : int; payload : payload }
+      (** a message entered a channel's buffer *)
+  | Pop of { edge : int; seq : int; payload : payload }
+      (** a message left a channel's buffer (consumed by its receiver) *)
+  | Dummy_emitted of { node : int; edge : int; seq : int }
+      (** the wrapper decided a dummy is due on [edge]; it now sits in
+          the channel's coalescing slot awaiting delivery *)
+  | Dummy_dropped of { edge : int; seq : int }
+      (** a queued dummy was superseded before delivery — coalesced
+          with a newer dummy, overtaken by data, or discarded at EOS *)
+  | Blocked of { node : int; edge : int }
+      (** a visited node still holds a pending send stuck on full
+          channel [edge] (once per visit while stuck) *)
+  | Eos of { node : int }  (** the node sent end-of-stream and retired *)
+  | Wedge of { round : int }
+      (** the sequential engine detected a deadlock in [round] *)
+  | Run_finished of { outcome : outcome }
+      (** terminal event: every run emits exactly one, last *)
+
+val name : t -> string
+(** Constructor name, e.g. ["Push"] — used as the Chrome trace event
+    name. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_outcome : Format.formatter -> outcome -> unit
+val pp_payload : Format.formatter -> payload -> unit

@@ -1,0 +1,132 @@
+open Fstream_graph
+
+type edge_metrics = {
+  data : int;
+  dummies : int;
+  high_watermark : int;
+  capacity : int;
+  dummy_overhead : float;
+}
+
+type t = {
+  edges : edge_metrics array;
+  fired : int array;
+  blocked_visits : int array;
+  rounds : int;
+  rounds_to_first_wedge : int option;
+  events : int;
+}
+
+type collector = {
+  inputs : int option;
+  caps : int array;
+  data : int array;
+  dummies : int array;
+  occupancy : int array;  (* current buffer length, from pushes - pops *)
+  watermark : int array;
+  c_fired : int array;
+  blocked : int array;
+  mutable c_rounds : int;
+  mutable first_wedge : int option;
+  mutable c_events : int;
+}
+
+let collector ~graph ?inputs () =
+  let m = Graph.num_edges graph and n = Graph.num_nodes graph in
+  {
+    inputs;
+    caps = Array.init m (fun i -> (Graph.edge graph i).cap);
+    data = Array.make m 0;
+    dummies = Array.make m 0;
+    occupancy = Array.make m 0;
+    watermark = Array.make m 0;
+    c_fired = Array.make n 0;
+    blocked = Array.make n 0;
+    c_rounds = 0;
+    first_wedge = None;
+    c_events = 0;
+  }
+
+let feed c (e : Event.t) =
+  c.c_events <- c.c_events + 1;
+  match e with
+  | Round_started { round } -> c.c_rounds <- max c.c_rounds round
+  | Node_fired { node; _ } -> c.c_fired.(node) <- c.c_fired.(node) + 1
+  | Push { edge; payload; _ } ->
+    c.occupancy.(edge) <- c.occupancy.(edge) + 1;
+    if c.occupancy.(edge) > c.watermark.(edge) then
+      c.watermark.(edge) <- c.occupancy.(edge);
+    (match payload with
+    | Event.Data -> c.data.(edge) <- c.data.(edge) + 1
+    | Event.Dummy -> c.dummies.(edge) <- c.dummies.(edge) + 1
+    | Event.Eos -> ())
+  | Pop { edge; _ } -> c.occupancy.(edge) <- c.occupancy.(edge) - 1
+  | Blocked { node; _ } -> c.blocked.(node) <- c.blocked.(node) + 1
+  | Wedge { round } ->
+    if c.first_wedge = None then c.first_wedge <- Some round
+  | Dummy_emitted _ | Dummy_dropped _ | Eos _ | Run_finished _ -> ()
+
+let sink c = Sink.make (feed c)
+
+let result c =
+  let edges =
+    Array.init (Array.length c.caps) (fun i ->
+        let data = c.data.(i) and dummies = c.dummies.(i) in
+        let dummy_overhead =
+          match c.inputs with
+          | Some inputs when inputs - data > 0 ->
+            float dummies /. float (inputs - data)
+          | Some _ -> if dummies = 0 then 0. else infinity
+          | None -> float dummies /. float (max 1 (data + dummies))
+        in
+        {
+          data;
+          dummies;
+          high_watermark = c.watermark.(i);
+          capacity = c.caps.(i);
+          dummy_overhead;
+        })
+  in
+  {
+    edges;
+    fired = Array.copy c.c_fired;
+    blocked_visits = Array.copy c.blocked;
+    rounds = c.c_rounds;
+    rounds_to_first_wedge = c.first_wedge;
+    events = c.c_events;
+  }
+
+let of_events ~graph ?inputs events =
+  let c = collector ~graph ?inputs () in
+  List.iter (feed c) events;
+  result c
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>%-6s %5s %9s %9s %10s %9s@," "edge" "cap"
+    "data" "dummies" "watermark" "overhead";
+  Array.iteri
+    (fun i (e : edge_metrics) ->
+      Format.fprintf ppf "e%-5d %5d %9d %9d %7d/%-3d %8.2f@," i e.capacity
+        e.data e.dummies e.high_watermark e.capacity e.dummy_overhead)
+    m.edges;
+  let total f = Array.fold_left (fun a e -> a + f e) 0 m.edges in
+  Format.fprintf ppf "totals: %d data, %d dummies over %d channels@,"
+    (total (fun e -> e.data))
+    (total (fun e -> e.dummies))
+    (Array.length m.edges);
+  let blocked =
+    Array.to_seq m.blocked_visits
+    |> Seq.mapi (fun v b -> (v, b))
+    |> Seq.filter (fun (_, b) -> b > 0)
+    |> List.of_seq
+  in
+  (match blocked with
+  | [] -> ()
+  | l ->
+    Format.fprintf ppf "blocked visits:%s@,"
+      (String.concat ""
+         (List.map (fun (v, b) -> Printf.sprintf " n%d:%d" v b) l)));
+  (match m.rounds_to_first_wedge with
+  | Some r -> Format.fprintf ppf "first wedge: round %d@," r
+  | None -> ());
+  Format.fprintf ppf "%d rounds, %d events@]" m.rounds m.events

@@ -1,0 +1,62 @@
+type t = {
+  capacity : int;
+  mutable buf : Event.t array;
+  mutable start : int;  (* index of the oldest event *)
+  mutable len : int;
+  mutable dropped : int;
+}
+
+let filler = Event.Round_started { round = 0 }
+
+let create ?(capacity = 65536) () =
+  if capacity < 1 then invalid_arg "Ring.create: capacity < 1";
+  {
+    capacity;
+    buf = Array.make (min capacity 1024) filler;
+    start = 0;
+    len = 0;
+    dropped = 0;
+  }
+
+let grow r =
+  let cur = Array.length r.buf in
+  let bigger = Array.make (min r.capacity (2 * cur)) filler in
+  for i = 0 to r.len - 1 do
+    bigger.(i) <- r.buf.((r.start + i) mod cur)
+  done;
+  r.buf <- bigger;
+  r.start <- 0
+
+let push r e =
+  let size = Array.length r.buf in
+  if r.len = size && size < r.capacity then grow r;
+  let size = Array.length r.buf in
+  if r.len < size then begin
+    r.buf.((r.start + r.len) mod size) <- e;
+    r.len <- r.len + 1
+  end
+  else begin
+    (* full at capacity: overwrite the oldest *)
+    r.buf.(r.start) <- e;
+    r.start <- (r.start + 1) mod size;
+    r.dropped <- r.dropped + 1
+  end
+
+let sink r = Sink.make (push r)
+let length r = r.len
+let dropped r = r.dropped
+
+let iter r f =
+  let size = Array.length r.buf in
+  for i = 0 to r.len - 1 do
+    f r.buf.((r.start + i) mod size)
+  done
+
+let contents r =
+  let size = Array.length r.buf in
+  List.init r.len (fun i -> r.buf.((r.start + i) mod size))
+
+let clear r =
+  r.start <- 0;
+  r.len <- 0;
+  r.dropped <- 0

@@ -1,0 +1,31 @@
+(** A bounded in-memory event buffer.
+
+    Keeps the most recent [capacity] events, dropping the oldest once
+    full — cheap enough to leave on in production and still hold a
+    useful wedge audit trail when a run deadlocks. Storage grows
+    geometrically from a small initial array up to [capacity], so an
+    over-provisioned ring on a short run costs little.
+
+    The replay oracle ([Fstream_runtime.Report.of_events]) needs the
+    {e complete} log: check {!dropped}[ = 0] before replaying. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] defaults to [65536] events.
+    @raise Invalid_argument if [capacity < 1]. *)
+
+val sink : t -> Sink.t
+(** A sink recording into the ring. Closing it is a no-op. *)
+
+val push : t -> Event.t -> unit
+val length : t -> int
+
+val dropped : t -> int
+(** Events evicted because the ring was full. *)
+
+val contents : t -> Event.t list
+(** Oldest first. *)
+
+val iter : t -> (Event.t -> unit) -> unit
+val clear : t -> unit

@@ -1,0 +1,16 @@
+type t = { emit : Event.t -> unit; close : unit -> unit; null : bool }
+
+let null = { emit = ignore; close = ignore; null = true }
+let is_null s = s.null
+let make ?(close = ignore) emit = { emit; close; null = false }
+let emit s e = s.emit e
+let close s = s.close ()
+
+let tee a b =
+  make
+    ~close:(fun () ->
+      a.close ();
+      b.close ())
+    (fun e ->
+      a.emit e;
+      b.emit e)

@@ -1,0 +1,31 @@
+(** Pluggable event consumers.
+
+    A sink is where an engine sends its {!Event} stream. The engines
+    treat {!null} specially — it is recognized with {!is_null} and the
+    whole emission path (including event construction) is skipped, so
+    instrumentation with the null sink costs one branch per potential
+    event (measured < 1% on the bench C6 pipelines; see
+    EXPERIMENTS.md, "O1").
+
+    Sinks are single-threaded values: the sequential engine calls them
+    from its own thread, the parallel engine only under its global
+    monitor. The engine never closes a sink — the creator does, which
+    matters for sinks with terminal output like {!Trace_json}. *)
+
+type t
+
+val null : t
+(** Drops everything. The engines detect it and skip event
+    construction entirely. *)
+
+val is_null : t -> bool
+
+val make : ?close:(unit -> unit) -> (Event.t -> unit) -> t
+(** [make emit] wraps a callback. [close] (default a no-op) runs when
+    {!close} is called — e.g. to write a trailer. *)
+
+val emit : t -> Event.t -> unit
+val close : t -> unit
+
+val tee : t -> t -> t
+(** Duplicates every event (and [close]) to both sinks, in order. *)

@@ -1,0 +1,58 @@
+(* One JSON object per event, streamed; no intermediate AST. *)
+
+let escape s =
+  (* event names and args are ASCII identifiers; quote defensively *)
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' | '\\' -> Buffer.add_char b '\\'; Buffer.add_char b c
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let ids l = "[" ^ String.concat "," (List.map string_of_int l) ^ "]"
+
+(* pid/tid track and the args payload for each event *)
+let location_and_args (e : Event.t) =
+  let payload p = Format.asprintf "%a" Event.pp_payload p in
+  match e with
+  | Round_started { round } -> (0, 0, Printf.sprintf {|{"round":%d}|} round)
+  | Node_fired { node; seq; got; got_dummy; sent } ->
+    ( 0,
+      node,
+      Printf.sprintf {|{"seq":%d,"got":%s,"got_dummy":%b,"sent":%s}|} seq
+        (ids got) got_dummy (ids sent) )
+  | Push { edge; seq; payload = p } ->
+    (1, edge, Printf.sprintf {|{"seq":%d,"payload":"%s"}|} seq (payload p))
+  | Pop { edge; seq; payload = p } ->
+    (1, edge, Printf.sprintf {|{"seq":%d,"payload":"%s"}|} seq (payload p))
+  | Dummy_emitted { node; edge; seq } ->
+    (1, edge, Printf.sprintf {|{"node":%d,"seq":%d}|} node seq)
+  | Dummy_dropped { edge; seq } -> (1, edge, Printf.sprintf {|{"seq":%d}|} seq)
+  | Blocked { node; edge } -> (0, node, Printf.sprintf {|{"edge":%d}|} edge)
+  | Eos { node } -> (0, node, "{}")
+  | Wedge { round } -> (0, 0, Printf.sprintf {|{"round":%d}|} round)
+  | Run_finished { outcome } ->
+    ( 0,
+      0,
+      Printf.sprintf {|{"outcome":"%s"}|}
+        (escape (Format.asprintf "%a" Event.pp_outcome outcome)) )
+
+let sink ppf =
+  let count = ref 0 in
+  let emit e =
+    let pid, tid, args = location_and_args e in
+    Format.fprintf ppf "%s{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%d,\"pid\":%d,\"tid\":%d,\"args\":%s}"
+      (if !count = 0 then "[\n" else ",\n")
+      (escape (Event.name e))
+      !count pid tid args;
+    incr count
+  in
+  let close () =
+    if !count = 0 then Format.fprintf ppf "[";
+    Format.fprintf ppf "\n]@.";
+    Format.pp_print_flush ppf ()
+  in
+  Sink.make ~close emit

@@ -1,0 +1,19 @@
+(** Chrome [trace_event] JSON writer.
+
+    Serializes the event stream in the Trace Event Format consumed by
+    [chrome://tracing] and Perfetto: a JSON array of instant events.
+    Timestamps are the {e logical} clock (the event's index in the
+    stream) — the runtime is a discrete scheduler, so wall-clock time
+    would only obscure the causality the trace is for.
+
+    Track layout: node events appear under pid 0 with [tid = node id];
+    channel events under pid 1 with [tid = edge id]; run-level events
+    (rounds, wedge, outcome) under pid 0, tid 0.
+
+    Closing the sink writes the closing bracket; until then the file
+    is an unterminated array (which Chrome accepts, but tools should
+    close properly). *)
+
+val sink : Format.formatter -> Sink.t
+(** Events are written as they arrive; {!Sink.close} emits the
+    trailer and flushes the formatter. *)

@@ -1,20 +1,17 @@
 open Fstream_graph
 module Engine = Fstream_runtime.Engine
 module Message = Fstream_runtime.Message
-
-type outcome = Completed | Deadlocked
-
-type stats = {
-  outcome : outcome;
-  data_messages : int;
-  dummy_messages : int;
-  sink_data : int;
-}
+module Report = Fstream_runtime.Report
+module Thresholds = Fstream_core.Thresholds
+module Event = Fstream_obs.Event
+module Sink = Fstream_obs.Sink
 
 (* All queue state lives under one application-wide monitor. Node
    domains take the lock to inspect/mutate channels and wait on [cond]
    when they can make no move; every state change broadcasts. Kernels
-   run outside the lock. *)
+   run outside the lock. The event sink is only ever called with the
+   lock held, so a single-threaded sink (ring buffer, JSON writer) is
+   safe here too. *)
 type shared = {
   mutex : Mutex.t;
   cond : Condition.t;
@@ -29,6 +26,8 @@ type shared = {
   mutable data_messages : int;
   mutable dummy_messages : int;
   mutable sink_data : int;
+  mutable dropped_dummies : int;
+  per_edge_dummies : int array;
 }
 
 let locked sh f =
@@ -39,14 +38,31 @@ let bump sh =
   sh.progress <- sh.progress + 1;
   Condition.broadcast sh.cond
 
-let run ?(stall_ms = 200) ~graph:g ~kernels ~inputs ~avoidance () =
+let payload_of (m : Message.t) =
+  match m.body with
+  | Message.Data _ -> Event.Data
+  | Message.Dummy -> Event.Dummy
+  | Message.Eos -> Event.Eos
+
+let run ?(stall_ms = 200) ?sink ~graph:g ~kernels ~inputs ~avoidance () =
   let n = Graph.num_nodes g and m = Graph.num_edges g in
   if n > 64 then invalid_arg "Parallel_engine.run: more than 64 nodes";
+  let sink =
+    match sink with
+    | Some s when not (Sink.is_null s) -> Some s
+    | _ -> None
+  in
+  let obs = sink <> None in
+  let ev e = match sink with Some s -> Sink.emit s e | None -> () in
   let thresholds, forwarding =
     match avoidance with
     | Engine.No_avoidance -> (Array.make m None, false)
-    | Engine.Propagation t -> (t, true)
-    | Engine.Non_propagation t -> (t, false)
+    | Engine.Propagation t ->
+      Thresholds.check t g;
+      (Thresholds.to_array t, true)
+    | Engine.Non_propagation t ->
+      Thresholds.check t g;
+      (Thresholds.to_array t, false)
   in
   let sh =
     {
@@ -62,20 +78,29 @@ let run ?(stall_ms = 200) ~graph:g ~kernels ~inputs ~avoidance () =
       data_messages = 0;
       dummy_messages = 0;
       sink_data = 0;
+      dropped_dummies = 0;
+      per_edge_dummies = Array.make m 0;
     }
   in
   let out_edges = Array.init n (Graph.out_edges g) in
   let in_edges = Array.init n (Graph.in_edges g) in
   let is_sink v = out_edges.(v) = [] in
   let full e = Queue.length sh.chans.(e) >= sh.caps.(e) in
-  let push v e (msg : Message.t) =
+  let push e (msg : Message.t) =
     Queue.add msg sh.chans.(e);
     (match msg.body with
     | Message.Data _ -> sh.data_messages <- sh.data_messages + 1
-    | Message.Dummy -> sh.dummy_messages <- sh.dummy_messages + 1
+    | Message.Dummy ->
+      sh.dummy_messages <- sh.dummy_messages + 1;
+      sh.per_edge_dummies.(e) <- sh.per_edge_dummies.(e) + 1
     | Message.Eos -> ());
-    ignore v;
+    if obs then
+      ev (Event.Push { edge = e; seq = msg.seq; payload = payload_of msg });
     bump sh
+  in
+  let drop_slot e old =
+    sh.dropped_dummies <- sh.dropped_dummies + 1;
+    if obs then ev (Event.Dummy_dropped { edge = e; seq = old })
   in
   (* Deliver any queued dummy slots of [v] whose channel has room.
      Caller holds the lock. *)
@@ -85,7 +110,7 @@ let run ?(stall_ms = 200) ~graph:g ~kernels ~inputs ~avoidance () =
         match sh.slot.(e.id) with
         | Some seq when not (full e.id) ->
           sh.slot.(e.id) <- None;
-          push v e.id (Message.dummy ~seq)
+          push e.id (Message.dummy ~seq)
         | _ -> ())
       out_edges.(v)
   in
@@ -94,15 +119,22 @@ let run ?(stall_ms = 200) ~graph:g ~kernels ~inputs ~avoidance () =
   let send_blocking v e msg =
     while full e && not sh.aborted do
       flush_slots v;
-      if full e then Condition.wait sh.cond sh.mutex
+      if full e then begin
+        if obs then ev (Event.Blocked { node = v; edge = e });
+        Condition.wait sh.cond sh.mutex
+      end
     done;
-    if not sh.aborted then push v e msg
+    if not sh.aborted then push e msg
   in
   let emit v ~seq ~data_out ~got_dummy =
     List.iter
       (fun (e : Graph.edge) ->
         if List.mem e.id data_out then begin
-          sh.slot.(e.id) <- None;
+          (match sh.slot.(e.id) with
+          | Some old ->
+            sh.slot.(e.id) <- None;
+            drop_slot e.id old
+          | None -> ());
           sh.last_sent.(e.id) <- seq;
           send_blocking v e.id (Message.data ~seq seq)
         end
@@ -113,7 +145,11 @@ let run ?(stall_ms = 200) ~graph:g ~kernels ~inputs ~avoidance () =
             | None -> false
           in
           if (forwarding && got_dummy) || due then begin
+            (match sh.slot.(e.id) with
+            | Some old -> drop_slot e.id old
+            | None -> ());
             sh.slot.(e.id) <- Some seq;
+            if obs then ev (Event.Dummy_emitted { node = v; edge = e.id; seq });
             sh.last_sent.(e.id) <- seq;
             flush_slots v
           end
@@ -123,9 +159,14 @@ let run ?(stall_ms = 200) ~graph:g ~kernels ~inputs ~avoidance () =
   let send_eos v =
     List.iter
       (fun (e : Graph.edge) ->
-        sh.slot.(e.id) <- None;
+        (match sh.slot.(e.id) with
+        | Some old ->
+          sh.slot.(e.id) <- None;
+          drop_slot e.id old
+        | None -> ());
         send_blocking v e.id (Message.eos ()))
-      out_edges.(v)
+      out_edges.(v);
+    if obs then ev (Event.Eos { node = v })
   in
   (* One node's life: fire while inputs flow, forward EOS, retire. *)
   let node_body v =
@@ -163,8 +204,16 @@ let run ?(stall_ms = 200) ~graph:g ~kernels ~inputs ~avoidance () =
                 in
                 if i = max_int then begin
                   List.iter
-                    (fun ((e : Graph.edge), _) ->
-                      ignore (Queue.pop sh.chans.(e.id)))
+                    (fun ((e : Graph.edge), (msg : Message.t)) ->
+                      ignore (Queue.pop sh.chans.(e.id));
+                      if obs then
+                        ev
+                          (Event.Pop
+                             {
+                               edge = e.id;
+                               seq = msg.seq;
+                               payload = payload_of msg;
+                             }))
                     heads;
                   bump sh;
                   `Eos
@@ -175,6 +224,14 @@ let run ?(stall_ms = 200) ~graph:g ~kernels ~inputs ~avoidance () =
                     (fun ((e : Graph.edge), (msg : Message.t)) ->
                       if msg.seq = i then begin
                         ignore (Queue.pop sh.chans.(e.id));
+                        if obs then
+                          ev
+                            (Event.Pop
+                               {
+                                 edge = e.id;
+                                 seq = msg.seq;
+                                 payload = payload_of msg;
+                               });
                         match msg.body with
                         | Message.Data _ ->
                           got_data := e.id :: !got_data;
@@ -218,7 +275,12 @@ let run ?(stall_ms = 200) ~graph:g ~kernels ~inputs ~avoidance () =
                 (Printf.sprintf
                    "Parallel_engine: kernel of node %d returned edge %d" v id))
           data_out;
-        locked sh (fun () -> emit v ~seq ~data_out ~got_dummy)
+        locked sh (fun () ->
+            if obs then
+              ev
+                (Event.Node_fired
+                   { node = v; seq; got; got_dummy; sent = data_out });
+            emit v ~seq ~data_out ~got_dummy)
     done
   in
   (* Watchdog, on the coordinating domain: declare deadlock when the
@@ -240,9 +302,14 @@ let run ?(stall_ms = 200) ~graph:g ~kernels ~inputs ~avoidance () =
   watch (-1);
   Array.iter Domain.join node_domains;
   let aborted = locked sh (fun () -> sh.aborted) in
+  let outcome = if aborted then Report.Deadlocked else Report.Completed in
+  if obs then ev (Event.Run_finished { outcome });
   {
-    outcome = (if aborted then Deadlocked else Completed);
+    Report.outcome;
     data_messages = sh.data_messages;
     dummy_messages = sh.dummy_messages;
     sink_data = sh.sink_data;
+    dropped_dummies = sh.dropped_dummies;
+    per_edge_dummies = Array.copy sh.per_edge_dummies;
+    detail = Report.Parallel;
   }

@@ -28,24 +28,29 @@
 
 open Fstream_graph
 
-type outcome = Completed | Deadlocked
-
-type stats = {
-  outcome : outcome;
-  data_messages : int;
-  dummy_messages : int;
-  sink_data : int;
-}
-
 val run :
   ?stall_ms:int ->
+  ?sink:Fstream_obs.Sink.t ->
   graph:Graph.t ->
   kernels:(Graph.node -> Fstream_runtime.Engine.kernel) ->
   inputs:int ->
   avoidance:Fstream_runtime.Engine.avoidance ->
   unit ->
-  stats
+  Fstream_runtime.Report.t
 (** Spawns one domain per node (plus a watchdog) and joins them all
-    before returning. [stall_ms] defaults to 200.
+    before returning. [stall_ms] defaults to 200. The result's
+    [detail] is {!Fstream_runtime.Report.Parallel}: there is no round
+    counter or wedge snapshot in a preemptive execution, and the
+    outcome never reports [Budget_exhausted].
+
+    [sink] receives the same typed event vocabulary as the sequential
+    engine, minus the scheduler-only events ([Round_started], [Wedge]);
+    events are emitted with the engine's global lock held, so a
+    non-thread-safe sink (ring buffer, JSON writer) is safe. The
+    interleaving reflects the actual preemptive schedule and differs
+    from run to run. The engine never closes the sink.
+
     @raise Invalid_argument for graphs with more than 64 nodes — one
-    domain per node is only reasonable for small applications. *)
+    domain per node is only reasonable for small applications.
+    @raise Invalid_argument if [avoidance] carries a threshold table
+    computed for a different graph. *)

@@ -7,6 +7,7 @@ type t = {
   mutable total_pushed : int;
   mutable dummies_pushed : int;
   mutable data_pushed : int;
+  mutable high_watermark : int;
   mutable notify : event -> unit;
 }
 
@@ -19,6 +20,7 @@ let create ~capacity =
     total_pushed = 0;
     dummies_pushed = 0;
     data_pushed = 0;
+    high_watermark = 0;
     notify = ignore;
   }
 
@@ -41,6 +43,8 @@ let push c (m : Message.t) =
     | Message.Eos -> ());
     let was_empty = Queue.is_empty c.queue in
     Queue.add m c.queue;
+    if Queue.length c.queue > c.high_watermark then
+      c.high_watermark <- Queue.length c.queue;
     if was_empty then c.notify Became_nonempty;
     true
   end
@@ -58,3 +62,4 @@ let pop c =
 let total_pushed c = c.total_pushed
 let dummies_pushed c = c.dummies_pushed
 let data_pushed c = c.data_pushed
+let high_watermark c = c.high_watermark

@@ -41,3 +41,10 @@ val pop : t -> Message.t option
 val total_pushed : t -> int
 val dummies_pushed : t -> int
 val data_pushed : t -> int
+
+val high_watermark : t -> int
+(** Peak buffer occupancy over the channel's lifetime (0 for a fresh
+    channel; never exceeds {!capacity}). The event-stream metrics
+    ({!Fstream_obs.Metrics}) reconstruct the same quantity from
+    [Push]/[Pop] events; this counter is the engine-side ground
+    truth. *)

@@ -12,21 +12,21 @@ type witness = {
    producer). *)
 type wait = { via : Graph.edge; full : bool }
 
-let explain g (snap : Engine.snapshot) =
+let explain g (snap : Report.snapshot) =
   let n = Graph.num_nodes g in
   let cap i = (Graph.edge g i).cap in
   let wait_edges v =
-    if snap.Engine.node_blocked.(v) then
+    if snap.Report.node_blocked.(v) then
       List.filter_map
         (fun (e : Graph.edge) ->
-          if snap.Engine.channel_lengths.(e.id) >= cap e.id then
+          if snap.Report.channel_lengths.(e.id) >= cap e.id then
             Some (e.dst, { via = e; full = true })
           else None)
         (Graph.out_edges g v)
-    else if not snap.Engine.node_finished.(v) then
+    else if not snap.Report.node_finished.(v) then
       List.filter_map
         (fun (e : Graph.edge) ->
-          if snap.Engine.channel_lengths.(e.id) = 0 then
+          if snap.Report.channel_lengths.(e.id) = 0 then
             Some (e.src, { via = e; full = false })
           else None)
         (Graph.in_edges g v)

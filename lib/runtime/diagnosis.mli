@@ -5,7 +5,7 @@
     alternate between completely full buffers (a producer blocked
     pushing) and completely empty ones (a consumer starving because of
     filtering). This module makes that statement executable: from the
-    frozen {!Engine.snapshot} of a deadlocked run it builds the
+    frozen {!Report.snapshot} of a deadlocked run it builds the
     waits-for relation — a blocked producer waits on the consumer of
     its full channel; a starving node waits on the producer of an empty
     input channel — and extracts a cycle of it, which is exactly an
@@ -23,7 +23,7 @@ type witness = {
   empty_channels : Graph.edge list;  (** empty, traversed backward *)
 }
 
-val explain : Graph.t -> Engine.snapshot -> witness option
+val explain : Graph.t -> Report.snapshot -> witness option
 (** [None] only if the snapshot is not actually wedged (e.g. a stalled
     end-of-stream state with no blocked producer). *)
 

@@ -1,32 +1,16 @@
 open Fstream_graph
+module Thresholds = Fstream_core.Thresholds
+module Event = Fstream_obs.Event
+module Sink = Fstream_obs.Sink
 
 type kernel = seq:int -> got:int list -> int list
 
 type avoidance =
   | No_avoidance
-  | Propagation of int option array
-  | Non_propagation of int option array
-
-type outcome = Completed | Deadlocked | Budget_exhausted
+  | Propagation of Thresholds.t
+  | Non_propagation of Thresholds.t
 
 type scheduler = Sweep | Ready
-
-type snapshot = {
-  channel_lengths : int array;  (* per edge id *)
-  node_blocked : bool array;  (* pending sends stuck on a full channel *)
-  node_finished : bool array;
-}
-
-type stats = {
-  outcome : outcome;
-  rounds : int;
-  data_messages : int;
-  dummy_messages : int;
-  sink_data : int;
-  dropped_dummies : int;  (** dummies discarded at a full channel *)
-  per_edge_dummies : int array;
-  wedge : snapshot option;  (* populated when [outcome = Deadlocked] *)
-}
 
 type node_state = {
   kernel : kernel;
@@ -35,23 +19,24 @@ type node_state = {
   mutable finished : bool;
 }
 
-let pp_outcome ppf = function
-  | Completed -> Format.pp_print_string ppf "completed"
-  | Deadlocked -> Format.pp_print_string ppf "DEADLOCKED"
-  | Budget_exhausted -> Format.pp_print_string ppf "budget exhausted"
+let payload_of (m : Message.t) =
+  match m.body with
+  | Message.Data _ -> Event.Data
+  | Message.Dummy -> Event.Dummy
+  | Message.Eos -> Event.Eos
 
-let pp_stats ppf s =
-  Format.fprintf ppf
-    "%a: %d rounds, %d data msgs, %d dummy msgs, %d data at sinks"
-    pp_outcome s.outcome s.rounds s.data_messages s.dummy_messages s.sink_data
-
-let run ?(scheduler = Ready) ?max_rounds ?deadlock_dump ?trace ~graph:g
+let run ?(scheduler = Ready) ?max_rounds ?deadlock_dump ?sink ~graph:g
     ~kernels ~inputs ~avoidance () =
-  let tr fmt =
-    match trace with
-    | Some ppf -> Format.fprintf ppf fmt
-    | None -> Format.ifprintf Format.std_formatter fmt
+  let sink =
+    match sink with
+    | Some s when not (Sink.is_null s) -> Some s
+    | _ -> None
   in
+  (* [obs] gates event *construction* — with no sink (or the null
+     sink) the instrumentation costs one branch per potential event
+     (measured in bench O1). *)
+  let obs = sink <> None in
+  let ev e = match sink with Some s -> Sink.emit s e | None -> () in
   let n = Graph.num_nodes g and m = Graph.num_edges g in
   let chan =
     Array.init m (fun i -> Channel.create ~capacity:(Graph.edge g i).cap)
@@ -59,11 +44,13 @@ let run ?(scheduler = Ready) ?max_rounds ?deadlock_dump ?trace ~graph:g
   let thresholds, forwarding =
     match avoidance with
     | No_avoidance -> (Array.make m None, false)
-    | Propagation t -> (t, true)
-    | Non_propagation t -> (t, false)
+    | Propagation t ->
+      Thresholds.check t g;
+      (Thresholds.to_array t, true)
+    | Non_propagation t ->
+      Thresholds.check t g;
+      (Thresholds.to_array t, false)
   in
-  if Array.length thresholds <> m then
-    invalid_arg "Engine.run: thresholds length mismatch";
   (* Last sequence number sent on each channel. The dummy rule bounds
      the *sequence-number* gap between consecutive messages on a
      channel: sequence numbers filtered upstream never reach this node
@@ -90,6 +77,10 @@ let run ?(scheduler = Ready) ?max_rounds ?deadlock_dump ?trace ~graph:g
   let sink_data = ref 0 in
   let enqueue v eid msg = Queue.add (eid, msg) st.(v).pending in
   let dropped_dummies = ref 0 in
+  let drop_slot eid old =
+    incr dropped_dummies;
+    if obs then ev (Event.Dummy_dropped { edge = eid; seq = old })
+  in
   (* Dummies never enter the blocking pending queue: each channel has a
      one-slot dummy mouth. A queued dummy waits for space without
      blocking its node, coalesces to the newest sequence number if the
@@ -110,8 +101,11 @@ let run ?(scheduler = Ready) ?max_rounds ?deadlock_dump ?trace ~graph:g
     let progress = ref false in
     for _ = 1 to len do
       let eid, msg = Queue.pop q in
-      if (not (Hashtbl.mem blocked eid)) && Channel.push chan.(eid) msg then
+      if (not (Hashtbl.mem blocked eid)) && Channel.push chan.(eid) msg then begin
+        if obs then
+          ev (Event.Push { edge = eid; seq = msg.seq; payload = payload_of msg });
         progress := true
+      end
       else begin
         Hashtbl.replace blocked eid ();
         Queue.add (eid, msg) q
@@ -124,6 +118,8 @@ let run ?(scheduler = Ready) ?max_rounds ?deadlock_dump ?trace ~graph:g
           when (not (Hashtbl.mem blocked e.id))
                && Channel.push chan.(e.id) (Message.dummy ~seq) ->
           dummy_slot.(e.id) <- None;
+          if obs then
+            ev (Event.Push { edge = e.id; seq; payload = Event.Dummy });
           progress := true
         | _ -> ())
       (Graph.out_edges g v);
@@ -146,12 +142,12 @@ let run ?(scheduler = Ready) ?max_rounds ?deadlock_dump ?trace ~graph:g
     List.iter
       (fun (e : Graph.edge) ->
         if List.mem e.id data_out then begin
-          tr "n%d seq%d: data on e%d@." v seq e.id;
           enqueue v e.id (Message.data ~seq seq);
-          if dummy_slot.(e.id) <> None then begin
+          (match dummy_slot.(e.id) with
+          | Some old ->
             dummy_slot.(e.id) <- None;
-            incr dropped_dummies
-          end;
+            drop_slot e.id old
+          | None -> ());
           last_sent.(e.id) <- seq
         end
         else begin
@@ -161,10 +157,12 @@ let run ?(scheduler = Ready) ?max_rounds ?deadlock_dump ?trace ~graph:g
             | None -> false
           in
           if (forwarding && got_dummy) || due then begin
-            tr "n%d seq%d: dummy on e%d (due=%b fwd=%b)@." v seq e.id due
-              (forwarding && got_dummy);
-            if dummy_slot.(e.id) <> None then incr dropped_dummies;
+            (match dummy_slot.(e.id) with
+            | Some old -> drop_slot e.id old
+            | None -> ());
             dummy_slot.(e.id) <- Some seq;
+            if obs then
+              ev (Event.Dummy_emitted { node = v; edge = e.id; seq });
             last_sent.(e.id) <- seq
           end
         end)
@@ -173,9 +171,14 @@ let run ?(scheduler = Ready) ?max_rounds ?deadlock_dump ?trace ~graph:g
   let send_eos v =
     List.iter
       (fun (e : Graph.edge) ->
-        dummy_slot.(e.id) <- None;
+        (match dummy_slot.(e.id) with
+        | Some old ->
+          dummy_slot.(e.id) <- None;
+          drop_slot e.id old
+        | None -> ());
         enqueue v e.id (Message.eos ()))
       (Graph.out_edges g v);
+    if obs then ev (Event.Eos { node = v });
     st.(v).finished <- true
   in
   let fire_source v =
@@ -183,8 +186,12 @@ let run ?(scheduler = Ready) ?max_rounds ?deadlock_dump ?trace ~graph:g
     if s.next_input < inputs then begin
       let seq = s.next_input in
       s.next_input <- seq + 1;
-      emit v ~seq ~data_out:(validate v (s.kernel ~seq ~got:[]))
-        ~got_dummy:false;
+      let data_out = validate v (s.kernel ~seq ~got:[]) in
+      if obs then
+        ev
+          (Event.Node_fired
+             { node = v; seq; got = []; got_dummy = false; sent = data_out });
+      emit v ~seq ~data_out ~got_dummy:false;
       true
     end
     else if not s.finished then begin
@@ -208,7 +215,12 @@ let run ?(scheduler = Ready) ?max_rounds ?deadlock_dump ?trace ~graph:g
       if i = max_int then begin
         (* Every input is at end-of-stream. *)
         List.iter
-          (fun ((e : Graph.edge), _) -> ignore (Channel.pop chan.(e.id)))
+          (fun ((e : Graph.edge), (msg : Message.t)) ->
+            ignore (Channel.pop chan.(e.id));
+            if obs then
+              ev
+                (Event.Pop
+                   { edge = e.id; seq = msg.seq; payload = payload_of msg }))
           heads;
         send_eos v;
         true
@@ -219,6 +231,10 @@ let run ?(scheduler = Ready) ?max_rounds ?deadlock_dump ?trace ~graph:g
           (fun ((e : Graph.edge), (msg : Message.t)) ->
             if msg.seq = i then begin
               ignore (Channel.pop chan.(e.id));
+              if obs then
+                ev
+                  (Event.Pop
+                     { edge = e.id; seq = msg.seq; payload = payload_of msg });
               match msg.body with
               | Message.Data _ ->
                 got_data := e.id :: !got_data;
@@ -227,14 +243,22 @@ let run ?(scheduler = Ready) ?max_rounds ?deadlock_dump ?trace ~graph:g
               | Message.Eos -> assert false
             end)
           heads;
+        let got = List.rev !got_data in
         let data_out =
-          match List.rev !got_data with
+          match got with
           | [] -> []
           | got -> validate v (st.(v).kernel ~seq:i ~got)
         in
-        tr "n%d fires seq%d got=[%s] dummy=%b@." v i
-          (String.concat "," (List.map string_of_int (List.rev !got_data)))
-          !got_dummy;
+        if obs then
+          ev
+            (Event.Node_fired
+               {
+                 node = v;
+                 seq = i;
+                 got;
+                 got_dummy = !got_dummy;
+                 sent = data_out;
+               });
         emit v ~seq:i ~data_out ~got_dummy:!got_dummy;
         true
       end
@@ -257,7 +281,13 @@ let run ?(scheduler = Ready) ?max_rounds ?deadlock_dump ?trace ~graph:g
       if fired then ignore (flush v);
       progress || fired
     end
-    else progress
+    else begin
+      if obs then begin
+        let eid, _ = Queue.peek s.pending in
+        ev (Event.Blocked { node = v; edge = eid })
+      end;
+      progress
+    end
   in
   let default_budget = ((inputs + 2) * ((2 * m) + n + 2) * 2) + 64 in
   let budget = Option.value max_rounds ~default:default_budget in
@@ -268,8 +298,9 @@ let run ?(scheduler = Ready) ?max_rounds ?deadlock_dump ?trace ~graph:g
      scheduler visits only woken nodes, yet a skipped node's visit
      would have been a no-op (its pending sends and dummy slots sit on
      full channels, and it cannot fire), so both schedulers perform the
-     same state transitions in the same order and [stats] — including
-     the round count and the wedge snapshot — are bit-identical.
+     same state transitions in the same order and the resulting
+     {!Report.t} — including the round count and the wedge snapshot —
+     is bit-identical.
 
      Wake discipline (matching the sweep's topological round order):
      - a push onto an empty channel may make the consumer runnable; the
@@ -390,7 +421,8 @@ let run ?(scheduler = Ready) ?max_rounds ?deadlock_dump ?trace ~graph:g
   in
   while !outcome = None do
     incr rounds;
-    if !rounds > budget then outcome := Some Budget_exhausted
+    if obs then ev (Event.Round_started { round = !rounds });
+    if !rounds > budget then outcome := Some Report.Budget_exhausted
     else begin
       let progress = ready_round () in
       if not progress then
@@ -399,13 +431,14 @@ let run ?(scheduler = Ready) ?max_rounds ?deadlock_dump ?trace ~graph:g
             (fun s -> s.finished && Queue.is_empty s.pending)
             st
           && Array.for_all Channel.is_empty chan
-        then outcome := Some Completed
+        then outcome := Some Report.Completed
         else begin
-          outcome := Some Deadlocked;
+          outcome := Some Report.Deadlocked;
+          if obs then ev (Event.Wedge { round = !rounds });
           wedge :=
             Some
               {
-                channel_lengths = Array.map Channel.length chan;
+                Report.channel_lengths = Array.map Channel.length chan;
                 node_blocked =
                   Array.map (fun s -> not (Queue.is_empty s.pending)) st;
                 node_finished = Array.map (fun s -> s.finished) st;
@@ -438,17 +471,18 @@ let run ?(scheduler = Ready) ?max_rounds ?deadlock_dump ?trace ~graph:g
         end
     end
   done;
+  let outcome = Option.get !outcome in
+  if obs then ev (Event.Run_finished { outcome });
   let data = Array.fold_left (fun a c -> a + Channel.data_pushed c) 0 chan in
   let dummies =
     Array.fold_left (fun a c -> a + Channel.dummies_pushed c) 0 chan
   in
   {
-    outcome = Option.get !outcome;
-    rounds = !rounds;
+    Report.outcome;
     data_messages = data;
     dummy_messages = dummies;
     sink_data = !sink_data;
     dropped_dummies = !dropped_dummies;
     per_edge_dummies = Array.map Channel.dummies_pushed chan;
-    wedge = !wedge;
+    detail = Report.Sequential { rounds = !rounds; wedge = !wedge };
   }

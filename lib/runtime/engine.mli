@@ -24,7 +24,12 @@
     drained computation is distinguishable from a deadlock: sources
     emit EOS after their last input; a node forwards EOS when all its
     inputs reach it. [Deadlocked] therefore means a genuine
-    no-progress state with work outstanding. *)
+    no-progress state with work outstanding.
+
+    The run's result is the engine-agnostic {!Report.t}; its full
+    behaviour can additionally be narrated as a typed
+    {!Fstream_obs.Event} stream through the [sink] argument, from which
+    {!Report.of_events} reconstructs the same report bit-for-bit. *)
 
 open Fstream_graph
 
@@ -38,12 +43,13 @@ type kernel = seq:int -> got:int list -> int list
 
 type avoidance =
   | No_avoidance
-  | Propagation of int option array
-  | Non_propagation of int option array
-      (** per-edge-id send thresholds, from
-          {!Fstream_core.Compiler.send_thresholds} *)
-
-type outcome = Completed | Deadlocked | Budget_exhausted
+  | Propagation of Fstream_core.Thresholds.t
+  | Non_propagation of Fstream_core.Thresholds.t
+      (** per-channel send thresholds, from
+          {!Fstream_core.Compiler.send_thresholds} /
+          {!Fstream_core.Compiler.propagation_thresholds}. The table
+          carries the fingerprint of the graph it was computed for and
+          {!run} rejects mismatches. *)
 
 type scheduler =
   | Sweep
@@ -55,52 +61,34 @@ type scheduler =
           maintained incrementally from {!Channel} occupancy
           transitions, drained in topological-rank order each round.
           Per-round cost is proportional to actual activity, and the
-          executed transitions — hence the resulting {!stats},
+          executed transitions — hence the resulting {!Report.t},
           including the round count and wedge snapshot — are
           bit-identical to [Sweep] (differentially tested in
           [test/test_sched.ml]) *)
-
-type snapshot = {
-  channel_lengths : int array;  (** per edge id, at the wedge *)
-  node_blocked : bool array;
-      (** nodes holding a pending send stuck on a full channel *)
-  node_finished : bool array;
-}
-(** The frozen state of a deadlocked run — input to
-    {!Diagnosis.explain}, which locates the witness cycle of §II.B. *)
-
-type stats = {
-  outcome : outcome;
-  rounds : int;  (** scheduler sweeps executed *)
-  data_messages : int;  (** data pushes across all channels *)
-  dummy_messages : int;  (** dummy pushes across all channels *)
-  sink_data : int;  (** data messages consumed by sink nodes *)
-  dropped_dummies : int;
-      (** dummies superseded before delivery — coalesced with a newer
-          dummy or overtaken by data while waiting for channel space in
-          the per-channel dummy slot; see DESIGN.md, "Deviations" *)
-  per_edge_dummies : int array;
-  wedge : snapshot option;
-      (** the frozen state when [outcome = Deadlocked], else [None] *)
-}
 
 val run :
   ?scheduler:scheduler ->
   ?max_rounds:int ->
   ?deadlock_dump:Format.formatter ->
-  ?trace:Format.formatter ->
+  ?sink:Fstream_obs.Sink.t ->
   graph:Graph.t ->
   kernels:(Graph.node -> kernel) ->
   inputs:int ->
   avoidance:avoidance ->
   unit ->
-  stats
+  Report.t
 (** Execute the application on [inputs] external sequence numbers
     (0 .. inputs-1, presented to every source). Channel capacities come
     from the graph's edge capacities. Deterministic: runnable nodes are
     processed in topological order within each round, whichever
     [scheduler] (default {!Ready}) maintains the runnable set.
     [max_rounds] defaults to a generous bound; an execution that
-    exceeds it reports [Budget_exhausted]. *)
+    exceeds it reports [Budget_exhausted].
 
-val pp_stats : Format.formatter -> stats -> unit
+    [sink] receives the typed event stream of the run (default: no
+    instrumentation; passing {!Fstream_obs.Sink.null} is equivalent
+    and equally cheap — event construction is skipped). The engine
+    never closes the sink.
+
+    @raise Invalid_argument if [avoidance] carries a threshold table
+    computed for a different graph. *)

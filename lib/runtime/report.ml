@@ -1,0 +1,136 @@
+open Fstream_graph
+module Event = Fstream_obs.Event
+
+type outcome = Event.outcome = Completed | Deadlocked | Budget_exhausted
+
+type snapshot = {
+  channel_lengths : int array;
+  node_blocked : bool array;
+  node_finished : bool array;
+}
+
+type detail =
+  | Sequential of { rounds : int; wedge : snapshot option }
+  | Parallel
+
+type t = {
+  outcome : outcome;
+  data_messages : int;
+  dummy_messages : int;
+  sink_data : int;
+  dropped_dummies : int;
+  per_edge_dummies : int array;
+  detail : detail;
+}
+
+let rounds r =
+  match r.detail with
+  | Sequential { rounds; _ } -> Some rounds
+  | Parallel -> None
+
+let wedge r =
+  match r.detail with
+  | Sequential { wedge; _ } -> wedge
+  | Parallel -> None
+
+let pp_outcome = Event.pp_outcome
+
+let pp ppf r =
+  match r.detail with
+  | Sequential { rounds; _ } ->
+    Format.fprintf ppf
+      "%a: %d rounds, %d data msgs, %d dummy msgs, %d data at sinks"
+      pp_outcome r.outcome rounds r.data_messages r.dummy_messages r.sink_data
+  | Parallel ->
+    Format.fprintf ppf "%a: %d data msgs, %d dummy msgs, %d data at sinks"
+      pp_outcome r.outcome r.data_messages r.dummy_messages r.sink_data
+
+(* The replay oracle. Every count below is reconstructed from events
+   alone; see the .mli for the correspondence. The pending-send length
+   of a node is (data sends enqueued by its firings + EOS markers it
+   fanned out) minus (data/EOS messages actually pushed on its out
+   edges) — dummies bypass the pending queue via the per-channel slot,
+   so they are excluded from both sides. *)
+let of_events ~graph:g events =
+  let n = Graph.num_nodes g and m = Graph.num_edges g in
+  let src = Array.init m (fun i -> (Graph.edge g i).src) in
+  let into_sink =
+    Array.init m (fun i -> Graph.out_degree g (Graph.edge g i).dst = 0)
+  in
+  let chan_len = Array.make m 0 in
+  let per_edge_dummies = Array.make m 0 in
+  let data_messages = ref 0 in
+  let dummy_messages = ref 0 in
+  let sink_data = ref 0 in
+  let dropped_dummies = ref 0 in
+  let enqueued = Array.make n 0 in
+  let delivered = Array.make n 0 in
+  let finished = Array.make n false in
+  let rounds = ref 0 in
+  let wedged = ref false in
+  let declared = ref None in
+  List.iter
+    (fun (e : Event.t) ->
+      match e with
+      | Event.Round_started { round } -> rounds := max !rounds round
+      | Event.Node_fired { node; sent; _ } ->
+        enqueued.(node) <- enqueued.(node) + List.length sent
+      | Event.Push { edge; payload; _ } -> (
+        chan_len.(edge) <- chan_len.(edge) + 1;
+        match payload with
+        | Event.Data ->
+          incr data_messages;
+          delivered.(src.(edge)) <- delivered.(src.(edge)) + 1
+        | Event.Dummy ->
+          incr dummy_messages;
+          per_edge_dummies.(edge) <- per_edge_dummies.(edge) + 1
+        | Event.Eos -> delivered.(src.(edge)) <- delivered.(src.(edge)) + 1)
+      | Event.Pop { edge; payload; _ } -> (
+        chan_len.(edge) <- chan_len.(edge) - 1;
+        match payload with
+        | Event.Data -> if into_sink.(edge) then incr sink_data
+        | Event.Dummy | Event.Eos -> ())
+      | Event.Dummy_dropped _ -> incr dropped_dummies
+      | Event.Eos { node } ->
+        finished.(node) <- true;
+        enqueued.(node) <- enqueued.(node) + Graph.out_degree g node
+      | Event.Wedge _ -> wedged := true
+      | Event.Run_finished { outcome } -> declared := Some outcome
+      | Event.Dummy_emitted _ | Event.Blocked _ -> ())
+    events;
+  let node_blocked = Array.init n (fun v -> enqueued.(v) > delivered.(v)) in
+  let drained =
+    Array.for_all Fun.id finished
+    && Array.for_all (fun l -> l = 0) chan_len
+    && Array.for_all (fun b -> not b) node_blocked
+  in
+  let outcome =
+    match !declared with
+    | Some o -> o
+    | None ->
+      if !wedged then Deadlocked
+      else if drained then Completed
+      else Budget_exhausted
+  in
+  let wedge =
+    if !wedged then
+      Some
+        {
+          channel_lengths = chan_len;
+          node_blocked;
+          node_finished = finished;
+        }
+    else None
+  in
+  let detail =
+    if !rounds > 0 then Sequential { rounds = !rounds; wedge } else Parallel
+  in
+  {
+    outcome;
+    data_messages = !data_messages;
+    dummy_messages = !dummy_messages;
+    sink_data = !sink_data;
+    dropped_dummies = !dropped_dummies;
+    per_edge_dummies;
+    detail;
+  }

@@ -50,8 +50,12 @@ let check ?(max_states = 1_000_000) ?(strategy = `Bfs) ~graph:g ~avoidance
   let thresholds, forwarding =
     match avoidance with
     | Engine.No_avoidance -> (Array.make m None, false)
-    | Engine.Propagation t -> (t, true)
-    | Engine.Non_propagation t -> (t, false)
+    | Engine.Propagation t ->
+      Fstream_core.Thresholds.check t g;
+      (Fstream_core.Thresholds.to_array t, true)
+    | Engine.Non_propagation t ->
+      Fstream_core.Thresholds.check t g;
+      (Fstream_core.Thresholds.to_array t, false)
   in
   let cap = Array.init m (fun i -> (Graph.edge g i).cap) in
   let out_ids =

@@ -1,0 +1,75 @@
+Each typed compiler rejection has its own exit code, so scripts can
+tell rejection modes apart without parsing stderr.
+
+A directed cycle — exit 10 (Not_a_dag):
+
+  $ cat > cycle.graph <<'EOF'
+  > nodes 3
+  > edge 0 1 1
+  > edge 1 2 1
+  > edge 2 0 1
+  > EOF
+  $ streamcheck intervals --file cycle.graph
+  error: the topology has a directed cycle
+  [10]
+
+A disconnected topology — exit 12 (Disconnected):
+
+  $ cat > split.graph <<'EOF'
+  > nodes 4
+  > edge 0 1 1
+  > edge 2 3 1
+  > EOF
+  $ streamcheck intervals --file split.graph
+  error: the topology is not connected
+  [12]
+
+Two sources: the general fallback handles it silently (the graph is
+acyclic, so every interval is infinite)...
+
+  $ cat > twosrc.graph <<'EOF'
+  > nodes 3
+  > edge 0 2 1
+  > edge 1 2 1
+  > EOF
+  $ streamcheck intervals --file twosrc.graph
+  route: general DAG fallback (0 cycles enumerated)
+  edge   channel     cap   interval  threshold
+  e0       0 -> 2       1        inf          -
+  e1       1 -> 2       1        inf          -
+
+...but with the fallback disabled the CS4 requirement bites — exit 11
+(Not_two_terminal):
+
+  $ streamcheck intervals --file twosrc.graph --no-general
+  error: not a two-terminal DAG (need exactly one source, one sink, every node on a source-to-sink path)
+  [11]
+
+The FFT butterfly is connected and two-terminal but not CS4; with the
+fallback disabled the compiler rejects it naming the offending block —
+exit 13 (Non_cs4_rejected):
+
+  $ streamcheck intervals --demo butterfly --no-general
+  error: block 0..5 is neither SP nor an SP-ladder: missing cross-link at rail frontier, and the general fallback is disabled
+  [13]
+
+And when the fallback is allowed but the cycle budget is too small —
+exit 14 (Cycle_budget_exceeded):
+
+  $ streamcheck intervals --demo butterfly --max-cycles 2
+  error: cycle enumeration exceeded the budget of 2 simple cycles
+  [14]
+
+With an adequate budget the same topology compiles:
+
+  $ streamcheck intervals --demo butterfly --max-cycles 100 --algorithm non-propagation
+  route: general DAG fallback (7 cycles enumerated)
+  edge   channel     cap   interval  threshold
+  e0       0 -> 1       2          2          2
+  e1       0 -> 2       2          2          2
+  e2       1 -> 3       2          2          2
+  e3       1 -> 4       2          2          2
+  e4       2 -> 3       2          2          2
+  e5       2 -> 4       2          2          2
+  e6       3 -> 5       2          2          2
+  e7       4 -> 5       2          2          2

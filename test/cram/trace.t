@@ -1,0 +1,39 @@
+Structured observability from the CLI: --metrics prints the registry's
+aggregate table after the run, --trace-out writes the full event log
+as Chrome trace_event JSON (load it at chrome://tracing or Perfetto).
+
+  $ streamcheck simulate --demo fig2 --inputs 50 --keep 0.6 --seed 3 --metrics
+  completed: 55 rounds, 82 data msgs, 41 dummy msgs, 48 data at sinks
+  edge     cap      data   dummies  watermark  overhead
+  e0         2        34        16       2/2       1.00
+  e1         2        24        24       2/2       0.92
+  e2         2        24         1       2/2       0.04
+  totals: 82 data, 41 dummies over 3 channels
+  blocked visits: n1:1
+  55 rounds, 505 events
+
+The trace file is one JSON array, one object per event, terminated by
+the run's single Run_finished event:
+
+  $ streamcheck simulate --demo fig2 --inputs 50 --keep 0.6 --seed 3 --trace-out trace.json
+  completed: 55 rounds, 82 data msgs, 41 dummy msgs, 48 data at sinks
+  $ head -2 trace.json
+  [
+  {"name":"Round_started","ph":"i","s":"t","ts":0,"pid":0,"tid":0,"args":{"round":1}},
+  $ tail -2 trace.json
+  {"name":"Run_finished","ph":"i","s":"t","ts":504,"pid":0,"tid":0,"args":{"outcome":"completed"}}
+  ]
+
+Both at once — the sinks tee, and the run itself is unchanged (same
+report line as the untraced run above):
+
+  $ streamcheck simulate --demo fig2 --inputs 50 --keep 0.6 --seed 3 --trace-out both.json --metrics | head -1
+  completed: 55 rounds, 82 data msgs, 41 dummy msgs, 48 data at sinks
+
+On a deadlocking run the metrics include the wedge round, and the exit
+code still reports the outcome:
+
+  $ streamcheck simulate --demo fig2 --inputs 50 --keep 0.6 --seed 3 --avoidance none --metrics 2>/dev/null | tail -3
+  totals: 24 data, 0 dummies over 3 channels
+  first wedge: round 13
+  13 rounds, 90 events

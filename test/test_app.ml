@@ -52,10 +52,10 @@ let test_sequential () =
       let s =
         Engine.run ~graph:g ~kernels ~inputs
           ~avoidance:
-            (Engine.Non_propagation (Compiler.send_thresholds plan.intervals))
+            (Engine.Non_propagation (Compiler.send_thresholds g plan.intervals))
           ()
       in
-      Alcotest.(check bool) "completed" true (s.Engine.outcome = Engine.Completed))
+      Alcotest.(check bool) "completed" true (s.Report.outcome = Report.Completed))
 
 let test_parallel () =
   run_and_check (fun g kernels inputs ->
@@ -64,12 +64,11 @@ let test_parallel () =
         Fstream_parallel.Parallel_engine.run ~stall_ms:150 ~graph:g ~kernels
           ~inputs
           ~avoidance:
-            (Engine.Non_propagation (Compiler.send_thresholds plan.intervals))
+            (Engine.Non_propagation (Compiler.send_thresholds g plan.intervals))
           ()
       in
       Alcotest.(check bool) "completed" true
-        (s.Fstream_parallel.Parallel_engine.outcome
-        = Fstream_parallel.Parallel_engine.Completed))
+        (s.Report.outcome = Report.Completed))
 
 let test_store_drains () =
   (* exactly-once resolution keeps the payload store empty at the end *)
@@ -80,14 +79,14 @@ let test_store_drains () =
   ignore
     (Engine.run ~graph:g ~kernels:(App.to_kernels app) ~inputs:20
        ~avoidance:
-         (Engine.Non_propagation (Compiler.send_thresholds plan.intervals))
+         (Engine.Non_propagation (Compiler.send_thresholds g plan.intervals))
        ());
   (* a second run through the same app reuses the (drained) store *)
   collected := [];
   ignore
     (Engine.run ~graph:g ~kernels:(App.to_kernels app) ~inputs:20
        ~avoidance:
-         (Engine.Non_propagation (Compiler.send_thresholds plan.intervals))
+         (Engine.Non_propagation (Compiler.send_thresholds g plan.intervals))
        ());
   Alcotest.(check int) "second run produced full results" 40
     (List.length !collected)

@@ -53,17 +53,17 @@ let test_simulates_fig2 () =
         ~avoidance:Engine.No_avoidance ()
     in
     Alcotest.(check bool) "spec reproduces the Fig. 2 wedge" true
-      (bare.Engine.outcome = Engine.Deadlocked);
+      (bare.Report.outcome = Report.Deadlocked);
     (match Compiler.plan Compiler.Non_propagation g with
-    | Error e -> Alcotest.fail e
+    | Error e -> Alcotest.fail (Compiler.error_to_string e)
     | Ok p ->
       let s =
         Engine.run ~graph:g ~kernels:(App_spec.kernels spec ~seed:1) ~inputs:30
-          ~avoidance:(Engine.Non_propagation (Compiler.send_thresholds p.intervals))
+          ~avoidance:(Engine.Non_propagation (Compiler.send_thresholds g p.intervals))
           ()
       in
       Alcotest.(check bool) "and the wrapper fixes it" true
-        (s.Engine.outcome = Engine.Completed))
+        (s.Report.outcome = Report.Completed))
 
 let test_periodic_behavior () =
   let spec_text =
@@ -77,7 +77,7 @@ let test_periodic_behavior () =
         ~kernels:(App_spec.kernels spec ~seed:1) ~inputs:50
         ~avoidance:Engine.No_avoidance ()
     in
-    Alcotest.(check int) "every fifth input survives" 10 s.Engine.sink_data
+    Alcotest.(check int) "every fifth input survives" 10 s.Report.sink_data
 
 let suite =
   [

@@ -20,7 +20,7 @@ let test_route_pp () =
   | Ok p ->
     Alcotest.(check string) "route rendering" "CS4 (0 SP blocks, 1 ladder)"
       (Format.asprintf "%a" Compiler.pp_route p.route)
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Compiler.error_to_string e)
 
 let test_not_a_dag () =
   let g =
@@ -41,28 +41,28 @@ let test_max_cycles_cutoff () =
 let test_thresholds () =
   let g = Topo_gen.fig3_hexagon () in
   match Compiler.plan Compiler.Non_propagation g with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Compiler.error_to_string e)
   | Ok p ->
     Alcotest.(check (array (option int))) "floor-clamped thresholds"
       [| Some 2; Some 2; Some 2; Some 2; Some 2; Some 2 |]
-      (Compiler.send_thresholds p.intervals);
+      (Thresholds.to_array (Compiler.send_thresholds g p.intervals));
     (match Compiler.plan Compiler.Propagation g with
-    | Error e -> Alcotest.fail e
+    | Error e -> Alcotest.fail (Compiler.error_to_string e)
     | Ok p ->
       Alcotest.(check (array (option int)))
         "propagation thresholds: budgets at the split, eager relays"
         [| Some 6; Some 1; Some 1; Some 8; Some 1; Some 1 |]
-        (Compiler.propagation_thresholds g p.intervals))
+        (Thresholds.to_array (Compiler.propagation_thresholds g p.intervals)))
 
 let test_propagation_thresholds_bridges () =
   (* pipeline edges lie on no cycle: no dummies ever *)
   let g = Topo_gen.pipeline ~stages:3 ~cap:1 in
   match Compiler.plan Compiler.Propagation g with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Compiler.error_to_string e)
   | Ok p ->
     Alcotest.(check (array (option int))) "bridge edges get no threshold"
       [| None; None; None |]
-      (Compiler.propagation_thresholds g p.intervals)
+      (Thresholds.to_array (Compiler.propagation_thresholds g p.intervals))
 
 let prop_nonprop_at_most_prop =
   (* Non-propagation intervals divide by hop count, so they can only be

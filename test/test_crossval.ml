@@ -64,7 +64,7 @@ let test_general_fallback_butterfly () =
     Tutil.check_intervals "fallback equals baseline"
       (General.non_propagation g) intervals
   | Ok _ -> Alcotest.fail "expected general fallback route"
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Compiler.error_to_string e)
 
 let suite =
   [

@@ -19,8 +19,8 @@ let wedge_of_fig2 () =
 
 let test_fig2_witness () =
   let g, s = wedge_of_fig2 () in
-  Alcotest.(check bool) "deadlocked" true (s.Engine.outcome = Engine.Deadlocked);
-  match s.Engine.wedge with
+  Alcotest.(check bool) "deadlocked" true (s.Report.outcome = Report.Deadlocked);
+  match Report.wedge s with
   | None -> Alcotest.fail "expected a wedge snapshot"
   | Some snap -> (
     match Diagnosis.explain g snap with
@@ -38,9 +38,9 @@ let test_no_witness_when_completed () =
   let g = Topo_gen.pipeline ~stages:2 ~cap:1 in
   let kernels = Filters.for_graph g (fun _ o -> Filters.passthrough o) in
   let s = Engine.run ~graph:g ~kernels ~inputs:5 ~avoidance:Engine.No_avoidance () in
-  Alcotest.(check bool) "no wedge on completion" true (s.Engine.wedge = None)
+  Alcotest.(check bool) "no wedge on completion" true (Report.wedge s = None)
 
-let witness_is_sound (snap : Engine.snapshot) (w : Diagnosis.witness) =
+let witness_is_sound (snap : Report.snapshot) (w : Diagnosis.witness) =
   (* the witness must be a genuine simple cycle of g ... *)
   let ids =
     List.sort compare (List.map (fun o -> o.Cycles.edge.Graph.id) w.cycle)
@@ -54,10 +54,10 @@ let witness_is_sound (snap : Engine.snapshot) (w : Diagnosis.witness) =
   let occupancies_ok =
     List.for_all
       (fun (e : Graph.edge) ->
-        snap.Engine.channel_lengths.(e.id) >= e.cap)
+        snap.Report.channel_lengths.(e.id) >= e.cap)
       w.full_channels
     && List.for_all
-         (fun (e : Graph.edge) -> snap.Engine.channel_lengths.(e.id) = 0)
+         (fun (e : Graph.edge) -> snap.Report.channel_lengths.(e.id) = 0)
          w.empty_channels
   in
   (* ... and both sides non-trivial in a filtering deadlock *)
@@ -79,12 +79,12 @@ let prop_every_wedge_has_witness =
       let s =
         Engine.run ~graph:g ~kernels ~inputs:60 ~avoidance:Engine.No_avoidance ()
       in
-      match (s.Engine.outcome, s.Engine.wedge) with
-      | Engine.Deadlocked, Some snap -> (
+      match (s.Report.outcome, Report.wedge s) with
+      | Report.Deadlocked, Some snap -> (
         match Diagnosis.explain g snap with
         | Some w -> witness_is_sound snap w
         | None -> false)
-      | Engine.Deadlocked, None -> false
+      | Report.Deadlocked, None -> false
       | _ -> true)
 
 let prop_witness_cycle_is_enumerable =
@@ -100,7 +100,7 @@ let prop_witness_cycle_is_enumerable =
       let s =
         Engine.run ~graph:g ~kernels ~inputs:50 ~avoidance:Engine.No_avoidance ()
       in
-      match s.Engine.wedge with
+      match Report.wedge s with
       | None -> true
       | Some snap -> (
         match Diagnosis.explain g snap with

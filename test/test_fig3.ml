@@ -35,11 +35,11 @@ let test_fast_sp () =
 let test_compiler_plan () =
   (match Compiler.plan Compiler.Propagation (g ()) with
   | Ok p -> Tutil.check_intervals "plan propagation" expected_prop p.intervals
-  | Error e -> Alcotest.fail e);
+  | Error e -> Alcotest.fail (Compiler.error_to_string e));
   match Compiler.plan Compiler.Non_propagation (g ()) with
   | Ok p ->
     Tutil.check_intervals "plan non-propagation" expected_nonprop p.intervals
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Compiler.error_to_string e)
 
 let test_roundup_display () =
   (* the figure displays 8/3 as 3 ("roundup") *)

@@ -11,6 +11,7 @@ let () =
       ("compiler", Test_compiler.suite);
       ("runtime", Test_runtime.suite);
       ("sched", Test_sched.suite);
+      ("obs", Test_obs.suite);
       ("soundness", Test_soundness.suite);
       ("workloads", Test_workloads.suite);
       ("k4", Test_k4.suite);

@@ -18,21 +18,21 @@ let test_fig2_deadlocks () =
       ~avoidance:Engine.No_avoidance ()
   in
   Alcotest.(check bool) "deadlocked across domains" true
-    (s.outcome = P.Deadlocked);
+    (s.outcome = Report.Deadlocked);
   Alcotest.(check int) "wedged with the same traffic as the sequential engine"
     7 s.data_messages
 
 let test_fig2_avoided () =
   let g = Topo_gen.fig2_triangle ~cap:2 in
   match Compiler.plan Compiler.Non_propagation g with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Compiler.error_to_string e)
   | Ok p ->
     let s =
       P.run ~stall_ms:100 ~graph:g ~kernels:(fig2_kernels g) ~inputs:50
-        ~avoidance:(Engine.Non_propagation (Compiler.send_thresholds p.intervals))
+        ~avoidance:(Engine.Non_propagation (Compiler.send_thresholds g p.intervals))
         ()
     in
-    Alcotest.(check bool) "completed" true (s.outcome = P.Completed);
+    Alcotest.(check bool) "completed" true (s.outcome = Report.Completed);
     Alcotest.(check int) "all data delivered" 50 s.sink_data
 
 let test_matches_sequential_engine () =
@@ -45,20 +45,20 @@ let test_matches_sequential_engine () =
         else Filters.passthrough outs)
   in
   match Compiler.plan Compiler.Non_propagation g with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Compiler.error_to_string e)
   | Ok p ->
     let avoidance =
-      Engine.Non_propagation (Compiler.send_thresholds p.intervals)
+      Engine.Non_propagation (Compiler.send_thresholds g p.intervals)
     in
     let seq = Engine.run ~graph:g ~kernels:(kernels ()) ~inputs:60 ~avoidance () in
     let par =
       P.run ~stall_ms:150 ~graph:g ~kernels:(kernels ()) ~inputs:60 ~avoidance ()
     in
     Alcotest.(check bool) "both complete" true
-      (seq.Engine.outcome = Engine.Completed && par.outcome = P.Completed);
-    Alcotest.(check int) "same data count" seq.Engine.data_messages
+      (seq.Report.outcome = Report.Completed && par.outcome = Report.Completed);
+    Alcotest.(check int) "same data count" seq.Report.data_messages
       par.data_messages;
-    Alcotest.(check int) "same sink deliveries" seq.Engine.sink_data
+    Alcotest.(check int) "same sink deliveries" seq.Report.sink_data
       par.sink_data
 
 let test_pipeline_parallel () =
@@ -68,7 +68,7 @@ let test_pipeline_parallel () =
     P.run ~stall_ms:100 ~graph:g ~kernels ~inputs:200
       ~avoidance:Engine.No_avoidance ()
   in
-  Alcotest.(check bool) "completed" true (s.outcome = P.Completed);
+  Alcotest.(check bool) "completed" true (s.outcome = Report.Completed);
   Alcotest.(check int) "all delivered" 200 s.sink_data
 
 let test_node_limit () =
@@ -105,10 +105,10 @@ let prop_avoidance_sound_in_parallel =
         let s =
           P.run ~stall_ms:150 ~graph:g ~kernels ~inputs:40
             ~avoidance:
-              (Engine.Non_propagation (Compiler.send_thresholds p.intervals))
+              (Engine.Non_propagation (Compiler.send_thresholds g p.intervals))
             ()
         in
-        s.outcome = P.Completed)
+        s.outcome = Report.Completed)
 
 let prop_engines_agree_on_deterministic_kernels =
   (* deterministic filtering makes the delivered message multiset
@@ -133,7 +133,7 @@ let prop_engines_agree_on_deterministic_kernels =
               else Filters.passthrough outs)
         in
         let avoidance =
-          Engine.Non_propagation (Compiler.send_thresholds p.intervals)
+          Engine.Non_propagation (Compiler.send_thresholds g p.intervals)
         in
         let seq =
           Engine.run ~graph:g ~kernels:(kernels ()) ~inputs:30 ~avoidance ()
@@ -142,10 +142,10 @@ let prop_engines_agree_on_deterministic_kernels =
           P.run ~stall_ms:150 ~graph:g ~kernels:(kernels ()) ~inputs:30
             ~avoidance ()
         in
-        seq.Engine.outcome = Engine.Completed
-        && par.outcome = P.Completed
-        && seq.Engine.data_messages = par.data_messages
-        && seq.Engine.sink_data = par.sink_data)
+        seq.Report.outcome = Report.Completed
+        && par.outcome = Report.Completed
+        && seq.Report.data_messages = par.data_messages
+        && seq.Report.sink_data = par.sink_data)
 
 let suite =
   [

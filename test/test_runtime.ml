@@ -35,7 +35,7 @@ let run_fig2 avoidance =
 let test_fig2_deadlock () =
   let s = run_fig2 Engine.No_avoidance in
   Alcotest.(check bool) "deadlocks without avoidance" true
-    (s.outcome = Engine.Deadlocked);
+    (s.outcome = Report.Deadlocked);
   Alcotest.(check int) "no dummies sent" 0 s.dummy_messages
 
 let test_fig2_avoided () =
@@ -46,26 +46,26 @@ let test_fig2_avoided () =
       run_fig2 (Engine.Propagation (Compiler.propagation_thresholds g p.intervals))
     in
     Alcotest.(check bool) "propagation completes" true
-      (s.outcome = Engine.Completed);
+      (s.outcome = Report.Completed);
     Alcotest.(check int) "all data delivered to sink" 25 s.sink_data;
     Alcotest.(check bool) "some dummies were needed" true (s.dummy_messages > 0)
-  | Error e -> Alcotest.fail e);
+  | Error e -> Alcotest.fail (Compiler.error_to_string e));
   match Compiler.plan Compiler.Non_propagation g with
   | Ok p ->
     let s =
-      run_fig2 (Engine.Non_propagation (Compiler.send_thresholds p.intervals))
+      run_fig2 (Engine.Non_propagation (Compiler.send_thresholds g p.intervals))
     in
     Alcotest.(check bool) "non-propagation completes" true
-      (s.outcome = Engine.Completed);
+      (s.outcome = Report.Completed);
     Alcotest.(check int) "all data delivered to sink" 25 s.sink_data
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Compiler.error_to_string e)
 
 let test_no_filtering_never_deadlocks () =
   (* without filtering the DAG behaves like SDF: no avoidance needed *)
   let g = Topo_gen.fig4_left ~cap:1 in
   let kernels = Filters.for_graph g (fun _ outs -> Filters.passthrough outs) in
   let s = Engine.run ~graph:g ~kernels ~inputs:50 ~avoidance:Engine.No_avoidance () in
-  Alcotest.(check bool) "completed" true (s.outcome = Engine.Completed);
+  Alcotest.(check bool) "completed" true (s.outcome = Report.Completed);
   Alcotest.(check int) "sink consumed both channels each seq" 100 s.sink_data
 
 let test_drop_all_is_safe_on_pipeline () =
@@ -77,7 +77,7 @@ let test_drop_all_is_safe_on_pipeline () =
         if v = 1 then Filters.drop_all outs else Filters.passthrough outs)
   in
   let s = Engine.run ~graph:g ~kernels ~inputs:30 ~avoidance:Engine.No_avoidance () in
-  Alcotest.(check bool) "completed" true (s.outcome = Engine.Completed);
+  Alcotest.(check bool) "completed" true (s.outcome = Report.Completed);
   Alcotest.(check int) "nothing reached the sink" 0 s.sink_data
 
 let test_periodic_filter () =
@@ -88,7 +88,7 @@ let test_periodic_filter () =
         else Filters.passthrough outs)
   in
   let s = Engine.run ~graph:g ~kernels ~inputs:30 ~avoidance:Engine.No_avoidance () in
-  Alcotest.(check bool) "completed" true (s.outcome = Engine.Completed);
+  Alcotest.(check bool) "completed" true (s.outcome = Report.Completed);
   Alcotest.(check int) "every third input survives" 10 s.sink_data
 
 let test_determinism () =
@@ -100,8 +100,8 @@ let test_determinism () =
   in
   let thresholds =
     match Compiler.plan Compiler.Non_propagation g with
-    | Ok p -> Compiler.send_thresholds p.intervals
-    | Error e -> Alcotest.fail e
+    | Ok p -> Compiler.send_thresholds g p.intervals
+    | Error e -> Alcotest.fail (Compiler.error_to_string e)
   in
   let run () =
     Engine.run ~graph:g ~kernels:(mk 7) ~inputs:40
@@ -128,14 +128,14 @@ let test_route_one_conservation () =
   in
   let thresholds =
     match Compiler.plan Compiler.Non_propagation g with
-    | Ok p -> Compiler.send_thresholds p.intervals
-    | Error e -> Alcotest.fail e
+    | Ok p -> Compiler.send_thresholds g p.intervals
+    | Error e -> Alcotest.fail (Compiler.error_to_string e)
   in
   let s =
     Engine.run ~graph:g ~kernels ~inputs:60
       ~avoidance:(Engine.Non_propagation thresholds) ()
   in
-  Alcotest.(check bool) "completed" true (s.outcome = Engine.Completed);
+  Alcotest.(check bool) "completed" true (s.outcome = Report.Completed);
   Alcotest.(check int) "one data message per input at the join" 60 s.sink_data
 
 let test_dummy_slots_coalesce () =
@@ -148,10 +148,11 @@ let test_dummy_slots_coalesce () =
   in
   let s =
     Engine.run ~graph:g ~kernels ~inputs:40
-      ~avoidance:(Engine.Propagation [| Some 1; Some 1; Some 1 |])
+      ~avoidance:
+        (Engine.Propagation (Thresholds.of_array g [| Some 1; Some 1; Some 1 |]))
       ()
   in
-  Alcotest.(check bool) "completed" true (s.outcome = Engine.Completed);
+  Alcotest.(check bool) "completed" true (s.outcome = Report.Completed);
   Alcotest.(check bool) "dummy accounting is consistent" true
     (s.dummy_messages >= 0 && s.dropped_dummies >= 0)
 
@@ -164,7 +165,7 @@ let test_multiple_sources () =
   in
   let kernels = Filters.for_graph g (fun _ outs -> Filters.passthrough outs) in
   let s = Engine.run ~graph:g ~kernels ~inputs:25 ~avoidance:Engine.No_avoidance () in
-  Alcotest.(check bool) "completed" true (s.outcome = Engine.Completed);
+  Alcotest.(check bool) "completed" true (s.outcome = Report.Completed);
   Alcotest.(check int) "sink sees one merged message per seq" 25 s.sink_data
 
 let test_budget_exhausted () =
@@ -175,7 +176,7 @@ let test_budget_exhausted () =
       ~avoidance:Engine.No_avoidance ()
   in
   Alcotest.(check bool) "budget reported" true
-    (s.outcome = Engine.Budget_exhausted)
+    (s.outcome = Report.Budget_exhausted)
 
 let test_deadlock_dump_smoke () =
   (* the diagnostic dump must render without raising *)
@@ -191,7 +192,7 @@ let test_deadlock_dump_smoke () =
       ~avoidance:Engine.No_avoidance ()
   in
   Format.pp_print_flush ppf ();
-  Alcotest.(check bool) "deadlocked" true (s.outcome = Engine.Deadlocked);
+  Alcotest.(check bool) "deadlocked" true (s.outcome = Report.Deadlocked);
   Alcotest.(check bool) "dump mentions the empty channel" true
     (Buffer.length buf > 0)
 
@@ -199,7 +200,7 @@ let test_zero_inputs () =
   let g = Topo_gen.fig4_left ~cap:1 in
   let kernels = Filters.for_graph g (fun _ outs -> Filters.passthrough outs) in
   let s = Engine.run ~graph:g ~kernels ~inputs:0 ~avoidance:Engine.No_avoidance () in
-  Alcotest.(check bool) "empty stream drains" true (s.outcome = Engine.Completed);
+  Alcotest.(check bool) "empty stream drains" true (s.outcome = Report.Completed);
   Alcotest.(check int) "no data" 0 s.data_messages
 
 let suite =

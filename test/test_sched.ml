@@ -1,5 +1,5 @@
 (* Differential testing of the event-driven ready-queue scheduler
-   against the reference sweep scheduler: identical [Engine.stats]
+   against the reference sweep scheduler: identical [Report.t]
    (outcome, rounds, message counts, per-edge dummy counts, wedge
    snapshot) on randomized workloads and on the paper's figure
    topologies, under all three avoidance modes. This is the oracle that
@@ -26,7 +26,7 @@ let wrappers g =
   in
   let nonprop =
     match Compiler.plan Compiler.Non_propagation g with
-    | Ok p -> Some (Engine.Non_propagation (Compiler.send_thresholds p.intervals))
+    | Ok p -> Some (Engine.Non_propagation (Compiler.send_thresholds g p.intervals))
     | Error _ -> None
   in
   [ none; prop; nonprop ]
@@ -65,15 +65,17 @@ let check_identical name ~kernels_of ~inputs g avoidance =
   let r = run Engine.Ready and s = run Engine.Sweep in
   Alcotest.(check bool)
     (name ^ ": outcome") true
-    (r.Engine.outcome = s.Engine.outcome);
-  Alcotest.(check int) (name ^ ": rounds") s.rounds r.rounds;
+    (r.Report.outcome = s.Report.outcome);
+  Alcotest.(check (option int)) (name ^ ": rounds") (Report.rounds s)
+    (Report.rounds r);
   Alcotest.(check int) (name ^ ": data") s.data_messages r.data_messages;
   Alcotest.(check int) (name ^ ": dummies") s.dummy_messages r.dummy_messages;
   Alcotest.(check int) (name ^ ": sink data") s.sink_data r.sink_data;
   Alcotest.(check int) (name ^ ": dropped") s.dropped_dummies r.dropped_dummies;
   Alcotest.(check (array int))
     (name ^ ": per-edge dummies") s.per_edge_dummies r.per_edge_dummies;
-  Alcotest.(check bool) (name ^ ": wedge") true (r.wedge = s.wedge);
+  Alcotest.(check bool) (name ^ ": wedge") true
+    (Report.wedge r = Report.wedge s);
   r
 
 let test_fig1 () =
@@ -85,14 +87,14 @@ let test_fig1 () =
   in
   let thresholds =
     match Compiler.plan Compiler.Non_propagation g with
-    | Ok p -> Compiler.send_thresholds p.intervals
-    | Error e -> Alcotest.fail e
+    | Ok p -> Compiler.send_thresholds g p.intervals
+    | Error e -> Alcotest.fail (Compiler.error_to_string e)
   in
   let s =
     check_identical "fig1" ~kernels_of ~inputs:60 g
       (Engine.Non_propagation thresholds)
   in
-  Alcotest.(check bool) "fig1 completes" true (s.outcome = Engine.Completed)
+  Alcotest.(check bool) "fig1 completes" true (s.Report.outcome = Report.Completed)
 
 let test_fig2 () =
   let g = Topo_gen.fig2_triangle ~cap:2 in
@@ -103,8 +105,8 @@ let test_fig2 () =
   (* bare: both engines must wedge in the same round with the same
      frozen snapshot *)
   let s = check_identical "fig2 bare" ~kernels_of ~inputs:25 g Engine.No_avoidance in
-  Alcotest.(check bool) "fig2 deadlocks bare" true (s.outcome = Engine.Deadlocked);
-  Alcotest.(check bool) "wedge captured" true (s.wedge <> None);
+  Alcotest.(check bool) "fig2 deadlocks bare" true (s.Report.outcome = Report.Deadlocked);
+  Alcotest.(check bool) "wedge captured" true (Report.wedge s <> None);
   (* protected: both complete with the same dummy traffic *)
   match Compiler.plan Compiler.Propagation g with
   | Ok p ->
@@ -112,8 +114,8 @@ let test_fig2 () =
       check_identical "fig2 propagation" ~kernels_of ~inputs:25 g
         (Engine.Propagation (Compiler.propagation_thresholds g p.intervals))
     in
-    Alcotest.(check bool) "fig2 avoided" true (s.outcome = Engine.Completed)
-  | Error e -> Alcotest.fail e
+    Alcotest.(check bool) "fig2 avoided" true (s.Report.outcome = Report.Completed)
+  | Error e -> Alcotest.fail (Compiler.error_to_string e)
 
 let test_eos_vs_deadlock () =
   (* the discrimination the EOS machinery exists for: a starved sink is
@@ -130,7 +132,7 @@ let test_eos_vs_deadlock () =
       pipeline Engine.No_avoidance
   in
   Alcotest.(check bool) "drained, not deadlocked" true
-    (s.outcome = Engine.Completed);
+    (s.Report.outcome = Report.Completed);
   Alcotest.(check int) "sink starved" 0 s.sink_data;
   let fig2 = Topo_gen.fig2_triangle ~cap:2 in
   let blocking_of () =
@@ -142,7 +144,7 @@ let test_eos_vs_deadlock () =
       Engine.No_avoidance
   in
   Alcotest.(check bool) "deadlocked, not drained" true
-    (s.outcome = Engine.Deadlocked)
+    (s.Report.outcome = Report.Deadlocked)
 
 let test_budget_parity () =
   (* Budget_exhausted must trip on the same round for both engines *)
@@ -156,7 +158,8 @@ let test_budget_parity () =
   in
   let r = run Engine.Ready and s = run Engine.Sweep in
   Alcotest.(check bool) "both out of budget" true
-    (r.outcome = Engine.Budget_exhausted && s.outcome = Engine.Budget_exhausted);
+    (r.Report.outcome = Report.Budget_exhausted
+    && s.Report.outcome = Report.Budget_exhausted);
   Alcotest.(check bool) "identical stats at the budget" true (r = s)
 
 (* ------------------------------------------------------------------ *)
@@ -169,16 +172,11 @@ let test_budget_parity () =
    completed run, emitted = delivered + dropped, and both engines
    agree on every term. *)
 
-let dummy_lines buf =
-  String.split_on_char '\n' (Buffer.contents buf)
-  |> List.filter (fun l ->
-         (* emit's trace line: "n%d seq%d: dummy on e%d (due=%b fwd=%b)" *)
-         let rec mem i =
-           i + 10 <= String.length l
-           && (String.sub l i 10 = ": dummy on" || mem (i + 1))
-         in
-         mem 0)
-  |> List.length
+let dummy_emissions ring =
+  List.length
+    (List.filter
+       (function Fstream_obs.Event.Dummy_emitted _ -> true | _ -> false)
+       (Fstream_obs.Ring.contents ring))
 
 let test_dummy_accounting () =
   (* a seeded S1-style workload: random CS4 topology, Bernoulli
@@ -189,21 +187,20 @@ let test_dummy_accounting () =
   let avoidance =
     match Compiler.plan Compiler.Propagation g with
     | Ok p -> Engine.Propagation (Compiler.propagation_thresholds g p.intervals)
-    | Error e -> Alcotest.fail e
+    | Error e -> Alcotest.fail (Compiler.error_to_string e)
   in
   let traced scheduler =
-    let buf = Buffer.create 4096 in
-    let ppf = Format.formatter_of_buffer buf in
+    let ring = Fstream_obs.Ring.create () in
     let s =
-      Engine.run ~scheduler ~trace:ppf ~graph:g
+      Engine.run ~scheduler ~sink:(Fstream_obs.Ring.sink ring) ~graph:g
         ~kernels:(bernoulli_kernels g 424242) ~inputs:80 ~avoidance ()
     in
-    Format.pp_print_flush ppf ();
-    (s, dummy_lines buf)
+    Alcotest.(check int) "complete event log" 0 (Fstream_obs.Ring.dropped ring);
+    (s, dummy_emissions ring)
   in
-  let check name ((s : Engine.stats), emitted) =
+  let check name ((s : Report.t), emitted) =
     Alcotest.(check bool) (name ^ ": completed") true
-      (s.outcome = Engine.Completed);
+      (s.Report.outcome = Report.Completed);
     Alcotest.(check int)
       (name ^ ": per-edge dummies sum to the total")
       s.dummy_messages

@@ -25,7 +25,7 @@ let source_and_relay g seed =
 
 let completes g kernels avoidance =
   let s = Engine.run ~graph:g ~kernels ~inputs:50 ~avoidance () in
-  s.Engine.outcome = Engine.Completed
+  s.Report.outcome = Report.Completed
 
 let prop_nonprop_sound =
   Tutil.qtest ~count:120 "non-propagation: sound under arbitrary filtering"
@@ -35,7 +35,7 @@ let prop_nonprop_sound =
       | Error _ -> false
       | Ok p ->
         completes g (adversarial g seed)
-          (Engine.Non_propagation (Compiler.send_thresholds p.intervals)))
+          (Engine.Non_propagation (Compiler.send_thresholds g p.intervals)))
 
 let prop_propagation_sound_on_paper_pattern =
   Tutil.qtest ~count:120
@@ -57,7 +57,7 @@ let prop_hybrid_sound =
       | Error _ -> false
       | Ok p ->
         completes g (adversarial g seed)
-          (Engine.Propagation (Compiler.send_thresholds p.intervals)))
+          (Engine.Propagation (Compiler.send_thresholds g p.intervals)))
 
 let prop_all_data_delivered =
   (* liveness + integrity: with avoidance on, every kept data message
@@ -68,7 +68,7 @@ let prop_all_data_delivered =
       match Compiler.plan Compiler.Non_propagation g with
       | Error _ -> false
       | Ok p ->
-        let thresholds = Compiler.send_thresholds p.intervals in
+        let thresholds = Compiler.send_thresholds g p.intervals in
         let run kernels =
           Engine.run ~graph:g ~kernels ~inputs:50
             ~avoidance:(Engine.Non_propagation thresholds) ()
@@ -82,9 +82,9 @@ let prop_all_data_delivered =
             (fun acc v -> acc + Graph.in_degree g v)
             0 (Graph.sinks g)
         in
-        full.Engine.outcome = Engine.Completed
-        && full.Engine.sink_data = 50 * sink_in
-        && filtered.Engine.sink_data <= full.Engine.sink_data)
+        full.Report.outcome = Report.Completed
+        && full.Report.sink_data = 50 * sink_in
+        && filtered.Report.sink_data <= full.Report.sink_data)
 
 let test_deadlock_exists_without_avoidance () =
   (* sanity for the whole experiment: the bare model really does
@@ -95,7 +95,7 @@ let test_deadlock_exists_without_avoidance () =
         if v = 0 then Filters.block_edge 2 outs else Filters.passthrough outs)
   in
   let s = Engine.run ~graph:g ~kernels ~inputs:10 ~avoidance:Engine.No_avoidance () in
-  Alcotest.(check bool) "deadlocked" true (s.Engine.outcome = Engine.Deadlocked)
+  Alcotest.(check bool) "deadlocked" true (s.Report.outcome = Report.Deadlocked)
 
 let suite =
   [

@@ -10,13 +10,13 @@ open Fstream_verify
 
 let nonprop_avoidance g =
   match Compiler.plan Compiler.Non_propagation g with
-  | Ok p -> Engine.Non_propagation (Compiler.send_thresholds p.intervals)
-  | Error e -> Alcotest.fail e
+  | Ok p -> Engine.Non_propagation (Compiler.send_thresholds g p.intervals)
+  | Error e -> Alcotest.fail (Compiler.error_to_string e)
 
 let prop_avoidance g =
   match Compiler.plan Compiler.Propagation g with
   | Ok p -> Engine.Propagation (Compiler.propagation_thresholds g p.intervals)
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Compiler.error_to_string e)
 
 let is_safe = function Verify.Safe _ -> true | _ -> false
 let is_deadlock = function Verify.Deadlocks _ -> true | _ -> false
@@ -97,7 +97,7 @@ let prop_checker_agrees_with_engine =
                   Filters.bernoulli krng ~keep:0.5 outs)
             in
             let s = Engine.run ~graph:g ~kernels ~inputs:3 ~avoidance () in
-            s.Engine.outcome = Engine.Completed)
+            s.Report.outcome = Report.Completed)
           [ 1; 2; 3 ])
 
 let test_tightness_fig2 () =
@@ -105,7 +105,8 @@ let test_tightness_fig2 () =
      the wedge back — the intervals are near-minimal *)
   let g = Topo_gen.fig2_triangle ~cap:2 in
   let check ?strategy ~inputs t =
-    Verify.check ?strategy ~graph:g ~avoidance:(Engine.Non_propagation t)
+    Verify.check ?strategy ~graph:g
+      ~avoidance:(Engine.Non_propagation (Thresholds.of_array g t))
       ~inputs ()
   in
   (* safety needs the full space: BFS at 6 inputs (~290k states);
