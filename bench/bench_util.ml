@@ -2,6 +2,38 @@
 
 let now_ns () = Monotonic_clock.now ()
 
+(* Set by [--quick] on the command line: sections shrink their sweeps to
+   one small size / a handful of trials, so CI can smoke-test the bench
+   binary (and the hot path it exercises) in seconds. *)
+let quick = ref false
+
+(* Allocation accounting around a thunk. [quick_stat] reads the GC's
+   counters without walking the heap, so the probe itself is cheap
+   enough to wrap whole engine runs. Words are OCaml words (8 bytes on
+   64-bit); [minor_words] counts every allocation that went through the
+   minor heap, which is the figure of merit for a hot loop that is
+   supposed to allocate nothing. *)
+type gc_stats = {
+  minor_words : float;
+  major_words : float;
+  promoted_words : float;
+  minor_collections : int;
+  major_collections : int;
+}
+
+let with_gc_stats f =
+  let a = Gc.quick_stat () in
+  let r = f () in
+  let b = Gc.quick_stat () in
+  ( {
+      minor_words = b.Gc.minor_words -. a.Gc.minor_words;
+      major_words = b.Gc.major_words -. a.Gc.major_words;
+      promoted_words = b.Gc.promoted_words -. a.Gc.promoted_words;
+      minor_collections = b.Gc.minor_collections - a.Gc.minor_collections;
+      major_collections = b.Gc.major_collections - a.Gc.major_collections;
+    },
+    r )
+
 (* Wall-clock one evaluation, in nanoseconds. *)
 let time_once f =
   let t0 = now_ns () in

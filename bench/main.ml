@@ -462,6 +462,90 @@ let c6 () =
     (st_ /. rt)
 
 (* ------------------------------------------------------------------ *)
+(* C7. Hot-path cost of the steady-state loop: throughput + GC load.    *)
+
+let c7 () =
+  section "C7" "hot-path cost: rounds/sec, ns/message, minor words/message";
+  let pipeline_sizes =
+    if !quick then [ 1_023 ] else [ 1_023; 4_095; 16_383; 65_535 ]
+  in
+  row "  deep pipelines, 2000 inputs, stage 1 keeps 1 message in 512:@.";
+  row "  %8s %12s %12s %12s %12s %10s@." "nodes" "total" "rounds/s" "ns/msg"
+    "mwords/msg" "minor GCs";
+  List.iter
+    (fun stages ->
+      let g = Topo_gen.pipeline ~stages ~cap:2 in
+      let kernels () =
+        Filters.for_graph g (fun v outs ->
+            if v = 1 then Filters.periodic ~keep_every:512 outs
+            else Filters.passthrough outs)
+      in
+      let inputs = 2_000 in
+      let run () =
+        Engine.run ~graph:g ~kernels:(kernels ()) ~inputs
+          ~avoidance:Engine.No_avoidance ()
+      in
+      (* one warm-up run keeps the graph/closure setup cost out of the
+         GC window; the measured run is wrapped whole, so the reported
+         minor words include per-run setup (arrays, channels) — a fixed
+         cost that the per-message division dilutes at steady state *)
+      ignore (run ());
+      Gc.compact ();
+      let gc, (t, (s : Report.t)) = with_gc_stats (fun () -> time_once run) in
+      let rounds = Option.value (Report.rounds s) ~default:0 in
+      let messages = max 1 (s.Report.data_messages + s.Report.dummy_messages) in
+      row "  %8d %a %12.0f %12.1f %12.1f %10d@." (stages + 1) pp_ns t
+        (float rounds /. (t /. 1e9))
+        (t /. float messages)
+        (gc.minor_words /. float messages)
+        gc.minor_collections)
+    pipeline_sizes;
+  row "  S1 random CS4 workloads (Bernoulli filtering, non-prop wrapper):@.";
+  let trials = if !quick then 40 else 200 in
+  let inputs = 80 in
+  let rng = Random.State.make [| 31337 |] in
+  let elapsed = ref 0. and msgs = ref 0 and rounds = ref 0 in
+  let minor = ref 0. and collections = ref 0 in
+  for _ = 1 to trials do
+    let g =
+      Topo_gen.random_cs4 rng
+        ~blocks:(1 + Random.State.int rng 3)
+        ~block_edges:(2 + Random.State.int rng 8)
+        ~max_cap:3
+    in
+    let seed = Random.State.int rng 1_000_000 in
+    let kernels =
+      let krng = Random.State.make [| seed |] in
+      Filters.for_graph g (fun _ outs -> Filters.bernoulli krng ~keep:0.6 outs)
+    in
+    match Compiler.plan Compiler.Non_propagation g with
+    | Error _ -> ()
+    | Ok p ->
+      let avoidance =
+        Engine.Non_propagation (Compiler.send_thresholds g p.intervals)
+      in
+      let gc, (t, (s : Report.t)) =
+        with_gc_stats (fun () ->
+            time_once (fun () ->
+                Engine.run ~graph:g ~kernels ~inputs ~avoidance ()))
+      in
+      elapsed := !elapsed +. t;
+      msgs := !msgs + s.data_messages + s.dummy_messages;
+      rounds := !rounds + Option.value (Report.rounds s) ~default:0;
+      minor := !minor +. gc.minor_words;
+      collections := !collections + gc.minor_collections
+  done;
+  row "  %8s %12s %12s %12s %12s %10s@." "trials" "total" "rounds/s" "ns/msg"
+    "mwords/msg" "minor GCs";
+  row "  %8d %a %12.0f %12.1f %12.1f %10d@." trials pp_ns !elapsed
+    (float !rounds /. (!elapsed /. 1e9))
+    (!elapsed /. float (max 1 !msgs))
+    (!minor /. float (max 1 !msgs))
+    !collections;
+  row "  (minor words per message = Gc.minor_words delta over the whole run@.";
+  row "   divided by delivered messages; table tracked in EXPERIMENTS.md C7)@."
+
+(* ------------------------------------------------------------------ *)
 (* O1. Observability overhead: bare run vs null sink vs ring sink.      *)
 
 let o1 () =
@@ -978,6 +1062,7 @@ let sections =
     ("C4", c4);
     ("C5", c5);
     ("C6", c6);
+    ("C7", c7);
     ("O1", o1);
     ("V1", v1);
     ("V2", v2);
@@ -990,11 +1075,20 @@ let sections =
   ]
 
 let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst sections
+  (* flags: [--quick] shrinks every sweep (CI smoke); [--only] is an
+     accepted no-op so `-- --only C7 --quick` reads naturally. The
+     remaining arguments select sections, default all. *)
+  let args =
+    List.filter
+      (fun a ->
+        if a = "--quick" then begin
+          quick := true;
+          false
+        end
+        else a <> "--only")
+      (List.tl (Array.to_list Sys.argv))
   in
+  let requested = match args with [] -> List.map fst sections | l -> l in
   Format.printf
     "filterstream benchmark harness — every table/figure of the paper@.";
   List.iter

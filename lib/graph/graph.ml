@@ -7,6 +7,8 @@ type t = {
   edge_arr : edge array;
   out_adj : edge list array;  (* per node, increasing id *)
   in_adj : edge list array;
+  out_ids : int array array;  (* per node, edge ids, increasing *)
+  in_ids : int array array;
 }
 
 let make ~nodes spec =
@@ -33,7 +35,23 @@ let make ~nodes spec =
     out_adj.(e.src) <- e :: out_adj.(e.src);
     in_adj.(e.dst) <- e :: in_adj.(e.dst)
   done;
-  { n = nodes; edge_arr; out_adj; in_adj }
+  (* Flat int-array adjacency (edge ids, increasing) and the degree
+     counts it implies, precomputed once so degree queries are O(1) and
+     the runtime engines can walk a node's edges without traversing
+     cons cells. *)
+  let ids_of adj =
+    Array.map
+      (fun es -> Array.of_list (List.map (fun e -> e.id) es))
+      adj
+  in
+  {
+    n = nodes;
+    edge_arr;
+    out_adj;
+    in_adj;
+    out_ids = ids_of out_adj;
+    in_ids = ids_of in_adj;
+  }
 
 let num_nodes g = g.n
 let num_edges g = Array.length g.edge_arr
@@ -47,8 +65,10 @@ let edge g id =
 let edges g = Array.to_list g.edge_arr
 let out_edges g v = g.out_adj.(v)
 let in_edges g v = g.in_adj.(v)
-let out_degree g v = List.length g.out_adj.(v)
-let in_degree g v = List.length g.in_adj.(v)
+let out_edge_ids g v = g.out_ids.(v)
+let in_edge_ids g v = g.in_ids.(v)
+let out_degree g v = Array.length g.out_ids.(v)
+let in_degree g v = Array.length g.in_ids.(v)
 
 let incident_edges g v =
   List.merge (fun a b -> compare a.id b.id) g.out_adj.(v) g.in_adj.(v)

@@ -43,8 +43,17 @@ val edges : t -> edge list
 
 val out_edges : t -> node -> edge list
 val in_edges : t -> node -> edge list
+
+val out_edge_ids : t -> node -> int array
+val in_edge_ids : t -> node -> int array
+(** Flat adjacency: the ids of a node's out/in edges in increasing
+    order, precomputed at {!make}. The returned array is the graph's
+    own (graphs are immutable) — callers must not mutate it. This is
+    the zero-allocation view the runtime hot paths iterate. *)
+
 val out_degree : t -> node -> int
 val in_degree : t -> node -> int
+(** O(1): degrees are precomputed at {!make}. *)
 
 val incident_edges : t -> node -> edge list
 (** Edges touching a node in either direction (undirected view). *)

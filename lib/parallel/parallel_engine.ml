@@ -1,5 +1,6 @@
 open Fstream_graph
 module Engine = Fstream_runtime.Engine
+module Channel = Fstream_runtime.Channel
 module Message = Fstream_runtime.Message
 module Report = Fstream_runtime.Report
 module Thresholds = Fstream_core.Thresholds
@@ -11,23 +12,24 @@ module Sink = Fstream_obs.Sink
    when they can make no move; every state change broadcasts. Kernels
    run outside the lock. The event sink is only ever called with the
    lock held, so a single-threaded sink (ring buffer, JSON writer) is
-   safe here too. *)
+   safe here too.
+
+   Channels are the runtime's ring-buffer {!Channel} (accessed only
+   with the lock held): capacity, occupancy and the message counters
+   live there, so the report's data/dummy totals come from the same
+   ground truth as the sequential engine's. *)
 type shared = {
   mutex : Mutex.t;
   cond : Condition.t;
-  chans : Message.t Queue.t array;  (* per edge *)
-  caps : int array;
-  slot : int option array;  (* per edge: coalescing dummy mouth *)
+  chans : Channel.t array;  (* per edge *)
+  slot : int array;  (* per edge: coalescing dummy mouth; -1 = empty *)
   last_sent : int array;
   mutable progress : int;  (* bumped on every push/pop; watchdog input *)
   mutable live_nodes : int;
   mutable aborted : bool;
-  (* stats *)
-  mutable data_messages : int;
-  mutable dummy_messages : int;
+  (* stats the channels cannot see *)
   mutable sink_data : int;
   mutable dropped_dummies : int;
-  per_edge_dummies : int array;
 }
 
 let locked sh f =
@@ -68,32 +70,24 @@ let run ?(stall_ms = 200) ?sink ~graph:g ~kernels ~inputs ~avoidance () =
     {
       mutex = Mutex.create ();
       cond = Condition.create ();
-      chans = Array.init m (fun _ -> Queue.create ());
-      caps = Array.init m (fun i -> (Graph.edge g i).cap);
-      slot = Array.make m None;
+      chans =
+        Array.init m (fun i -> Channel.create ~capacity:(Graph.edge g i).cap);
+      slot = Array.make m (-1);
       last_sent = Array.make m (-1);
       progress = 0;
       live_nodes = n;
       aborted = false;
-      data_messages = 0;
-      dummy_messages = 0;
       sink_data = 0;
       dropped_dummies = 0;
-      per_edge_dummies = Array.make m 0;
     }
   in
   let out_edges = Array.init n (Graph.out_edges g) in
   let in_edges = Array.init n (Graph.in_edges g) in
   let is_sink v = out_edges.(v) = [] in
-  let full e = Queue.length sh.chans.(e) >= sh.caps.(e) in
+  let full e = Channel.is_full sh.chans.(e) in
   let push e (msg : Message.t) =
-    Queue.add msg sh.chans.(e);
-    (match msg.body with
-    | Message.Data _ -> sh.data_messages <- sh.data_messages + 1
-    | Message.Dummy ->
-      sh.dummy_messages <- sh.dummy_messages + 1;
-      sh.per_edge_dummies.(e) <- sh.per_edge_dummies.(e) + 1
-    | Message.Eos -> ());
+    (* callers only push under the lock with room checked *)
+    if not (Channel.push sh.chans.(e) msg) then assert false;
     if obs then
       ev (Event.Push { edge = e; seq = msg.seq; payload = payload_of msg });
     bump sh
@@ -107,11 +101,11 @@ let run ?(stall_ms = 200) ?sink ~graph:g ~kernels ~inputs ~avoidance () =
   let flush_slots v =
     List.iter
       (fun (e : Graph.edge) ->
-        match sh.slot.(e.id) with
-        | Some seq when not (full e.id) ->
-          sh.slot.(e.id) <- None;
+        let seq = sh.slot.(e.id) in
+        if seq >= 0 && not (full e.id) then begin
+          sh.slot.(e.id) <- -1;
           push e.id (Message.dummy ~seq)
-        | _ -> ())
+        end)
       out_edges.(v)
   in
   (* Blocking send of data/EOS on one channel; dummies never block.
@@ -130,11 +124,11 @@ let run ?(stall_ms = 200) ?sink ~graph:g ~kernels ~inputs ~avoidance () =
     List.iter
       (fun (e : Graph.edge) ->
         if List.mem e.id data_out then begin
-          (match sh.slot.(e.id) with
-          | Some old ->
-            sh.slot.(e.id) <- None;
-            drop_slot e.id old
-          | None -> ());
+          (let old = sh.slot.(e.id) in
+           if old >= 0 then begin
+             sh.slot.(e.id) <- -1;
+             drop_slot e.id old
+           end);
           sh.last_sent.(e.id) <- seq;
           send_blocking v e.id (Message.data ~seq seq)
         end
@@ -145,10 +139,9 @@ let run ?(stall_ms = 200) ?sink ~graph:g ~kernels ~inputs ~avoidance () =
             | None -> false
           in
           if (forwarding && got_dummy) || due then begin
-            (match sh.slot.(e.id) with
-            | Some old -> drop_slot e.id old
-            | None -> ());
-            sh.slot.(e.id) <- Some seq;
+            (let old = sh.slot.(e.id) in
+             if old >= 0 then drop_slot e.id old);
+            sh.slot.(e.id) <- seq;
             if obs then ev (Event.Dummy_emitted { node = v; edge = e.id; seq });
             sh.last_sent.(e.id) <- seq;
             flush_slots v
@@ -159,11 +152,11 @@ let run ?(stall_ms = 200) ?sink ~graph:g ~kernels ~inputs ~avoidance () =
   let send_eos v =
     List.iter
       (fun (e : Graph.edge) ->
-        (match sh.slot.(e.id) with
-        | Some old ->
-          sh.slot.(e.id) <- None;
-          drop_slot e.id old
-        | None -> ());
+        (let old = sh.slot.(e.id) in
+         if old >= 0 then begin
+           sh.slot.(e.id) <- -1;
+           drop_slot e.id old
+         end);
         send_blocking v e.id (Message.eos ()))
       out_edges.(v);
     if obs then ev (Event.Eos { node = v })
@@ -189,12 +182,13 @@ let run ?(stall_ms = 200) ?sink ~graph:g ~kernels ~inputs ~avoidance () =
               else if
                 List.for_all
                   (fun (e : Graph.edge) ->
-                    not (Queue.is_empty sh.chans.(e.id)))
+                    not (Channel.is_empty sh.chans.(e.id)))
                   in_edges.(v)
               then begin
                 let heads =
                   List.map
-                    (fun (e : Graph.edge) -> (e, Queue.peek sh.chans.(e.id)))
+                    (fun (e : Graph.edge) ->
+                      (e, Channel.peek_exn sh.chans.(e.id)))
                     in_edges.(v)
                 in
                 let i =
@@ -205,7 +199,7 @@ let run ?(stall_ms = 200) ?sink ~graph:g ~kernels ~inputs ~avoidance () =
                 if i = max_int then begin
                   List.iter
                     (fun ((e : Graph.edge), (msg : Message.t)) ->
-                      ignore (Queue.pop sh.chans.(e.id));
+                      ignore (Channel.pop_exn sh.chans.(e.id));
                       if obs then
                         ev
                           (Event.Pop
@@ -223,7 +217,7 @@ let run ?(stall_ms = 200) ?sink ~graph:g ~kernels ~inputs ~avoidance () =
                   List.iter
                     (fun ((e : Graph.edge), (msg : Message.t)) ->
                       if msg.seq = i then begin
-                        ignore (Queue.pop sh.chans.(e.id));
+                        ignore (Channel.pop_exn sh.chans.(e.id));
                         if obs then
                           ev
                             (Event.Pop
@@ -304,12 +298,13 @@ let run ?(stall_ms = 200) ?sink ~graph:g ~kernels ~inputs ~avoidance () =
   let aborted = locked sh (fun () -> sh.aborted) in
   let outcome = if aborted then Report.Deadlocked else Report.Completed in
   if obs then ev (Event.Run_finished { outcome });
+  let sum f = Array.fold_left (fun a c -> a + f c) 0 sh.chans in
   {
     Report.outcome;
-    data_messages = sh.data_messages;
-    dummy_messages = sh.dummy_messages;
+    data_messages = sum Channel.data_pushed;
+    dummy_messages = sum Channel.dummies_pushed;
     sink_data = sh.sink_data;
     dropped_dummies = sh.dropped_dummies;
-    per_edge_dummies = Array.copy sh.per_edge_dummies;
+    per_edge_dummies = Array.map Channel.dummies_pushed sh.chans;
     detail = Report.Parallel;
   }

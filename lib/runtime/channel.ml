@@ -1,8 +1,18 @@
 type event = Became_nonempty | Freed_slot
 
+(* Preallocated circular buffer: [buf] holds [len] messages starting at
+   [head], wrapping modulo [capacity]. Steady-state push/pop touch only
+   the two indices and the counters — no queue cells, no options, no GC
+   traffic. Freed slots are overwritten with the shared [hole] sentinel
+   so popped messages are not retained by the buffer. *)
+
+let hole : Message.t = Message.eos ()
+
 type t = {
   capacity : int;
-  queue : Message.t Queue.t;
+  buf : Message.t array;
+  mutable head : int;
+  mutable len : int;
   mutable last_seq : int;
   mutable total_pushed : int;
   mutable dummies_pushed : int;
@@ -15,7 +25,9 @@ let create ~capacity =
   if capacity < 1 then invalid_arg "Channel.create: capacity < 1";
   {
     capacity;
-    queue = Queue.create ();
+    buf = Array.make capacity hole;
+    head = 0;
+    len = 0;
     last_seq = -1;
     total_pushed = 0;
     dummies_pushed = 0;
@@ -25,13 +37,13 @@ let create ~capacity =
   }
 
 let capacity c = c.capacity
-let length c = Queue.length c.queue
-let is_full c = length c >= c.capacity
-let is_empty c = Queue.is_empty c.queue
+let length c = c.len
+let is_full c = c.len >= c.capacity
+let is_empty c = c.len = 0
 let subscribe c f = c.notify <- f
 
 let push c (m : Message.t) =
-  if is_full c then false
+  if c.len >= c.capacity then false
   else begin
     if m.seq <= c.last_seq then
       invalid_arg "Channel.push: sequence numbers must increase";
@@ -41,23 +53,36 @@ let push c (m : Message.t) =
     | Message.Data _ -> c.data_pushed <- c.data_pushed + 1
     | Message.Dummy -> c.dummies_pushed <- c.dummies_pushed + 1
     | Message.Eos -> ());
-    let was_empty = Queue.is_empty c.queue in
-    Queue.add m c.queue;
-    if Queue.length c.queue > c.high_watermark then
-      c.high_watermark <- Queue.length c.queue;
-    if was_empty then c.notify Became_nonempty;
+    let tail = c.head + c.len in
+    let tail = if tail >= c.capacity then tail - c.capacity else tail in
+    c.buf.(tail) <- m;
+    c.len <- c.len + 1;
+    if c.len > c.high_watermark then c.high_watermark <- c.len;
+    if c.len = 1 then c.notify Became_nonempty;
     true
   end
 
-let peek c = Queue.peek_opt c.queue
+let peek_seq c =
+  if c.len = 0 then invalid_arg "Channel.peek_seq: empty channel";
+  c.buf.(c.head).seq
 
-let pop c =
-  let was_full = is_full c in
-  match Queue.take_opt c.queue with
-  | None -> None
-  | Some m ->
-    if was_full then c.notify Freed_slot;
-    Some m
+let peek_exn c =
+  if c.len = 0 then invalid_arg "Channel.peek_exn: empty channel";
+  c.buf.(c.head)
+
+let peek c = if c.len = 0 then None else Some c.buf.(c.head)
+
+let pop_exn c =
+  if c.len = 0 then invalid_arg "Channel.pop_exn: empty channel";
+  let was_full = c.len >= c.capacity in
+  let m = c.buf.(c.head) in
+  c.buf.(c.head) <- hole;
+  c.head <- (if c.head + 1 >= c.capacity then 0 else c.head + 1);
+  c.len <- c.len - 1;
+  if was_full then c.notify Freed_slot;
+  m
+
+let pop c = if c.len = 0 then None else Some (pop_exn c)
 
 let total_pushed c = c.total_pushed
 let dummies_pushed c = c.dummies_pushed

@@ -4,6 +4,12 @@
     order, with a finite buffer of [capacity] messages — the finiteness
     that makes filtering deadlocks possible.
 
+    The buffer is a preallocated circular array: steady-state
+    [push]/[pop_exn]/[peek_seq] allocate nothing, which is what keeps
+    the engine's hot loop off the minor heap (bench §C7). The
+    option-returning [peek]/[pop] remain for call sites outside the hot
+    path.
+
     Channels report their occupancy {e transitions} to a subscriber:
     exactly the two state changes that can make an idle node runnable
     again (its input gained a first message; its clogged output freed a
@@ -37,6 +43,20 @@ val push : t -> Message.t -> bool
 
 val peek : t -> Message.t option
 val pop : t -> Message.t option
+
+val peek_seq : t -> int
+(** Sequence number of the head message, without boxing the message in
+    an option. Guard with {!is_empty} (an unboxed check) on the hot
+    path. @raise Invalid_argument on an empty channel. *)
+
+val peek_exn : t -> Message.t
+(** Head message without option boxing.
+    @raise Invalid_argument on an empty channel. *)
+
+val pop_exn : t -> Message.t
+(** Allocation-free {!pop}: returns the head message directly and fires
+    the [Freed_slot] transition exactly like {!pop}.
+    @raise Invalid_argument on an empty channel. *)
 
 val total_pushed : t -> int
 val dummies_pushed : t -> int

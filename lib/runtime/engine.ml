@@ -12,12 +12,29 @@ type avoidance =
 
 type scheduler = Sweep | Ready
 
+(* Pending sends live in a per-node circular buffer instead of a
+   [Queue.t]: a node cannot fire while its pending queue is non-empty,
+   so the queue never holds more than one firing's worth of sends —
+   at most [out_degree] entries (data plus EOS fan-out) — and both
+   arrays are preallocated to exactly that.
+
+   The scalar node state rides in the same record (one block per node,
+   loaded once per visit): [slots] counts this node's out-edges holding
+   a queued dummy slot, [src]/[snk] cache the degree-zero tests. *)
 type node_state = {
   kernel : kernel;
-  pending : (int * Message.t) Queue.t;
+  pend_eid : int array;
+  pend_msg : Message.t array;
+  mutable pend_head : int;
+  mutable pend_len : int;
   mutable next_input : int;
   mutable finished : bool;
+  mutable slots : int;
+  src : bool;
+  snk : bool;
 }
+
+let hole : Message.t = Message.eos ()
 
 let payload_of (m : Message.t) =
   match m.body with
@@ -25,8 +42,21 @@ let payload_of (m : Message.t) =
   | Message.Dummy -> Event.Dummy
   | Message.Eos -> Event.Eos
 
-let run ?(scheduler = Ready) ?max_rounds ?deadlock_dump ?sink ~graph:g
-    ~kernels ~inputs ~avoidance () =
+(* Per-edge scalars are packed into one stride-8 int array ([ed]) so a
+   firing touches one cache line per edge instead of six parallel
+   arrays — the large-graph hot path is memory-bound (bench §C7).
+   Offsets within an edge's stride: *)
+let f_thr = 0 (* dummy threshold; [max_int] = none *)
+let f_last = 1 (* last sequence number sent *)
+let f_slot = 2 (* queued dummy slot; [-1] = empty *)
+let f_dstamp = 3 (* fire_id stamp: kernel chose this edge *)
+let f_bstamp = 4 (* flush_id stamp: push refused this flush *)
+let f_owner = 5 (* source node of the edge *)
+let f_dst = 6 (* destination node of the edge *)
+
+let run ?(scheduler = Ready) ?(batch = 1) ?max_rounds ?deadlock_dump ?sink
+    ~graph:g ~kernels ~inputs ~avoidance () =
+  if batch < 1 then invalid_arg "Engine.run: batch < 1";
   let sink =
     match sink with
     | Some s when not (Sink.is_null s) -> Some s
@@ -51,241 +81,457 @@ let run ?(scheduler = Ready) ?max_rounds ?deadlock_dump ?sink ~graph:g
       Thresholds.check t g;
       (Thresholds.to_array t, false)
   in
-  (* Last sequence number sent on each channel. The dummy rule bounds
-     the *sequence-number* gap between consecutive messages on a
-     channel: sequence numbers filtered upstream never reach this node
-     yet still advance the receiver's starvation clock, so counting
-     firings instead of sequence numbers would under-send (found by the
-     S1 soundness sweep). *)
-  let last_sent = Array.make m (-1) in
+  let ed = Array.make (m * 8) 0 in
+  for i = 0 to m - 1 do
+    let eb = i * 8 in
+    (* [max_int] encodes "no threshold": a gap of [seq - last_sent] can
+       never reach it, so the hot path does one int compare instead of
+       an option match. [f_last] tracks the last sequence number sent
+       on the channel — the dummy rule bounds the *sequence-number* gap
+       between consecutive messages: sequence numbers filtered upstream
+       never reach this node yet still advance the receiver's
+       starvation clock, so counting firings instead would under-send
+       (found by the S1 soundness sweep). *)
+    ed.(eb + f_thr) <- (match thresholds.(i) with Some k -> k | None -> max_int);
+    ed.(eb + f_last) <- -1;
+    ed.(eb + f_slot) <- -1;
+    let e = Graph.edge g i in
+    ed.(eb + f_owner) <- e.src;
+    ed.(eb + f_dst) <- e.dst
+  done;
+  (* CSR adjacency: node [v]'s out-edge ids are
+     [out_flat.(out_off.(v)) .. out_flat.(out_off.(v+1) - 1)], in
+     increasing id order (same for [in_]). One flat array walked
+     sequentially beats per-node arrays, whose scattered headers cost a
+     cache line each on big graphs. *)
+  let out_off = Array.make (n + 1) 0 in
+  let in_off = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    out_off.(v + 1) <- out_off.(v) + Graph.out_degree g v;
+    in_off.(v + 1) <- in_off.(v) + Graph.in_degree g v
+  done;
+  let out_flat = Array.make m 0 in
+  let in_flat = Array.make m 0 in
+  for v = 0 to n - 1 do
+    let ids = Graph.out_edge_ids g v in
+    Array.blit ids 0 out_flat out_off.(v) (Array.length ids);
+    let ids = Graph.in_edge_ids g v in
+    Array.blit ids 0 in_flat in_off.(v) (Array.length ids)
+  done;
   let st =
     Array.init n (fun v ->
+        let deg = Graph.out_degree g v in
         {
           kernel = kernels v;
-          pending = Queue.create ();
+          pend_eid = Array.make deg 0;
+          pend_msg = Array.make deg hole;
+          pend_head = 0;
+          pend_len = 0;
           next_input = 0;
           finished = false;
+          slots = 0;
+          src = Graph.in_degree g v = 0;
+          snk = deg = 0;
         })
   in
   let order = Topo.order_exn g in
-  let is_source = Array.init n (fun v -> Graph.in_degree g v = 0) in
-  let is_sink = Array.init n (fun v -> Graph.out_degree g v = 0) in
-  let out_ids =
-    Array.init n (fun v ->
-        List.map (fun (e : Graph.edge) -> e.id) (Graph.out_edges g v))
+  (* Ready-scheduler worklist state, defined up front so the push/pop
+     sites below can report occupancy transitions to it directly — the
+     engine knows every site, so it wakes nodes itself instead of going
+     through per-edge {!Channel.subscribe} closures (65k cold closure
+     blocks on the §C7 graphs; the subscription contract remains part
+     of the Channel API for external consumers). [ready] gates every
+     wake so the sweep scheduler pays one dead branch.
+
+     Per-node scheduler state packs into one int: the topological rank
+     in the low bits, membership flags for the current and next round
+     in two high bits — one cache line touched per wake instead of
+     three. *)
+  let ready = scheduler = Ready in
+  let cur_bit = 1 lsl 62 and next_bit = 1 lsl 61 in
+  let rank_mask = next_bit - 1 in
+  let rank_flags = Array.make n 0 in
+  Array.iteri (fun i v -> rank_flags.(v) <- i) order;
+  (* current round: binary min-heap over topo rank, deduplicated by
+     the [cur_bit] flag; next round: an unordered preallocated stack,
+     heapified by promotion at the round boundary *)
+  let heap = Array.make (n + 1) 0 in
+  let hlen = ref 0 in
+  let heap_push r =
+    incr hlen;
+    heap.(!hlen) <- r;
+    let i = ref !hlen in
+    while !i > 1 && heap.(!i / 2) > heap.(!i) do
+      let p = !i / 2 in
+      let tmp = heap.(p) in
+      heap.(p) <- heap.(!i);
+      heap.(!i) <- tmp;
+      i := p
+    done
+  in
+  let heap_pop () =
+    let top = heap.(1) in
+    heap.(1) <- heap.(!hlen);
+    decr hlen;
+    let i = ref 1 in
+    let continue = ref true in
+    while !continue do
+      let l = 2 * !i and r = (2 * !i) + 1 in
+      let smallest = ref !i in
+      if l <= !hlen && heap.(l) < heap.(!smallest) then smallest := l;
+      if r <= !hlen && heap.(r) < heap.(!smallest) then smallest := r;
+      if !smallest = !i then continue := false
+      else begin
+        let tmp = heap.(!smallest) in
+        heap.(!smallest) <- heap.(!i);
+        heap.(!i) <- tmp;
+        i := !smallest
+      end
+    done;
+    top
+  in
+  let next_buf = Array.make n 0 in
+  let next_len = ref 0 in
+  let wake_cur v =
+    let rf = rank_flags.(v) in
+    if rf land cur_bit = 0 then begin
+      rank_flags.(v) <- rf lor cur_bit;
+      heap_push (rf land rank_mask)
+    end
+  in
+  let wake_next v =
+    let rf = rank_flags.(v) in
+    if rf land next_bit = 0 then begin
+      rank_flags.(v) <- rf lor next_bit;
+      next_buf.(!next_len) <- v;
+      incr next_len
+    end
   in
   let sink_data = ref 0 in
-  let enqueue v eid msg = Queue.add (eid, msg) st.(v).pending in
+  let enqueue s eid msg =
+    let size = Array.length s.pend_eid in
+    assert (s.pend_len < size);
+    let tail = s.pend_head + s.pend_len in
+    let tail = if tail >= size then tail - size else tail in
+    s.pend_eid.(tail) <- eid;
+    s.pend_msg.(tail) <- msg;
+    s.pend_len <- s.pend_len + 1
+  in
   let dropped_dummies = ref 0 in
   let drop_slot eid old =
     incr dropped_dummies;
     if obs then ev (Event.Dummy_dropped { edge = eid; seq = old })
   in
   (* Dummies never enter the blocking pending queue: each channel has a
-     one-slot dummy mouth. A queued dummy waits for space without
-     blocking its node, coalesces to the newest sequence number if the
-     node emits another one meanwhile, and is superseded entirely when
-     data (or EOS) is sent on the channel — the data carries a larger
-     sequence number, which is all the dummy was communicating. Letting
-     dummies block (like data) wedges deadlock cycles whose full side
-     holds dummies; dropping them instead loses the sequence floor the
-     consumer is waiting for. See DESIGN.md, "Deviations". *)
-  let dummy_slot = Array.make m None in
+     one-slot dummy mouth ([f_slot]). A queued dummy waits for space
+     without blocking its node, coalesces to the newest sequence number
+     if the node emits another one meanwhile, and is superseded
+     entirely when data (or EOS) is sent on the channel — the data
+     carries a larger sequence number, which is all the dummy was
+     communicating. Letting dummies block (like data) wedges deadlock
+     cycles whose full side holds dummies; dropping them instead loses
+     the sequence floor the consumer is waiting for. See DESIGN.md,
+     "Deviations". *)
+  let flush_id = ref 0 in
+  let fire_id = ref 0 in
   (* Attempt every pending send once; a failed channel blocks its later
      sends this pass (per-channel FIFO), other channels proceed. Then
      deliver dummy slots on channels with no data still queued. *)
-  let flush v =
-    let q = st.(v).pending in
-    let blocked = Hashtbl.create 4 in
-    let len = Queue.length q in
-    let progress = ref false in
-    for _ = 1 to len do
-      let eid, msg = Queue.pop q in
-      if (not (Hashtbl.mem blocked eid)) && Channel.push chan.(eid) msg then begin
+  (* The hot-path helpers below thread their accumulators through
+     tail-recursive loops (or reuse setup-time scratch) instead of
+     [ref] cells: without flambda every [ref] is a minor-heap block,
+     and these run once per visit/firing. *)
+  let rec flush_pending s fid size left progress =
+    if left = 0 then progress
+    else begin
+      let eid = s.pend_eid.(s.pend_head) in
+      let msg = s.pend_msg.(s.pend_head) in
+      s.pend_msg.(s.pend_head) <- hole;
+      s.pend_head <- (if s.pend_head + 1 >= size then 0 else s.pend_head + 1);
+      s.pend_len <- s.pend_len - 1;
+      if ed.((eid * 8) + f_bstamp) <> fid && Channel.push chan.(eid) msg
+      then begin
+        if ready && Channel.length chan.(eid) = 1 then
+          wake_cur ed.((eid * 8) + f_dst);
         if obs then
           ev (Event.Push { edge = eid; seq = msg.seq; payload = payload_of msg });
-        progress := true
+        flush_pending s fid size (left - 1) true
       end
       else begin
-        Hashtbl.replace blocked eid ();
-        Queue.add (eid, msg) q
+        ed.((eid * 8) + f_bstamp) <- fid;
+        enqueue s eid msg;
+        flush_pending s fid size (left - 1) progress
       end
-    done;
-    List.iter
-      (fun (e : Graph.edge) ->
-        match dummy_slot.(e.id) with
-        | Some seq
-          when (not (Hashtbl.mem blocked e.id))
-               && Channel.push chan.(e.id) (Message.dummy ~seq) ->
-          dummy_slot.(e.id) <- None;
-          if obs then
-            ev (Event.Push { edge = e.id; seq; payload = Event.Dummy });
-          progress := true
-        | _ -> ())
-      (Graph.out_edges g v);
-    !progress
+    end
   in
-  let validate v ids =
-    let ids = List.sort_uniq compare ids in
-    List.iter
-      (fun id ->
-        if not (List.mem id out_ids.(v)) then
-          invalid_arg
-            (Printf.sprintf "Engine: kernel of node %d returned edge %d" v id))
-      ids;
-    ids
+  let rec flush_slots s fid k hi progress =
+    if k >= hi then progress
+    else begin
+      let e = out_flat.(k) in
+      let eb = e * 8 in
+      let seq = ed.(eb + f_slot) in
+      if
+        seq >= 0
+        && ed.(eb + f_bstamp) <> fid
+        && Channel.push chan.(e) (Message.dummy ~seq)
+      then begin
+        ed.(eb + f_slot) <- -1;
+        s.slots <- s.slots - 1;
+        if ready && Channel.length chan.(e) = 1 then wake_cur ed.(eb + f_dst);
+        if obs then ev (Event.Push { edge = e; seq; payload = Event.Dummy });
+        flush_slots s fid (k + 1) hi true
+      end
+      else flush_slots s fid (k + 1) hi progress
+    end
   in
-  (* Send phase of one firing: data where the kernel said so; dummies by
-     forwarding (Propagation) or when a finite-interval channel's gap
-     counter comes due. *)
-  let emit v ~seq ~data_out ~got_dummy =
-    List.iter
-      (fun (e : Graph.edge) ->
-        if List.mem e.id data_out then begin
-          enqueue v e.id (Message.data ~seq seq);
-          (match dummy_slot.(e.id) with
-          | Some old ->
-            dummy_slot.(e.id) <- None;
-            drop_slot e.id old
-          | None -> ());
-          last_sent.(e.id) <- seq
+  let flush v s =
+    incr flush_id;
+    let fid = !flush_id in
+    let size = Array.length s.pend_eid in
+    let progress = flush_pending s fid size s.pend_len false in
+    if s.slots = 0 then progress
+    else flush_slots s fid out_off.(v) out_off.(v + 1) progress
+  in
+  (* Kernel output validation: stamp the chosen out-edges (duplicates
+     collapse); O(1) ownership check per id instead of a [List.mem]
+     scan of the node's out list — quadratic on wide split nodes. *)
+  let rec validate_ids v s ids =
+    match ids with
+    | [] -> ()
+    | id :: rest ->
+      if id < 0 || id >= m || ed.((id * 8) + f_owner) <> v then
+        invalid_arg
+          (Printf.sprintf "Engine: kernel of node %d returned edge %d" v id);
+      ed.((id * 8) + f_dstamp) <- s;
+      validate_ids v s rest
+  in
+  let validate v ids = validate_ids v !fire_id ids in
+  (* Messages are immutable and the engine only ever makes Data
+     messages whose payload is the sequence number, so any Data block
+     for a given seq is interchangeable: a firing's sends share one
+     block across its out-edges, and a pass-through hop reuses the very
+     message it just popped instead of re-wrapping it. [reuse] caches
+     the most recent such block ([hole]'s max_int seq never matches a
+     firing). *)
+  let reuse = ref hole in
+  let msg_for seq =
+    let msg = !reuse in
+    if msg.Message.seq = seq then msg
+    else begin
+      let nm = Message.data ~seq seq in
+      reuse := nm;
+      nm
+    end
+  in
+  (* Send phase of one firing: data where the kernel said so (stamped
+     by [validate] under the current [fire_id]); dummies by forwarding
+     (Propagation) or when a finite-interval channel's gap counter
+     comes due. Data and EOS are pushed directly — a node only fires
+     with an empty pending queue and each out-edge is sent at most once
+     per firing, so per-channel FIFO order is preserved; only a refused
+     push falls back to the pending queue for the next flush. *)
+  let emit v s ~seq ~got_dummy =
+    let stamp = !fire_id in
+    for k = out_off.(v) to out_off.(v + 1) - 1 do
+      let e = out_flat.(k) in
+      let eb = e * 8 in
+      if ed.(eb + f_dstamp) = stamp then begin
+        let msg = msg_for seq in
+        let c = chan.(e) in
+        if Channel.push c msg then begin
+          if ready && Channel.length c = 1 then wake_cur ed.(eb + f_dst);
+          if obs then ev (Event.Push { edge = e; seq; payload = Event.Data })
         end
-        else begin
-          let due =
-            match thresholds.(e.id) with
-            | Some k -> seq - last_sent.(e.id) >= k
-            | None -> false
-          in
-          if (forwarding && got_dummy) || due then begin
-            (match dummy_slot.(e.id) with
-            | Some old -> drop_slot e.id old
-            | None -> ());
-            dummy_slot.(e.id) <- Some seq;
-            if obs then
-              ev (Event.Dummy_emitted { node = v; edge = e.id; seq });
-            last_sent.(e.id) <- seq
-          end
-        end)
-      (Graph.out_edges g v)
+        else enqueue s e msg;
+        (let old = ed.(eb + f_slot) in
+         if old >= 0 then begin
+           ed.(eb + f_slot) <- -1;
+           s.slots <- s.slots - 1;
+           drop_slot e old
+         end);
+        ed.(eb + f_last) <- seq
+      end
+      else begin
+        let due = seq - ed.(eb + f_last) >= ed.(eb + f_thr) in
+        if (forwarding && got_dummy) || due then begin
+          (let old = ed.(eb + f_slot) in
+           if old >= 0 then drop_slot e old else s.slots <- s.slots + 1);
+          ed.(eb + f_slot) <- seq;
+          if obs then ev (Event.Dummy_emitted { node = v; edge = e; seq });
+          ed.(eb + f_last) <- seq
+        end
+      end
+    done
   in
-  let send_eos v =
-    List.iter
-      (fun (e : Graph.edge) ->
-        (match dummy_slot.(e.id) with
-        | Some old ->
-          dummy_slot.(e.id) <- None;
-          drop_slot e.id old
-        | None -> ());
-        enqueue v e.id (Message.eos ()))
-      (Graph.out_edges g v);
+  let send_eos v s =
+    for k = out_off.(v) to out_off.(v + 1) - 1 do
+      let e = out_flat.(k) in
+      let eb = e * 8 in
+      (let old = ed.(eb + f_slot) in
+       if old >= 0 then begin
+         ed.(eb + f_slot) <- -1;
+         s.slots <- s.slots - 1;
+         drop_slot e old
+       end);
+      (* every EOS fan-out shares the [hole] block *)
+      let c = chan.(e) in
+      if Channel.push c hole then begin
+        if ready && Channel.length c = 1 then wake_cur ed.(eb + f_dst);
+        if obs then
+          ev (Event.Push { edge = e; seq = hole.seq; payload = Event.Eos })
+      end
+      else enqueue s e hole
+    done;
     if obs then ev (Event.Eos { node = v });
-    st.(v).finished <- true
+    s.finished <- true
   in
-  let fire_source v =
-    let s = st.(v) in
+  let fire_source v s =
     if s.next_input < inputs then begin
       let seq = s.next_input in
       s.next_input <- seq + 1;
-      let data_out = validate v (s.kernel ~seq ~got:[]) in
+      incr fire_id;
+      let ids = s.kernel ~seq ~got:[] in
+      validate v ids;
       if obs then
         ev
           (Event.Node_fired
-             { node = v; seq; got = []; got_dummy = false; sent = data_out });
-      emit v ~seq ~data_out ~got_dummy:false;
+             {
+               node = v;
+               seq;
+               got = [];
+               got_dummy = false;
+               sent = List.sort_uniq compare ids;
+             });
+      emit v s ~seq ~got_dummy:false;
       true
     end
     else if not s.finished then begin
-      send_eos v;
+      send_eos v s;
       true
     end
     else false
   in
-  let fire_inner v =
-    let ins = Graph.in_edges g v in
-    let heads =
-      List.map (fun (e : Graph.edge) -> (e, Channel.peek chan.(e.id))) ins
-    in
-    if List.for_all (fun (_, h) -> h <> None) heads then begin
-      let heads = List.map (fun (e, h) -> (e, Option.get h)) heads in
-      let i =
-        List.fold_left
-          (fun acc (_, (msg : Message.t)) -> min acc msg.seq)
-          max_int heads
-      in
-      if i = max_int then begin
-        (* Every input is at end-of-stream. *)
-        List.iter
-          (fun ((e : Graph.edge), (msg : Message.t)) ->
-            ignore (Channel.pop chan.(e.id));
-            if obs then
-              ev
-                (Event.Pop
-                   { edge = e.id; seq = msg.seq; payload = payload_of msg }))
-          heads;
-        send_eos v;
-        true
-      end
-      else begin
-        let got_data = ref [] and got_dummy = ref false in
-        List.iter
-          (fun ((e : Graph.edge), (msg : Message.t)) ->
-            if msg.seq = i then begin
-              ignore (Channel.pop chan.(e.id));
-              if obs then
-                ev
-                  (Event.Pop
-                     { edge = e.id; seq = msg.seq; payload = payload_of msg });
-              match msg.body with
-              | Message.Data _ ->
-                got_data := e.id :: !got_data;
-                if is_sink.(v) then incr sink_data
-              | Message.Dummy -> got_dummy := true
-              | Message.Eos -> assert false
-            end)
-          heads;
-        let got = List.rev !got_data in
-        let data_out =
-          match got with
-          | [] -> []
-          | got -> validate v (st.(v).kernel ~seq:i ~got)
-        in
-        if obs then
-          ev
-            (Event.Node_fired
-               {
-                 node = v;
-                 seq = i;
-                 got;
-                 got_dummy = !got_dummy;
-                 sent = data_out;
-               });
-        emit v ~seq:i ~data_out ~got_dummy:!got_dummy;
-        true
-      end
-    end
-    else false
+  (* Scratch for the in-edge ids that delivered data this firing; sized
+     to the widest join so the buffer is reused across all visits. *)
+  let max_in_deg =
+    let d = ref 1 in
+    for v = 0 to n - 1 do
+      let deg = in_off.(v + 1) - in_off.(v) in
+      if deg > !d then d := deg
+    done;
+    !d
   in
-  (* One scheduler step for node [v]: retry pending sends and dummy
-     slots, then fire if the node is runnable. Both schedulers execute
-     exactly this; they differ only in which nodes they bother to
-     visit. *)
-  let visit v =
-    let s = st.(v) in
-    let progress = flush v in
-    if Queue.is_empty s.pending then begin
-      let fired =
-        if is_source.(v) then fire_source v
-        else if not s.finished then fire_inner v
-        else false
-      in
-      if fired then ignore (flush v);
-      progress || fired
+  let got_buf = Array.make max_in_deg 0 in
+  (* One pass over the heads: [min_int] when some input is empty (not
+     runnable), otherwise the minimum head sequence number. *)
+  let rec min_head k hi acc =
+    if k >= hi then acc
+    else
+      let c = chan.(in_flat.(k)) in
+      if Channel.is_empty c then min_int
+      else
+        let sq = Channel.peek_seq c in
+        min_head (k + 1) hi (if sq < acc then sq else acc)
+  in
+  (* Consume every head carrying [i], in increasing edge order (the
+     pops' Freed_slot wakes must fire in that order); data edges land
+     in [got_buf]. Returns the data count, with bit 62 flagging that a
+     dummy was consumed. *)
+  let dummy_bit = 1 lsl 62 in
+  let rec consume snk i k hi acc =
+    if k >= hi then acc
+    else begin
+      let e = in_flat.(k) in
+      let c = chan.(e) in
+      if Channel.peek_seq c = i then begin
+        let was_full = Channel.is_full c in
+        let msg = Channel.pop_exn c in
+        if ready && was_full then wake_next ed.((e * 8) + f_owner);
+        if obs then
+          ev (Event.Pop { edge = e; seq = msg.seq; payload = payload_of msg });
+        match msg.body with
+        | Message.Data _ ->
+          reuse := msg;
+          let gn = acc land lnot dummy_bit in
+          got_buf.(gn) <- e;
+          if snk then incr sink_data;
+          consume snk i (k + 1) hi (acc + 1)
+        | Message.Dummy -> consume snk i (k + 1) hi (acc lor dummy_bit)
+        | Message.Eos -> assert false
+      end
+      else consume snk i (k + 1) hi acc
+    end
+  in
+  let rec got_list k acc =
+    if k < 0 then acc else got_list (k - 1) (got_buf.(k) :: acc)
+  in
+  let fire_inner v s =
+    let lo = in_off.(v) and hi = in_off.(v + 1) in
+    let i = min_head lo hi max_int in
+    if i = min_int then false
+    else if i = max_int then begin
+      (* Every input is at end-of-stream. *)
+      for k = lo to hi - 1 do
+        let e = in_flat.(k) in
+        let c = chan.(e) in
+        let was_full = Channel.is_full c in
+        let msg = Channel.pop_exn c in
+        if ready && was_full then wake_next ed.((e * 8) + f_owner);
+        if obs then
+          ev (Event.Pop { edge = e; seq = msg.seq; payload = payload_of msg })
+      done;
+      send_eos v s;
+      true
     end
     else begin
-      if obs then begin
-        let eid, _ = Queue.peek s.pending in
-        ev (Event.Blocked { node = v; edge = eid })
-      end;
+      let acc = consume s.snk i lo hi 0 in
+      let gn = acc land lnot dummy_bit in
+      let got_dummy = acc land dummy_bit <> 0 in
+      let got = got_list (gn - 1) [] in
+      incr fire_id;
+      let sent =
+        match got with
+        | [] -> []
+        | got ->
+          let ids = s.kernel ~seq:i ~got in
+          validate v ids;
+          if obs then List.sort_uniq compare ids else []
+      in
+      if obs then
+        ev (Event.Node_fired { node = v; seq = i; got; got_dummy; sent });
+      emit v s ~seq:i ~got_dummy;
+      true
+    end
+  in
+  (* One scheduler step for node [v]: retry pending sends and dummy
+     slots, then fire while the node stays runnable, up to [batch]
+     firings (a firing "sticks" when its pops freed slots and its
+     pushes all landed — pending empty again). Both schedulers execute
+     exactly this; they differ only in which nodes they bother to
+     visit. With [batch = 1] (the default) a visit is a single
+     fire+flush, the round structure of the unbatched engine. *)
+  let rec fire_loop v s budget fired =
+    let f =
+      if s.src then fire_source v s
+      else if not s.finished then fire_inner v s
+      else false
+    in
+    if f then begin
+      if s.pend_len <> 0 || s.slots <> 0 then ignore (flush v s);
+      if budget <= 1 || s.pend_len <> 0 then true
+      else fire_loop v s (budget - 1) true
+    end
+    else fired
+  in
+  let visit v =
+    let s = st.(v) in
+    let progress =
+      if s.pend_len = 0 && s.slots = 0 then false else flush v s
+    in
+    if s.pend_len = 0 then fire_loop v s batch false || progress
+    else begin
+      if obs then
+        ev (Event.Blocked { node = v; edge = s.pend_eid.(s.pend_head) });
       progress
     end
   in
@@ -323,100 +569,42 @@ let run ?(scheduler = Ready) ?max_rounds ?deadlock_dump ?sink ~graph:g
     match scheduler with
     | Sweep -> sweep_round
     | Ready ->
-      let rank = Array.make n 0 in
-      Array.iteri (fun i v -> rank.(v) <- i) order;
-      (* current round: binary min-heap over topo rank, deduplicated by
-         a per-node flag; next round: an unordered stack, heapified by
-         promotion at the round boundary *)
-      let heap = Array.make (n + 1) 0 in
-      let hlen = ref 0 in
-      let heap_push r =
-        incr hlen;
-        heap.(!hlen) <- r;
-        let i = ref !hlen in
-        while !i > 1 && heap.(!i / 2) > heap.(!i) do
-          let p = !i / 2 in
-          let tmp = heap.(p) in
-          heap.(p) <- heap.(!i);
-          heap.(!i) <- tmp;
-          i := p
-        done
-      in
-      let heap_pop () =
-        let top = heap.(1) in
-        heap.(1) <- heap.(!hlen);
-        decr hlen;
-        let i = ref 1 in
-        let continue = ref true in
-        while !continue do
-          let l = 2 * !i and r = (2 * !i) + 1 in
-          let smallest = ref !i in
-          if l <= !hlen && heap.(l) < heap.(!smallest) then smallest := l;
-          if r <= !hlen && heap.(r) < heap.(!smallest) then smallest := r;
-          if !smallest = !i then continue := false
-          else begin
-            let tmp = heap.(!smallest) in
-            heap.(!smallest) <- heap.(!i);
-            heap.(!i) <- tmp;
-            i := !smallest
-          end
-        done;
-        top
-      in
-      let in_cur = Array.make n false in
-      let in_next = Array.make n false in
-      let next = ref [] in
-      let wake_cur v =
-        if not in_cur.(v) then begin
-          in_cur.(v) <- true;
-          heap_push rank.(v)
-        end
-      in
-      let wake_next v =
-        if not in_next.(v) then begin
-          in_next.(v) <- true;
-          next := v :: !next
-        end
-      in
-      List.iter
-        (fun (e : Graph.edge) ->
-          Channel.subscribe chan.(e.id) (function
-            | Channel.Became_nonempty -> wake_cur e.dst
-            | Channel.Freed_slot -> wake_next e.src))
-        (Graph.edges g);
       (* Runnable again next round with no external event needed: only
          then does the node re-arm itself. Blocked nodes (non-empty
          pending, or a dummy slot waiting out a full channel) are woken
-         by the Freed_slot event instead. *)
+         by the freed-slot transition instead. *)
+      let rec all_nonempty k hi =
+        k >= hi
+        || ((not (Channel.is_empty chan.(in_flat.(k))))
+           && all_nonempty (k + 1) hi)
+      in
       let self_arming v =
         let s = st.(v) in
         (not s.finished)
-        && Queue.is_empty s.pending
-        && (is_source.(v)
-           || List.for_all
-                (fun (e : Graph.edge) -> not (Channel.is_empty chan.(e.id)))
-                (Graph.in_edges g v))
+        && s.pend_len = 0
+        && (s.src || all_nonempty in_off.(v) in_off.(v + 1))
       in
-      (* round 1 is the sweep's full pass: seed every node *)
-      Array.iter
-        (fun v ->
-          in_cur.(v) <- true;
-          heap_push rank.(v))
-        order;
+      (* Round 1 is the sweep's full pass, but every channel starts
+         empty, so a non-source node's first visit is a guaranteed
+         no-op (it cannot fire, has nothing pending, and emits no
+         event): seeding only the sources executes the identical
+         transition sequence. Nodes woken by the sources' pushes join
+         the current round exactly where the sweep would visit them. *)
+      Array.iter (fun v -> if st.(v).src then wake_cur v) order;
       fun () ->
         let progress = ref false in
         while !hlen > 0 do
           let v = order.(heap_pop ()) in
-          in_cur.(v) <- false;
+          rank_flags.(v) <- rank_flags.(v) land lnot cur_bit;
           if visit v then progress := true;
           if self_arming v then wake_next v
         done;
-        List.iter
-          (fun v ->
-            in_next.(v) <- false;
-            wake_cur v)
-          !next;
-        next := [];
+        for k = 0 to !next_len - 1 do
+          let v = next_buf.(k) in
+          rank_flags.(v) <- rank_flags.(v) land lnot next_bit;
+          wake_cur v
+        done;
+        next_len := 0;
         !progress
   in
   while !outcome = None do
@@ -427,9 +615,7 @@ let run ?(scheduler = Ready) ?max_rounds ?deadlock_dump ?sink ~graph:g
       let progress = ready_round () in
       if not progress then
         if
-          Array.for_all
-            (fun s -> s.finished && Queue.is_empty s.pending)
-            st
+          Array.for_all (fun s -> s.finished && s.pend_len = 0) st
           && Array.for_all Channel.is_empty chan
         then outcome := Some Report.Completed
         else begin
@@ -439,8 +625,7 @@ let run ?(scheduler = Ready) ?max_rounds ?deadlock_dump ?sink ~graph:g
             Some
               {
                 Report.channel_lengths = Array.map Channel.length chan;
-                node_blocked =
-                  Array.map (fun s -> not (Queue.is_empty s.pending)) st;
+                node_blocked = Array.map (fun s -> s.pend_len > 0) st;
                 node_finished = Array.map (fun s -> s.finished) st;
               };
           Option.iter
@@ -455,16 +640,15 @@ let run ?(scheduler = Ready) ?max_rounds ?deadlock_dump ?sink ~graph:g
                     (match Channel.peek c with
                     | None -> "-"
                     | Some msg -> Format.asprintf "%a" Message.pp msg)
-                    last_sent.(i);
-                  match dummy_slot.(i) with
-                  | Some seq -> Format.fprintf ppf " slot=#%d" seq
-                  | None -> ())
+                    ed.((i * 8) + f_last);
+                  if ed.((i * 8) + f_slot) >= 0 then
+                    Format.fprintf ppf " slot=#%d" ed.((i * 8) + f_slot))
                 chan;
               Array.iteri
                 (fun v s ->
-                  if not (Queue.is_empty s.pending) then
+                  if s.pend_len > 0 then
                     Format.fprintf ppf "@,  node %d pending:%d next_in=%d" v
-                      (Queue.length s.pending) s.next_input)
+                      s.pend_len s.next_input)
                 st;
               Format.fprintf ppf "@]@.")
             deadlock_dump

@@ -9,6 +9,7 @@ let () =
       ("fig3", Test_fig3.suite);
       ("crossval", Test_crossval.suite);
       ("compiler", Test_compiler.suite);
+      ("channel", Test_channel.suite);
       ("runtime", Test_runtime.suite);
       ("sched", Test_sched.suite);
       ("obs", Test_obs.suite);

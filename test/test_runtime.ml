@@ -196,6 +196,45 @@ let test_deadlock_dump_smoke () =
   Alcotest.(check bool) "dump mentions the empty channel" true
     (Buffer.length buf > 0)
 
+let test_wide_split () =
+  (* Regression for kernel-output validation cost: it used to scan the
+     node's out-edge list once per returned id (quadratic in fan-out);
+     the per-edge ownership table makes it linear. A 2000-way split
+     whose kernel returns its full edge set — duplicated, which must
+     coalesce to one send per edge — has to complete and deliver every
+     sequence number on every branch. *)
+  let branches = 2000 in
+  let edges =
+    List.init branches (fun i -> (0, 1 + i, 2))
+    @ List.init branches (fun i -> (1 + i, branches + 1, 2))
+  in
+  let g = Fstream_graph.Graph.make ~nodes:(branches + 2) edges in
+  let out0 =
+    List.map
+      (fun (e : Fstream_graph.Graph.edge) -> e.id)
+      (Fstream_graph.Graph.out_edges g 0)
+  in
+  let passthrough = Filters.for_graph g (fun _ outs -> Filters.passthrough outs) in
+  let kernels v =
+    if v = 0 then fun ~seq:_ ~got:_ -> out0 @ out0 else passthrough v
+  in
+  let s = Engine.run ~graph:g ~kernels ~inputs:8 ~avoidance:Engine.No_avoidance () in
+  Alcotest.(check bool) "completed" true (s.outcome = Report.Completed);
+  Alcotest.(check int) "duplicates coalesced: one send per edge per seq"
+    (8 * 2 * branches) s.data_messages;
+  Alcotest.(check int) "join consumed every branch" (8 * branches) s.sink_data;
+  (* ownership, not just range: an id belonging to another node must be
+     rejected even though it is a valid edge id *)
+  let stolen v = if v = 1 then fun ~seq:_ ~got:_ -> out0 else passthrough v in
+  Alcotest.check_raises "foreign edge id rejected"
+    (Invalid_argument
+       (Printf.sprintf "Engine: kernel of node 1 returned edge %d"
+          (List.hd out0)))
+    (fun () ->
+      ignore
+        (Engine.run ~graph:g ~kernels:stolen ~inputs:1
+           ~avoidance:Engine.No_avoidance ()))
+
 let test_zero_inputs () =
   let g = Topo_gen.fig4_left ~cap:1 in
   let kernels = Filters.for_graph g (fun _ outs -> Filters.passthrough outs) in
@@ -221,5 +260,6 @@ let suite =
     Alcotest.test_case "multiple sources" `Quick test_multiple_sources;
     Alcotest.test_case "budget exhausted" `Quick test_budget_exhausted;
     Alcotest.test_case "deadlock dump" `Quick test_deadlock_dump_smoke;
+    Alcotest.test_case "wide split node" `Quick test_wide_split;
     Alcotest.test_case "zero inputs" `Quick test_zero_inputs;
   ]

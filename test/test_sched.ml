@@ -31,19 +31,21 @@ let wrappers g =
   in
   [ none; prop; nonprop ]
 
-let same_stats g ~kernels_of ~inputs avoidance =
+let same_stats ?batch g ~kernels_of ~inputs avoidance =
   let run scheduler =
-    Engine.run ~scheduler ~graph:g ~kernels:(kernels_of ()) ~inputs ~avoidance ()
+    Engine.run ?batch ~scheduler ~graph:g ~kernels:(kernels_of ()) ~inputs
+      ~avoidance ()
   in
   run Engine.Ready = run Engine.Sweep
 
-let differential ?(inputs = 30) g seed =
+let differential ?batch ?(inputs = 30) g seed =
   List.for_all
     (function
       | None -> true
       | Some avoidance ->
-        same_stats g ~kernels_of:(fun () -> bernoulli_kernels g seed) ~inputs
-          avoidance)
+        same_stats ?batch g
+          ~kernels_of:(fun () -> bernoulli_kernels g seed)
+          ~inputs avoidance)
     (wrappers g)
 
 let prop_sp =
@@ -55,6 +57,58 @@ let prop_ladder =
   Tutil.qtest ~count:300 "ready = sweep on random ladder workloads"
     Tutil.seed_gen
     (fun seed -> differential (Tutil.random_ladder_of_seed seed) seed)
+
+(* The ready≡sweep oracle must survive batched firing too: at equal
+   [batch] the two schedulers execute the same visits. *)
+let prop_batch_sched =
+  Tutil.qtest ~count:200 "ready = sweep at batch 4 on random SP workloads"
+    Tutil.seed_gen
+    (fun seed -> differential ~batch:4 (Tutil.random_sp_of_seed seed) seed)
+
+(* What batching may and may not change (see Engine.run doc). The
+   guarantee needs kernels that are deterministic in their *own* node's
+   firing history — [bernoulli_kernels] shares one RNG across all
+   nodes, so its decisions depend on global invocation order, which
+   batching legitimately reshuffles. With node-local RNGs the model is
+   a Kahn network and the computation itself is batch-invariant:
+   outcome, data and sink counts under [No_avoidance], and data/sink
+   counts on every run that completes. Dummy traffic is timing-driven
+   (slot flushes and threshold checks happen at whatever moment a node
+   fires) and is deliberately left unconstrained here; under
+   [Propagation] on workloads outside its soundness preconditions even
+   the outcome can shift with it. *)
+let node_local_kernels g seed =
+  Filters.for_graph g (fun v outs ->
+      Filters.bernoulli
+        (Random.State.make [| seed; v; 0xd1f |])
+        ~keep:0.6 outs)
+
+let batch_invariant g seed =
+  List.for_all
+    (function
+      | None -> true
+      | Some avoidance ->
+        let run batch =
+          Engine.run ~batch ~graph:g
+            ~kernels:(node_local_kernels g seed)
+            ~inputs:30 ~avoidance ()
+        in
+        let r1 = run 1 and rk = run (2 + (seed mod 6)) in
+        let pure = avoidance = Engine.No_avoidance in
+        let both_completed =
+          r1.Report.outcome = Report.Completed
+          && rk.Report.outcome = Report.Completed
+        in
+        (not pure || r1.Report.outcome = rk.Report.outcome)
+        && (not (pure || both_completed)
+           || r1.data_messages = rk.data_messages
+              && r1.sink_data = rk.sink_data))
+    (wrappers g)
+
+let prop_batch_invariance =
+  Tutil.qtest ~count:200 "batching preserves the computation"
+    Tutil.seed_gen
+    (fun seed -> batch_invariant (Tutil.random_ladder_of_seed seed) seed)
 
 (* Directed cases: the paper's figure topologies with their canonical
    workloads, checked field by field for a readable failure. *)
@@ -230,4 +284,6 @@ let suite =
     Alcotest.test_case "dummy accounting" `Quick test_dummy_accounting;
     prop_sp;
     prop_ladder;
+    prop_batch_sched;
+    prop_batch_invariance;
   ]
