@@ -790,7 +790,7 @@ let v2 () =
 (* S2. The same avoidance story on the real parallel runtime.           *)
 
 let s2 () =
-  section "S2" "shared-memory parallel runtime (one domain per node)";
+  section "S2" "shared-memory parallel runtime (sharded domain pool)";
   let cases =
     [
       ("fig2 triangle", Topo_gen.fig2_triangle ~cap:2, 200);
@@ -829,9 +829,107 @@ let s2 () =
       in
       row "  %-18s %-22s %-22s@." name (show bare) (show safe))
     cases;
-  row "  (blocking sends across real domains: the deadlocks and their@.";
+  row "  (kernels race across real domains: the deadlocks and their@.";
   row "   avoidance above are preemptive-schedule concurrency, not@.";
   row "   simulation — outcomes match the sequential engine)@."
+
+(* ------------------------------------------------------------------ *)
+(* P1. Pool runtime scaling: throughput vs worker domains.              *)
+
+let p1 () =
+  section "P1" "pool runtime scaling: throughput vs worker domains";
+  let sizes = if !quick then [ 1_023 ] else [ 1_023; 4_095; 16_383 ] in
+  let domain_counts = if !quick then [ 1; 2 ] else [ 1; 2; 4; 8 ] in
+  let inputs = if !quick then 16 else 48 in
+  (* Per-firing synthetic compute (integer mixing, ~1 us): the paper's
+     deployment model has kernels doing real work per message. With
+     free kernels a run is pure scheduling and no pool amortizes its
+     locks against the sequential engine's ~15 ns/message hot path —
+     the zero-work row below keeps that overhead honest. *)
+  let work = if !quick then 300 else 800 in
+  let spin w =
+    let x = ref 0x9e3779b9 in
+    for _ = 1 to w do
+      x := !x lxor (!x lsl 13);
+      x := !x lxor (!x lsr 7);
+      x := !x lxor (!x lsl 17)
+    done;
+    ignore (Sys.opaque_identity !x)
+  in
+  let kernels g w () =
+    Filters.for_graph g (fun _ outs ->
+        fun ~seq:_ ~got:_ ->
+         spin w;
+         outs)
+  in
+  row "  passthrough pipelines, %d inputs, ~%d-iteration kernels;@." inputs
+    work;
+  row "  host has %d core(s) available — speedups need real cores@."
+    (Domain.recommended_domain_count ());
+  row "  %-12s %-10s %12s %14s %9s@." "stages" "runtime" "wall" "msgs/sec"
+    "vs pool-1";
+  List.iter
+    (fun stages ->
+      let g = Topo_gen.pipeline ~stages ~cap:4 in
+      let msgs = float (stages * inputs) in
+      let run_seq () =
+        Engine.run ~graph:g ~kernels:(kernels g work ()) ~inputs
+          ~avoidance:Engine.No_avoidance ()
+      in
+      let seq_ns = time_best ~repeat:(if !quick then 1 else 2) run_seq in
+      row "  %-12d %-10s %12s %14.0f %9s@." stages "sequential"
+        (Format.asprintf "%a" pp_ns seq_ns)
+        (msgs /. (seq_ns /. 1e9))
+        "-";
+      let base = ref 0. in
+      List.iter
+        (fun domains ->
+          let run_pool () =
+            let r =
+              P.run ~domains ~graph:g ~kernels:(kernels g work ()) ~inputs
+                ~avoidance:Engine.No_avoidance ()
+            in
+            assert (r.Report.outcome = Report.Completed);
+            r
+          in
+          let ns = time_best ~repeat:(if !quick then 1 else 2) run_pool in
+          if domains = 1 then base := ns;
+          row "  %-12d %-10s %12s %14.0f %8.2fx@." stages
+            (Printf.sprintf "pool-%d" domains)
+            (Format.asprintf "%a" pp_ns ns)
+            (msgs /. (ns /. 1e9))
+            (!base /. ns))
+        domain_counts)
+    sizes;
+  (* scheduling overhead alone: zero-work kernels on the smallest size *)
+  let stages = List.hd sizes in
+  let g = Topo_gen.pipeline ~stages ~cap:4 in
+  let msgs = float (stages * inputs) in
+  let seq_ns =
+    time_best ~repeat:2 (fun () ->
+        Engine.run ~graph:g ~kernels:(kernels g 0 ()) ~inputs
+          ~avoidance:Engine.No_avoidance ())
+  in
+  row "  %-12s %-10s %12s %14.0f %9s@."
+    (Printf.sprintf "%d (0-work)" stages)
+    "sequential"
+    (Format.asprintf "%a" pp_ns seq_ns)
+    (msgs /. (seq_ns /. 1e9))
+    "-";
+  List.iter
+    (fun domains ->
+      let ns =
+        time_best ~repeat:2 (fun () ->
+            P.run ~domains ~graph:g ~kernels:(kernels g 0 ()) ~inputs
+              ~avoidance:Engine.No_avoidance ())
+      in
+      row "  %-12s %-10s %12s %14.0f %9s@."
+        (Printf.sprintf "%d (0-work)" stages)
+        (Printf.sprintf "pool-%d" domains)
+        (Format.asprintf "%a" pp_ns ns)
+        (msgs /. (ns /. 1e9))
+        "-")
+    [ 1; List.fold_left max 1 domain_counts ]
 
 (* ------------------------------------------------------------------ *)
 (* A1. Bandwidth ablation: what do computed intervals save over SDF?    *)
@@ -1068,6 +1166,7 @@ let sections =
     ("V2", v2);
     ("S1", s1);
     ("S2", s2);
+    ("P1", p1);
     ("A1", a1);
     ("A2", a2);
     ("A3", a3);

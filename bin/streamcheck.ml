@@ -31,6 +31,8 @@ let demos =
     ("fig5", fun ~seed:_ -> Topo_gen.fig5_ladder ~cap:2);
     ("wide-ladder", fun ~seed:_ -> Topo_gen.wide_ladder ~rungs:6 ~cap:2);
     ("pipeline", fun ~seed:_ -> Topo_gen.pipeline ~stages:8 ~cap:2);
+    (* 97 nodes: above the old parallel runtime's 64-node cap *)
+    ("deep-pipeline", fun ~seed:_ -> Topo_gen.pipeline ~stages:96 ~cap:2);
     ( "random-cs4",
       fun ~seed ->
         Topo_gen.random_cs4
@@ -263,8 +265,34 @@ let metrics_arg =
            high-watermark occupancy and dummy overhead, per-node firing and \
            blocked-visit counts.")
 
+let parallel_arg =
+  Arg.(
+    value & flag
+    & info [ "parallel" ]
+        ~doc:
+          "Run on the sharded domain-pool runtime (kernels execute \
+           concurrently on OCaml domains) instead of the deterministic \
+           sequential scheduler. Dummy traffic is timing-dependent there; \
+           data and sink counts stay schedule-independent.")
+
+let domains_arg =
+  let pos_int =
+    let parse s =
+      match int_of_string_opt s with
+      | Some d when d >= 1 -> Ok d
+      | _ -> Error (`Msg (Printf.sprintf "expected a positive int, got %S" s))
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  Arg.(
+    value
+    & opt (some pos_int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:"Worker domains for $(b,--parallel) (default: automatic).")
+
 let simulate_cmd =
-  let run file demo avoidance inputs keep seed scheduler trace_out metrics =
+  let run file demo avoidance inputs keep seed scheduler parallel domains
+      trace_out metrics =
     let loaded =
       (* files may carry per-node behaviours (App_spec); demos and plain
          graph files get the uniform Bernoulli workload *)
@@ -289,6 +317,11 @@ let simulate_cmd =
       let kernels =
         match spec with
         | Some spec -> App_spec.kernels spec ~seed
+        | None when parallel ->
+          (* per-node RNG: thread-safe under the pool runtime, and
+             node-deterministic so counts are schedule-independent *)
+          Filters.for_graph g (fun v outs ->
+              Filters.bernoulli (Random.State.make [| seed; v |]) ~keep outs)
         | None ->
           let rng = Random.State.make [| seed |] in
           Filters.for_graph g (fun _ outs -> Filters.bernoulli rng ~keep outs)
@@ -330,8 +363,12 @@ let simulate_cmd =
             Some (Fstream_obs.Sink.tee s (Fstream_obs.Metrics.sink c))
         in
         let report =
-          Engine.run ~scheduler ~deadlock_dump:Format.std_formatter ?sink
-            ~graph:g ~kernels ~inputs ~avoidance ()
+          if parallel then
+            Fstream_parallel.Parallel_engine.run ?domains ?sink ~graph:g
+              ~kernels ~inputs ~avoidance ()
+          else
+            Engine.run ~scheduler ~deadlock_dump:Format.std_formatter ?sink
+              ~graph:g ~kernels ~inputs ~avoidance ()
         in
         Option.iter
           (fun (s, oc) ->
@@ -357,7 +394,8 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc)
     Term.(
       const run $ file_arg $ demo_arg $ avoidance_arg $ inputs_arg $ keep_arg
-      $ seed_arg $ scheduler_arg $ trace_out_arg $ metrics_arg)
+      $ seed_arg $ scheduler_arg $ parallel_arg $ domains_arg $ trace_out_arg
+      $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* verify                                                               *)

@@ -7,38 +7,50 @@ module Thresholds = Fstream_core.Thresholds
 module Event = Fstream_obs.Event
 module Sink = Fstream_obs.Sink
 
-(* All queue state lives under one application-wide monitor. Node
-   domains take the lock to inspect/mutate channels and wait on [cond]
-   when they can make no move; every state change broadcasts. Kernels
-   run outside the lock. The event sink is only ever called with the
-   lock held, so a single-threaded sink (ring buffer, JSON writer) is
-   safe here too.
+(* Sharded domain-pool runtime.
 
-   Channels are the runtime's ring-buffer {!Channel} (accessed only
-   with the lock held): capacity, occupancy and the message counters
-   live there, so the report's data/dummy totals come from the same
-   ground truth as the sequential engine's. *)
-type shared = {
-  mutex : Mutex.t;
-  cond : Condition.t;
-  chans : Channel.t array;  (* per edge *)
-  slot : int array;  (* per edge: coalescing dummy mouth; -1 = empty *)
-  last_sent : int array;
-  mutable progress : int;  (* bumped on every push/pop; watchdog input *)
-  mutable live_nodes : int;
-  mutable aborted : bool;
-  (* stats the channels cannot see *)
-  mutable sink_data : int;
-  mutable dropped_dummies : int;
-}
+   Nodes are lightweight tasks executed by a fixed pool of worker
+   domains; the one-domain-per-node model (and its 64-node cap) is
+   gone. The graph's nodes are partitioned into [nshards = domains]
+   contiguous shards, each with its own mutex and a ready-queue of
+   runnable nodes. Workers drain their home shard and steal from the
+   others round-robin when it runs dry.
 
-let locked sh f =
-  Mutex.lock sh.mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock sh.mutex) f
+   Locking discipline — the single invariant everything hangs off:
 
-let bump sh =
-  sh.progress <- sh.progress + 1;
-  Condition.broadcast sh.cond
+     every operation on channel [e] happens under the lock of
+     [shard (dst e)].
+
+   A node's in-edges all terminate at the node, so its firing decision
+   (all inputs non-empty, min head sequence, pops) needs exactly one
+   lock: its own shard's. A push takes the consumer's shard lock. No
+   code path ever holds two shard locks at once: pops that free a full
+   channel collect the producer node ids and wake them after the
+   consumer's lock is released. The event sink and the idle condition
+   variable have their own locks, acquired only as leaves.
+
+   A node never blocks a worker: sends that find a full channel go to
+   the node's pending ring (the sequential engine's model) and the node
+   simply drops out of the runnable set until a pop on the jammed
+   channel wakes it. With that, pool-level scheduling can never wedge
+   on workers < nodes, and deadlock detection becomes an exact
+   quiescence check instead of a wall-clock heuristic: the run is over
+   when every worker is idle and no task is queued — no kernel in
+   flight, nothing runnable. Live nodes remaining at that point mean a
+   genuine deadlock of the streaming computation itself. The
+   [stall_ms] timer survives only as an off-by-default backstop that
+   additionally requires zero in-flight kernels, so a kernel that
+   computes for longer than the window can never be misreported as a
+   deadlock again.
+
+   Consecutive executions of one node may land on different workers,
+   but never overlap: the per-node [Queued]/[Running]/[Running_dirty]
+   state machine (mutated only under the node's shard lock) guarantees
+   mutual exclusion, and the lock hand-over gives the happens-before
+   edge that makes the node's plain fields (pending ring, dummy slots,
+   stamps, scratch) safe to keep unsynchronized. *)
+
+let hole : Message.t = Message.eos ()
 
 let payload_of (m : Message.t) =
   match m.body with
@@ -46,16 +58,89 @@ let payload_of (m : Message.t) =
   | Message.Dummy -> Event.Dummy
   | Message.Eos -> Event.Eos
 
-let run ?(stall_ms = 200) ?sink ~graph:g ~kernels ~inputs ~avoidance () =
+(* Scheduling state of one node, mutated only under its shard's lock.
+   [Running_dirty] records a wake that arrived while the task was
+   executing, so the finishing worker re-queues it instead of losing
+   the wakeup. *)
+type sched = Idle | Queued | Running | Running_dirty
+
+type node_state = {
+  kernel : Engine.kernel;
+  (* pending sends: same per-node ring as the sequential engine — a
+     node cannot fire while non-empty, so capacity [out_degree]
+     suffices (one firing's data, or the EOS fan-out) *)
+  pend_eid : int array;
+  pend_msg : Message.t array;
+  mutable pend_head : int;
+  mutable pend_len : int;
+  mutable next_input : int;
+  mutable finished : bool;
+  mutable slots : int; (* out-edges holding a queued dummy slot *)
+  mutable blocked : bool; (* inside a blocking episode (Blocked emitted) *)
+  mutable fire_id : int; (* per-node firing stamp for validation *)
+  mutable flush_id : int; (* per-node flush stamp for bstamp *)
+  mutable sink_got : int; (* data consumed, if this node is a sink *)
+  mutable reuse : Message.t; (* last popped Data block, reusable *)
+  mutable state : sched;
+  got_buf : int array; (* scratch: in-edges that delivered data *)
+  freed_buf : int array; (* scratch: producers freed by our pops *)
+  src : bool;
+  snk : bool;
+}
+
+type shard = {
+  lock : Mutex.t;
+  queue : int array; (* ready ring, deduplicated via [sched] *)
+  mutable q_head : int;
+  mutable q_len : int;
+}
+
+(* Same packed per-edge layout as the sequential engine (stride 8, one
+   cache line per edge), with the spare slot holding the per-edge
+   dropped-dummy count. [f_thr]/[f_owner]/[f_dst] are set-up-time
+   constants; the rest are written only by the edge's owner node, whose
+   executions are serialized, so they need no lock. *)
+let f_thr = 0
+let f_last = 1
+let f_slot = 2 (* coalescing dummy mouth; -1 = empty *)
+let f_dstamp = 3 (* fire_id stamp: kernel chose this edge *)
+let f_bstamp = 4 (* flush_id stamp: push refused this flush *)
+let f_owner = 5
+let f_dst = 6
+let f_drop = 7 (* dummies superseded before delivery *)
+
+let default_domains () =
+  let d = try Domain.recommended_domain_count () with _ -> 2 in
+  max 1 (min 8 (d - 1))
+
+let run ?domains ?(grain = 32) ?stall_ms ?sink ~graph:g ~kernels ~inputs
+    ~avoidance () =
   let n = Graph.num_nodes g and m = Graph.num_edges g in
-  if n > 64 then invalid_arg "Parallel_engine.run: more than 64 nodes";
+  let nd =
+    match domains with
+    | None -> default_domains ()
+    | Some d ->
+      if d < 1 || d > 126 then
+        invalid_arg "Parallel_engine.run: domains out of range";
+      d
+  in
+  if grain < 1 then invalid_arg "Parallel_engine.run: grain < 1";
   let sink =
     match sink with
     | Some s when not (Sink.is_null s) -> Some s
     | _ -> None
   in
   let obs = sink <> None in
-  let ev e = match sink with Some s -> Sink.emit s e | None -> () in
+  let sink_lock = Mutex.create () in
+  (* sink calls are serialized, whatever domain they come from *)
+  let ev e =
+    match sink with
+    | Some s ->
+      Mutex.lock sink_lock;
+      Sink.emit s e;
+      Mutex.unlock sink_lock
+    | None -> ()
+  in
   let thresholds, forwarding =
     match avoidance with
     | Engine.No_avoidance -> (Array.make m None, false)
@@ -66,245 +151,603 @@ let run ?(stall_ms = 200) ?sink ~graph:g ~kernels ~inputs ~avoidance () =
       Thresholds.check t g;
       (Thresholds.to_array t, false)
   in
-  let sh =
-    {
-      mutex = Mutex.create ();
-      cond = Condition.create ();
-      chans =
-        Array.init m (fun i -> Channel.create ~capacity:(Graph.edge g i).cap);
-      slot = Array.make m (-1);
-      last_sent = Array.make m (-1);
-      progress = 0;
-      live_nodes = n;
-      aborted = false;
-      sink_data = 0;
-      dropped_dummies = 0;
-    }
+  let chans =
+    Array.init m (fun i -> Channel.create ~capacity:(Graph.edge g i).cap)
   in
-  let out_edges = Array.init n (Graph.out_edges g) in
-  let in_edges = Array.init n (Graph.in_edges g) in
-  let is_sink v = out_edges.(v) = [] in
-  let full e = Channel.is_full sh.chans.(e) in
-  let push e (msg : Message.t) =
-    (* callers only push under the lock with room checked *)
-    if not (Channel.push sh.chans.(e) msg) then assert false;
-    if obs then
-      ev (Event.Push { edge = e; seq = msg.seq; payload = payload_of msg });
-    bump sh
+  let ed = Array.make (m * 8) 0 in
+  for i = 0 to m - 1 do
+    let eb = i * 8 in
+    ed.(eb + f_thr) <- (match thresholds.(i) with Some k -> k | None -> max_int);
+    ed.(eb + f_last) <- -1;
+    ed.(eb + f_slot) <- -1;
+    let e = Graph.edge g i in
+    ed.(eb + f_owner) <- e.src;
+    ed.(eb + f_dst) <- e.dst
+  done;
+  (* CSR adjacency, as in the sequential engine *)
+  let out_off = Array.make (n + 1) 0 in
+  let in_off = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    out_off.(v + 1) <- out_off.(v) + Graph.out_degree g v;
+    in_off.(v + 1) <- in_off.(v) + Graph.in_degree g v
+  done;
+  let out_flat = Array.make m 0 in
+  let in_flat = Array.make m 0 in
+  for v = 0 to n - 1 do
+    let ids = Graph.out_edge_ids g v in
+    Array.blit ids 0 out_flat out_off.(v) (Array.length ids);
+    let ids = Graph.in_edge_ids g v in
+    Array.blit ids 0 in_flat in_off.(v) (Array.length ids)
+  done;
+  let st =
+    Array.init n (fun v ->
+        let deg = Graph.out_degree g v in
+        let in_deg = Graph.in_degree g v in
+        {
+          kernel = kernels v;
+          pend_eid = Array.make deg 0;
+          pend_msg = Array.make deg hole;
+          pend_head = 0;
+          pend_len = 0;
+          next_input = 0;
+          finished = false;
+          slots = 0;
+          blocked = false;
+          fire_id = 0;
+          flush_id = 0;
+          sink_got = 0;
+          reuse = hole;
+          state = Idle;
+          got_buf = Array.make (max in_deg 1) 0;
+          freed_buf = Array.make (max in_deg 1) 0;
+          src = in_deg = 0;
+          snk = deg = 0;
+        })
   in
-  let drop_slot e old =
-    sh.dropped_dummies <- sh.dropped_dummies + 1;
-    if obs then ev (Event.Dummy_dropped { edge = e; seq = old })
+  (* contiguous block partition: neighbours tend to share a shard, so a
+     pipeline hop's pop and push often reuse the lock the worker
+     already touched; work-stealing evens out any imbalance *)
+  let nshards = nd in
+  let shard_of = Array.init n (fun v -> v * nshards / n) in
+  let shard_size = Array.make nshards 0 in
+  Array.iter (fun s -> shard_size.(s) <- shard_size.(s) + 1) shard_of;
+  let shards =
+    Array.init nshards (fun i ->
+        {
+          lock = Mutex.create ();
+          queue = Array.make (max shard_size.(i) 1) 0;
+          q_head = 0;
+          q_len = 0;
+        })
   in
-  (* Deliver any queued dummy slots of [v] whose channel has room.
-     Caller holds the lock. *)
-  let flush_slots v =
-    List.iter
-      (fun (e : Graph.edge) ->
-        let seq = sh.slot.(e.id) in
-        if seq >= 0 && not (full e.id) then begin
-          sh.slot.(e.id) <- -1;
-          push e.id (Message.dummy ~seq)
-        end)
-      out_edges.(v)
+  (* pool-wide coordination *)
+  let queued = Atomic.make 0 in (* tasks sitting in shard queues *)
+  let idlers = Atomic.make 0 in (* workers inside the idle section *)
+  let in_flight = Atomic.make 0 in (* tasks being executed *)
+  let progress = Atomic.make 0 in (* pushes + pops; backstop input *)
+  let halt = Atomic.make false in
+  let timed_out = Atomic.make false in
+  let run_over = Atomic.make false in
+  let failure = Atomic.make None in
+  let idle_lock = Mutex.create () in
+  let idle_cond = Condition.create () in
+  let stop = ref false in (* guarded by idle_lock *)
+  let halt_now () =
+    Atomic.set halt true;
+    Mutex.lock idle_lock;
+    stop := true;
+    Condition.broadcast idle_cond;
+    Mutex.unlock idle_lock
   in
-  (* Blocking send of data/EOS on one channel; dummies never block.
-     Caller holds the lock. *)
-  let send_blocking v e msg =
-    while full e && not sh.aborted do
-      flush_slots v;
-      if full e then begin
-        if obs then ev (Event.Blocked { node = v; edge = e });
-        Condition.wait sh.cond sh.mutex
+  (* Make [v] runnable. Caller holds [sh] = [v]'s shard lock. The
+     idlers check pairs with the idle section's re-check of [queued]:
+     both sides use sequentially-consistent atomics, so either the
+     enqueuer sees the idler and broadcasts, or the idler sees the new
+     [queued] count and rescans — a wakeup cannot be lost. *)
+  let wake_locked sh v =
+    let s = st.(v) in
+    match s.state with
+    | Idle ->
+      s.state <- Queued;
+      let size = Array.length sh.queue in
+      let tail = sh.q_head + sh.q_len in
+      let tail = if tail >= size then tail - size else tail in
+      sh.queue.(tail) <- v;
+      sh.q_len <- sh.q_len + 1;
+      Atomic.incr queued;
+      if Atomic.get idlers > 0 then begin
+        Mutex.lock idle_lock;
+        Condition.broadcast idle_cond;
+        Mutex.unlock idle_lock
       end
-    done;
-    if not sh.aborted then push e msg
+    | Running -> s.state <- Running_dirty
+    | Queued | Running_dirty -> ()
   in
-  let emit v ~seq ~data_out ~got_dummy =
-    List.iter
-      (fun (e : Graph.edge) ->
-        if List.mem e.id data_out then begin
-          (let old = sh.slot.(e.id) in
-           if old >= 0 then begin
-             sh.slot.(e.id) <- -1;
-             drop_slot e.id old
-           end);
-          sh.last_sent.(e.id) <- seq;
-          send_blocking v e.id (Message.data ~seq seq)
-        end
-        else begin
-          let due =
-            match thresholds.(e.id) with
-            | Some k -> seq - sh.last_sent.(e.id) >= k
-            | None -> false
-          in
-          if (forwarding && got_dummy) || due then begin
-            (let old = sh.slot.(e.id) in
-             if old >= 0 then drop_slot e.id old);
-            sh.slot.(e.id) <- seq;
-            if obs then ev (Event.Dummy_emitted { node = v; edge = e.id; seq });
-            sh.last_sent.(e.id) <- seq;
-            flush_slots v
-          end
-        end)
-      out_edges.(v)
+  let wake v =
+    let sh = shards.(shard_of.(v)) in
+    Mutex.lock sh.lock;
+    wake_locked sh v;
+    Mutex.unlock sh.lock
   in
-  let send_eos v =
-    List.iter
-      (fun (e : Graph.edge) ->
-        (let old = sh.slot.(e.id) in
+  (* Push on [e]. Caller holds [shard (dst e)]'s lock [sh]. *)
+  let push_now sh e (msg : Message.t) =
+    let c = chans.(e) in
+    if Channel.push c msg then begin
+      Atomic.incr progress;
+      if Channel.length c = 1 then wake_locked sh ed.((e * 8) + f_dst);
+      if obs then
+        ev (Event.Push { edge = e; seq = msg.seq; payload = payload_of msg });
+      true
+    end
+    else false
+  in
+  let push_to e msg =
+    let sh = shards.(shard_of.(ed.((e * 8) + f_dst))) in
+    Mutex.lock sh.lock;
+    let landed = push_now sh e msg in
+    Mutex.unlock sh.lock;
+    landed
+  in
+  let enqueue s eid msg =
+    let size = Array.length s.pend_eid in
+    assert (s.pend_len < size);
+    let tail = s.pend_head + s.pend_len in
+    let tail = if tail >= size then tail - size else tail in
+    s.pend_eid.(tail) <- eid;
+    s.pend_msg.(tail) <- msg;
+    s.pend_len <- s.pend_len + 1
+  in
+  let drop_slot eid old =
+    ed.((eid * 8) + f_drop) <- ed.((eid * 8) + f_drop) + 1;
+    if obs then ev (Event.Dummy_dropped { edge = eid; seq = old })
+  in
+  (* Attempt every pending send once; a refused channel blocks its
+     later sends this pass (per-channel FIFO), other channels
+     proceed. *)
+  let rec flush_pending s fid size left =
+    if left = 0 then ()
+    else begin
+      let eid = s.pend_eid.(s.pend_head) in
+      let msg = s.pend_msg.(s.pend_head) in
+      s.pend_msg.(s.pend_head) <- hole;
+      s.pend_head <- (if s.pend_head + 1 >= size then 0 else s.pend_head + 1);
+      s.pend_len <- s.pend_len - 1;
+      if ed.((eid * 8) + f_bstamp) <> fid && push_to eid msg then ()
+      else begin
+        ed.((eid * 8) + f_bstamp) <- fid;
+        enqueue s eid msg
+      end;
+      flush_pending s fid size (left - 1)
+    end
+  in
+  let rec flush_slots s fid k hi =
+    if k >= hi then ()
+    else begin
+      let e = out_flat.(k) in
+      let eb = e * 8 in
+      let seq = ed.(eb + f_slot) in
+      if
+        seq >= 0
+        && ed.(eb + f_bstamp) <> fid
+        && push_to e (Message.dummy ~seq)
+      then begin
+        ed.(eb + f_slot) <- -1;
+        s.slots <- s.slots - 1
+      end;
+      flush_slots s fid (k + 1) hi
+    end
+  in
+  let flush v s =
+    s.flush_id <- s.flush_id + 1;
+    let fid = s.flush_id in
+    if s.pend_len > 0 then flush_pending s fid (Array.length s.pend_eid) s.pend_len;
+    if s.slots > 0 then flush_slots s fid out_off.(v) out_off.(v + 1)
+  in
+  (* O(ids) kernel-output validation via the owner field, as in the
+     sequential engine; the per-node fire stamp doubles as the
+     duplicate collapser for [emit]. *)
+  let rec validate_ids v stamp ids =
+    match ids with
+    | [] -> ()
+    | id :: rest ->
+      if id < 0 || id >= m || ed.((id * 8) + f_owner) <> v then
+        invalid_arg
+          (Printf.sprintf "Parallel_engine: kernel of node %d returned edge %d"
+             v id);
+      ed.((id * 8) + f_dstamp) <- stamp;
+      validate_ids v stamp rest
+  in
+  let msg_for s seq =
+    let msg = s.reuse in
+    if msg.Message.seq = seq then msg
+    else begin
+      let nm = Message.data ~seq seq in
+      s.reuse <- nm;
+      nm
+    end
+  in
+  let emit v s ~seq ~got_dummy =
+    let stamp = s.fire_id in
+    for k = out_off.(v) to out_off.(v + 1) - 1 do
+      let e = out_flat.(k) in
+      let eb = e * 8 in
+      if ed.(eb + f_dstamp) = stamp then begin
+        (let old = ed.(eb + f_slot) in
          if old >= 0 then begin
-           sh.slot.(e.id) <- -1;
-           drop_slot e.id old
+           ed.(eb + f_slot) <- -1;
+           s.slots <- s.slots - 1;
+           drop_slot e old
          end);
-        send_blocking v e.id (Message.eos ()))
-      out_edges.(v);
-    if obs then ev (Event.Eos { node = v })
-  in
-  (* One node's life: fire while inputs flow, forward EOS, retire. *)
-  let node_body v =
-    let kernel = kernels v in
-    let next_input = ref 0 in
-    let running = ref true in
-    while !running do
-      (* Decide the next firing under the lock. *)
-      let decision =
-        locked sh (fun () ->
-            let rec wait_for_work () =
-              if sh.aborted then `Stop
-              else if in_edges.(v) = [] then
-                if !next_input < inputs then begin
-                  let seq = !next_input in
-                  incr next_input;
-                  `Fire (seq, [], false)
-                end
-                else `Eos
-              else if
-                List.for_all
-                  (fun (e : Graph.edge) ->
-                    not (Channel.is_empty sh.chans.(e.id)))
-                  in_edges.(v)
-              then begin
-                let heads =
-                  List.map
-                    (fun (e : Graph.edge) ->
-                      (e, Channel.peek_exn sh.chans.(e.id)))
-                    in_edges.(v)
-                in
-                let i =
-                  List.fold_left
-                    (fun acc (_, (msg : Message.t)) -> min acc msg.seq)
-                    max_int heads
-                in
-                if i = max_int then begin
-                  List.iter
-                    (fun ((e : Graph.edge), (msg : Message.t)) ->
-                      ignore (Channel.pop_exn sh.chans.(e.id));
-                      if obs then
-                        ev
-                          (Event.Pop
-                             {
-                               edge = e.id;
-                               seq = msg.seq;
-                               payload = payload_of msg;
-                             }))
-                    heads;
-                  bump sh;
-                  `Eos
-                end
-                else begin
-                  let got_data = ref [] and got_dummy = ref false in
-                  List.iter
-                    (fun ((e : Graph.edge), (msg : Message.t)) ->
-                      if msg.seq = i then begin
-                        ignore (Channel.pop_exn sh.chans.(e.id));
-                        if obs then
-                          ev
-                            (Event.Pop
-                               {
-                                 edge = e.id;
-                                 seq = msg.seq;
-                                 payload = payload_of msg;
-                               });
-                        match msg.body with
-                        | Message.Data _ ->
-                          got_data := e.id :: !got_data;
-                          if is_sink v then sh.sink_data <- sh.sink_data + 1
-                        | Message.Dummy -> got_dummy := true
-                        | Message.Eos -> assert false
-                      end)
-                    heads;
-                  bump sh;
-                  `Fire (i, List.rev !got_data, !got_dummy)
-                end
-              end
-              else begin
-                flush_slots v;
-                Condition.wait sh.cond sh.mutex;
-                wait_for_work ()
-              end
-            in
-            wait_for_work ())
-      in
-      match decision with
-      | `Stop -> running := false
-      | `Eos ->
-        locked sh (fun () ->
-            send_eos v;
-            sh.live_nodes <- sh.live_nodes - 1;
-            bump sh);
-        running := false
-      | `Fire (seq, got, got_dummy) ->
-        (* The kernel runs outside the lock: node computations overlap
-           across domains. *)
-        let data_out = if got = [] && in_edges.(v) <> [] then [] else kernel ~seq ~got in
-        let data_out = List.sort_uniq compare data_out in
-        List.iter
-          (fun id ->
-            if
-              not
-                (List.exists (fun (e : Graph.edge) -> e.id = id) out_edges.(v))
-            then
-              invalid_arg
-                (Printf.sprintf
-                   "Parallel_engine: kernel of node %d returned edge %d" v id))
-          data_out;
-        locked sh (fun () ->
-            if obs then
-              ev
-                (Event.Node_fired
-                   { node = v; seq; got; got_dummy; sent = data_out });
-            emit v ~seq ~data_out ~got_dummy)
+        ed.(eb + f_last) <- seq;
+        let msg = msg_for s seq in
+        if not (push_to e msg) then enqueue s e msg
+      end
+      else begin
+        let due = seq - ed.(eb + f_last) >= ed.(eb + f_thr) in
+        if (forwarding && got_dummy) || due then begin
+          (let old = ed.(eb + f_slot) in
+           if old >= 0 then drop_slot e old else s.slots <- s.slots + 1);
+          ed.(eb + f_slot) <- seq;
+          if obs then ev (Event.Dummy_emitted { node = v; edge = e; seq });
+          ed.(eb + f_last) <- seq;
+          (* immediate delivery attempt, matching the sequential
+             visit's post-firing flush *)
+          if push_to e (Message.dummy ~seq) then begin
+            ed.(eb + f_slot) <- -1;
+            s.slots <- s.slots - 1
+          end
+        end
+      end
     done
   in
-  (* Watchdog, on the coordinating domain: declare deadlock when the
-     progress counter freezes for a full stall window while nodes are
-     still alive, then abort and wake every waiter. *)
-  let node_domains =
-    Array.init n (fun v -> Domain.spawn (fun () -> node_body v))
+  let send_eos v s =
+    for k = out_off.(v) to out_off.(v + 1) - 1 do
+      let e = out_flat.(k) in
+      let eb = e * 8 in
+      (let old = ed.(eb + f_slot) in
+       if old >= 0 then begin
+         ed.(eb + f_slot) <- -1;
+         s.slots <- s.slots - 1;
+         drop_slot e old
+       end);
+      if not (push_to e hole) then enqueue s e hole
+    done;
+    if obs then ev (Event.Eos { node = v });
+    s.finished <- true
   in
-  let rec watch last =
-    Unix.sleepf (float stall_ms /. 1000.);
-    let p, live = locked sh (fun () -> (sh.progress, sh.live_nodes)) in
-    if live = 0 then ()
-    else if p = last then
-      locked sh (fun () ->
-          sh.aborted <- true;
-          Condition.broadcast sh.cond)
-    else watch p
+  let fire_source v s =
+    if s.next_input < inputs then begin
+      let seq = s.next_input in
+      s.next_input <- seq + 1;
+      s.fire_id <- s.fire_id + 1;
+      let ids = s.kernel ~seq ~got:[] in
+      validate_ids v s.fire_id ids;
+      if obs then
+        ev
+          (Event.Node_fired
+             {
+               node = v;
+               seq;
+               got = [];
+               got_dummy = false;
+               sent = List.sort_uniq compare ids;
+             });
+      emit v s ~seq ~got_dummy:false;
+      true
+    end
+    else if not s.finished then begin
+      send_eos v s;
+      true
+    end
+    else false
   in
-  watch (-1);
-  Array.iter Domain.join node_domains;
-  let aborted = locked sh (fun () -> sh.aborted) in
-  let outcome = if aborted then Report.Deadlocked else Report.Completed in
+  (* Head scan / consume, under the node's shard lock. Pops that free
+     a full channel record the producer in [freed_buf]; the wakes are
+     delivered after the lock is dropped (never two shard locks). *)
+  let rec min_head k hi acc =
+    if k >= hi then acc
+    else
+      let c = chans.(in_flat.(k)) in
+      if Channel.is_empty c then min_int
+      else
+        let sq = Channel.peek_seq c in
+        min_head (k + 1) hi (if sq < acc then sq else acc)
+  in
+  let dummy_bit = 1 lsl 62 in
+  let rec consume s i k hi acc nfreed =
+    if k >= hi then (acc, nfreed)
+    else begin
+      let e = in_flat.(k) in
+      let c = chans.(e) in
+      if Channel.peek_seq c = i then begin
+        let was_full = Channel.is_full c in
+        let msg = Channel.pop_exn c in
+        Atomic.incr progress;
+        let nfreed =
+          if was_full then begin
+            s.freed_buf.(nfreed) <- ed.((e * 8) + f_owner);
+            nfreed + 1
+          end
+          else nfreed
+        in
+        if obs then
+          ev (Event.Pop { edge = e; seq = msg.seq; payload = payload_of msg });
+        match msg.body with
+        | Message.Data _ ->
+          s.reuse <- msg;
+          let gn = acc land lnot dummy_bit in
+          s.got_buf.(gn) <- e;
+          if s.snk then s.sink_got <- s.sink_got + 1;
+          consume s i (k + 1) hi (acc + 1) nfreed
+        | Message.Dummy -> consume s i (k + 1) hi (acc lor dummy_bit) nfreed
+        | Message.Eos -> assert false
+      end
+      else consume s i (k + 1) hi acc nfreed
+    end
+  in
+  let rec got_list s k acc =
+    if k < 0 then acc else got_list s (k - 1) (s.got_buf.(k) :: acc)
+  in
+  let wake_freed s nfreed =
+    for k = 0 to nfreed - 1 do
+      wake s.freed_buf.(k)
+    done
+  in
+  let fire_inner v s =
+    let shv = shards.(shard_of.(v)) in
+    let lo = in_off.(v) and hi = in_off.(v + 1) in
+    Mutex.lock shv.lock;
+    let i = min_head lo hi max_int in
+    if i = min_int then begin
+      Mutex.unlock shv.lock;
+      false
+    end
+    else if i = max_int then begin
+      (* every input is at end-of-stream *)
+      let nfreed = ref 0 in
+      for k = lo to hi - 1 do
+        let e = in_flat.(k) in
+        let c = chans.(e) in
+        let was_full = Channel.is_full c in
+        let msg = Channel.pop_exn c in
+        Atomic.incr progress;
+        if was_full then begin
+          s.freed_buf.(!nfreed) <- ed.((e * 8) + f_owner);
+          incr nfreed
+        end;
+        if obs then
+          ev (Event.Pop { edge = e; seq = msg.seq; payload = payload_of msg })
+      done;
+      Mutex.unlock shv.lock;
+      wake_freed s !nfreed;
+      send_eos v s;
+      true
+    end
+    else begin
+      let acc, nfreed = consume s i lo hi 0 0 in
+      Mutex.unlock shv.lock;
+      wake_freed s nfreed;
+      let gn = acc land lnot dummy_bit in
+      let got_dummy = acc land dummy_bit <> 0 in
+      let got = got_list s (gn - 1) [] in
+      s.fire_id <- s.fire_id + 1;
+      (* kernel runs outside every lock: node computations overlap
+         across domains *)
+      let sent =
+        match got with
+        | [] -> []
+        | got ->
+          let ids = s.kernel ~seq:i ~got in
+          validate_ids v s.fire_id ids;
+          if obs then List.sort_uniq compare ids else []
+      in
+      if obs then
+        ev (Event.Node_fired { node = v; seq = i; got; got_dummy; sent });
+      emit v s ~seq:i ~got_dummy;
+      true
+    end
+  in
+  (* One task execution: retry what was stuck, then fire while the
+     node stays runnable, up to [grain] firings (then requeue, for
+     fairness). A firing whose sends left the pending ring non-empty
+     opens a blocking episode: [Event.Blocked] is emitted exactly once
+     per episode, when it opens. *)
+  let run_node v =
+    let s = st.(v) in
+    if s.pend_len > 0 || s.slots > 0 then flush v s;
+    if s.pend_len = 0 && s.blocked then s.blocked <- false;
+    let continue = ref (s.pend_len = 0) in
+    let budget = ref grain in
+    while !continue && !budget > 0 && not (Atomic.get halt) do
+      let fired =
+        if s.src then fire_source v s
+        else if not s.finished then fire_inner v s
+        else false
+      in
+      decr budget;
+      if not fired then continue := false
+      else if s.pend_len > 0 then begin
+        if not s.blocked then begin
+          s.blocked <- true;
+          if obs then
+            ev (Event.Blocked { node = v; edge = s.pend_eid.(s.pend_head) })
+        end;
+        continue := false
+      end
+    done
+  in
+  (* Post-execution bookkeeping: consume a missed wake ([Running_dirty])
+     or re-queue ourselves while still runnable (grain exhaustion,
+     sources); otherwise go idle and wait for an occupancy wake. *)
+  let all_inputs_ready v =
+    let rec go k hi =
+      k >= hi || ((not (Channel.is_empty chans.(in_flat.(k)))) && go (k + 1) hi)
+    in
+    go in_off.(v) in_off.(v + 1)
+  in
+  let finish_task v =
+    let sh = shards.(shard_of.(v)) in
+    let s = st.(v) in
+    Mutex.lock sh.lock;
+    let rearm =
+      (not (Atomic.get halt))
+      && s.pend_len = 0
+      && (not s.finished)
+      && (s.src || all_inputs_ready v)
+    in
+    if rearm || s.state = Running_dirty then begin
+      s.state <- Queued;
+      let size = Array.length sh.queue in
+      let tail = sh.q_head + sh.q_len in
+      let tail = if tail >= size then tail - size else tail in
+      sh.queue.(tail) <- v;
+      sh.q_len <- sh.q_len + 1;
+      Atomic.incr queued;
+      if Atomic.get idlers > 0 then begin
+        Mutex.lock idle_lock;
+        Condition.broadcast idle_cond;
+        Mutex.unlock idle_lock
+      end
+    end
+    else s.state <- Idle;
+    Mutex.unlock sh.lock
+  in
+  (* Worker side: scan own shard first, then steal round-robin. *)
+  let find_task w =
+    let rec scan k =
+      if k = nshards then None
+      else begin
+        let sh = shards.((w + k) mod nshards) in
+        Mutex.lock sh.lock;
+        if sh.q_len > 0 then begin
+          let v = sh.queue.(sh.q_head) in
+          sh.q_head <-
+            (if sh.q_head + 1 >= Array.length sh.queue then 0
+             else sh.q_head + 1);
+          sh.q_len <- sh.q_len - 1;
+          st.(v).state <- Running;
+          Atomic.decr queued;
+          Mutex.unlock sh.lock;
+          Some v
+        end
+        else begin
+          Mutex.unlock sh.lock;
+          scan (k + 1)
+        end
+      end
+    in
+    scan 0
+  in
+  (* Idle protocol and quiescence: a worker that finds nothing
+     increments [idlers] and naps. If it is the last one in with no
+     queued task, every worker is here — no kernel in flight, nothing
+     runnable — so the run is over (completion or deadlock, told apart
+     from the final state below). *)
+  let worker w () =
+    let rec loop () =
+      if Atomic.get halt then ()
+      else
+        match find_task (w mod nshards) with
+        | Some v ->
+          Atomic.incr in_flight;
+          run_node v;
+          finish_task v;
+          Atomic.decr in_flight;
+          loop ()
+        | None ->
+          Mutex.lock idle_lock;
+          Atomic.incr idlers;
+          let rec idle () =
+            if !stop then ()
+            else if Atomic.get queued > 0 then ()
+            else if Atomic.get idlers = nd then begin
+              stop := true;
+              Condition.broadcast idle_cond
+            end
+            else begin
+              Condition.wait idle_cond idle_lock;
+              idle ()
+            end
+          in
+          idle ();
+          Atomic.decr idlers;
+          let over = !stop in
+          Mutex.unlock idle_lock;
+          if not over then loop ()
+    in
+    try loop ()
+    with ex ->
+      ignore (Atomic.compare_and_set failure None (Some ex));
+      halt_now ()
+  in
+  (* Backstop watchdog (opt-in): aborts only when the progress counter
+     froze for a whole window with no kernel in flight and nothing
+     queued — i.e. only if the structural check somehow failed to
+     declare quiescence. A slow kernel keeps [in_flight] non-zero and
+     can never trip it. *)
+  let watchdog ms () =
+    let window = float ms /. 1000. in
+    let live () = not (Atomic.get run_over || Atomic.get halt) in
+    let rec nap t =
+      if t > 0. && live () then begin
+        Unix.sleepf (min 0.01 t);
+        nap (t -. 0.01)
+      end
+    in
+    let rec go last =
+      nap window;
+      if live () then begin
+        let p = Atomic.get progress in
+        if p = last && Atomic.get in_flight = 0 && Atomic.get queued = 0
+        then begin
+          Atomic.set timed_out true;
+          halt_now ()
+        end
+        else go p
+      end
+    in
+    go (-1)
+  in
+  (* seed: sources are runnable from the start (before workers exist,
+     so no locks; Domain.spawn publishes the writes) *)
+  for v = 0 to n - 1 do
+    if st.(v).src then begin
+      let sh = shards.(shard_of.(v)) in
+      st.(v).state <- Queued;
+      let tail = sh.q_head + sh.q_len in
+      sh.queue.(tail) <- v;
+      sh.q_len <- sh.q_len + 1;
+      Atomic.incr queued
+    end
+  done;
+  let dogs =
+    match stall_ms with
+    | Some ms when ms > 0 -> [| Domain.spawn (watchdog ms) |]
+    | _ -> [||]
+  in
+  let workers = Array.init nd (fun w -> Domain.spawn (worker w)) in
+  Array.iter Domain.join workers;
+  Atomic.set run_over true;
+  Array.iter Domain.join dogs;
+  (match Atomic.get failure with Some ex -> raise ex | None -> ());
+  let completed =
+    (not (Atomic.get timed_out))
+    && Array.for_all (fun s -> s.finished && s.pend_len = 0) st
+    && Array.for_all Channel.is_empty chans
+  in
+  let outcome = if completed then Report.Completed else Report.Deadlocked in
   if obs then ev (Event.Run_finished { outcome });
-  let sum f = Array.fold_left (fun a c -> a + f c) 0 sh.chans in
+  let sum f = Array.fold_left (fun a c -> a + f c) 0 chans in
+  let dropped = ref 0 in
+  for i = 0 to m - 1 do
+    dropped := !dropped + ed.((i * 8) + f_drop)
+  done;
   {
     Report.outcome;
     data_messages = sum Channel.data_pushed;
     dummy_messages = sum Channel.dummies_pushed;
-    sink_data = sh.sink_data;
-    dropped_dummies = sh.dropped_dummies;
-    per_edge_dummies = Array.map Channel.dummies_pushed sh.chans;
+    sink_data = Array.fold_left (fun a s -> a + s.sink_got) 0 st;
+    dropped_dummies = !dropped;
+    per_edge_dummies = Array.map Channel.dummies_pushed chans;
     detail = Report.Parallel;
   }

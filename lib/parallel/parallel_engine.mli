@@ -1,34 +1,47 @@
-(** Shared-memory parallel execution of filtering streaming DAGs.
+(** Shared-memory parallel runtime: a fixed pool of worker domains
+    driving a sharded ready-queue.
 
-    {!Fstream_runtime.Engine} is a deterministic sequential scheduler;
-    this engine runs the same model for real: one OCaml 5 domain per
-    compute node, channels as bounded queues, and {e genuinely
-    blocking} sends — a producer thread stalls inside [send] until its
-    consumer drains the buffer, which is precisely the mechanism that
-    turns filtering into deadlock. The two dummy wrappers carry over
-    unchanged (sequence-number gap thresholds, forwarding under
-    Propagation, non-blocking coalescing dummy slots).
+    Executes the same model as {!Fstream_runtime.Engine} — min-seq
+    firing rule, per-node pending sends on full channels, coalescing
+    one-slot dummy mouths, EOS termination — but with node kernels
+    running concurrently on OCaml 5 domains. Nodes are lightweight
+    tasks, not domains: the graph is partitioned into [domains]
+    contiguous shards, each with its own lock and ready-queue of
+    runnable nodes maintained from channel occupancy transitions (the
+    parallel analogue of the sequential [Ready] scheduler); workers
+    drain their home shard and steal from the others when it runs dry.
+    There is no limit on graph size.
 
-    Synchronisation is deliberately coarse: one application-wide
-    monitor guards all queue state, and kernels execute outside the
-    lock (so node computations genuinely overlap). This favours
-    faithfulness and auditability over throughput — the point is that
-    deadlocks (and their absence, under the wrappers) happen for real,
-    with preemptive scheduling the sequential engine cannot exhibit.
+    Deadlock is detected structurally, by exact quiescence: the run
+    ends when no kernel is in flight and no node is runnable; live
+    nodes remaining at that point are a genuine deadlock of the
+    streaming computation (nodes never block a worker — a send that
+    finds a full channel parks in the node's pending ring and the node
+    leaves the runnable set, so pool-level scheduling cannot wedge).
+    The wall-clock [stall_ms] watchdog of the earlier one-domain-per-
+    node runtime survives only as an opt-in backstop which additionally
+    requires zero in-flight kernels — a kernel that merely computes for
+    longer than the window can no longer be misreported as deadlock.
 
-    Deadlock detection is a watchdog: if no channel operation happens
-    for [stall_ms] while work remains, the run is aborted and reported
-    as [Deadlocked]. Keep kernels fast relative to [stall_ms], or raise
-    it.
+    Determinism: kernels whose decisions depend only on their own
+    node's firing history make the data computation a Kahn network, so
+    the outcome and the data/sink message counts equal the sequential
+    engine's under [No_avoidance] (including deadlock wedges), and the
+    data/sink counts on any run that completes. Dummy traffic is
+    timing-driven and may differ from the sequential engine and from
+    run to run.
 
-    Kernels are invoked only from their own node's domain, but
-    different nodes' kernels run concurrently: a kernel factory passed
-    to {!run} must give each node its own state (e.g. its own
-    [Random.State.t]). *)
+    Kernels are invoked for one node by at most one worker at a time
+    (consecutive firings may land on different domains, with the
+    happens-before edges the scheduler provides), but different nodes'
+    kernels run concurrently: a kernel factory passed to {!run} must
+    give each node its own state (e.g. its own [Random.State.t]). *)
 
 open Fstream_graph
 
 val run :
+  ?domains:int ->
+  ?grain:int ->
   ?stall_ms:int ->
   ?sink:Fstream_obs.Sink.t ->
   graph:Graph.t ->
@@ -37,20 +50,38 @@ val run :
   avoidance:Fstream_runtime.Engine.avoidance ->
   unit ->
   Fstream_runtime.Report.t
-(** Spawns one domain per node (plus a watchdog) and joins them all
-    before returning. [stall_ms] defaults to 200. The result's
-    [detail] is {!Fstream_runtime.Report.Parallel}: there is no round
-    counter or wedge snapshot in a preemptive execution, and the
-    outcome never reports [Budget_exhausted].
+(** Run the application on [inputs] external sequence numbers with a
+    pool of [domains] worker domains (default: derived from
+    [Domain.recommended_domain_count ()], at least 1, at most 8).
+    [domains = 1] is a valid single-worker execution of the same
+    machinery. The result's [detail] is
+    {!Fstream_runtime.Report.Parallel}: there is no round counter or
+    wedge snapshot in a preemptive execution, and the outcome never
+    reports [Budget_exhausted].
+
+    [grain] (default 32) bounds consecutive firings of one node per
+    task execution before it re-queues itself, trading scheduling
+    overhead against fairness.
+
+    [stall_ms] enables the backstop watchdog: abort and report
+    [Deadlocked] if the push/pop progress counter freezes for a full
+    window {e while no kernel is in flight and nothing is queued}.
+    Default: disabled — the structural quiescence check is the
+    detector of record, and the backstop only matters if that check is
+    itself broken.
 
     [sink] receives the same typed event vocabulary as the sequential
-    engine, minus the scheduler-only events ([Round_started], [Wedge]);
-    events are emitted with the engine's global lock held, so a
-    non-thread-safe sink (ring buffer, JSON writer) is safe. The
-    interleaving reflects the actual preemptive schedule and differs
-    from run to run. The engine never closes the sink.
+    engine, minus the scheduler-only events ([Round_started], [Wedge]).
+    Sink calls are serialized across domains, so a non-thread-safe
+    sink (ring buffer, JSON writer) is safe; the interleaving reflects
+    the actual schedule and differs from run to run.
+    [Event.Blocked] is emitted once per blocking episode (opened when
+    a firing leaves sends pending on a full channel), not per retry.
+    Message counts in the returned report come from the channels' own
+    counters, the same ground truth as the sequential engine's. The
+    engine never closes the sink.
 
-    @raise Invalid_argument for graphs with more than 64 nodes — one
-    domain per node is only reasonable for small applications.
-    @raise Invalid_argument if [avoidance] carries a threshold table
-    computed for a different graph. *)
+    @raise Invalid_argument if [domains] is outside [1, 126], if
+    [grain < 1], if [avoidance] carries a threshold table computed for
+    a different graph, or if a kernel returns an edge id it does not
+    own. Kernel exceptions propagate after the pool shuts down. *)

@@ -1,0 +1,29 @@
+The sharded domain-pool runtime behind --parallel. Workloads here use
+--avoidance none so no dummy traffic exists: with per-node
+deterministic kernels the data computation is a Kahn network, making
+every printed count schedule-independent — the same at any domain
+count, run after run.
+
+A 97-node pipeline: the old one-domain-per-node runtime rejected
+anything above 64 nodes; the pool takes it in stride, and the counts
+match the pool width:
+
+  $ streamcheck simulate --demo deep-pipeline --inputs 100 --keep 0.97 --seed 5 --avoidance none --parallel --domains 2
+  completed: 2552 data msgs, 0 dummy msgs, 4 data at sinks
+
+  $ streamcheck simulate --demo deep-pipeline --inputs 100 --keep 0.97 --seed 5 --avoidance none --parallel --domains 4
+  completed: 2552 data msgs, 0 dummy msgs, 4 data at sinks
+
+Deadlocks are real concurrency phenomena under the pool, detected by
+exact quiescence (no watchdog involved), and Kahn determinism pins the
+wedge's traffic exactly:
+
+  $ streamcheck simulate --demo fig2 --inputs 50 --keep 0.6 --seed 3 --avoidance none --parallel --domains 2
+  DEADLOCKED: 14 data msgs, 0 dummy msgs, 7 data at sinks
+  [2]
+
+The avoidance wrapper rescues the same workload (dummy counts are
+timing-dependent under the pool, so this checks the verdict only):
+
+  $ streamcheck simulate --demo fig2 --inputs 50 --keep 0.6 --seed 3 --avoidance non-propagation --parallel --domains 2 | cut -d: -f1
+  completed

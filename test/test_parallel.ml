@@ -1,26 +1,41 @@
-(* The shared-memory parallel engine: one domain per node, genuinely
-   blocking sends. Deadlocks (and their avoidance) here are real
-   concurrency phenomena, detected by a stall watchdog. *)
+(* The sharded domain-pool runtime: nodes as lightweight tasks over a
+   fixed worker pool, deadlock detected by exact quiescence. The
+   differential suites lean on the Kahn-network argument: for kernels
+   whose decisions depend only on their own node's firing history, the
+   data computation — outcome included — is schedule-independent, so
+   the pool must reproduce the sequential engine's data/sink counts
+   whatever the interleaving (dummy traffic is timing-driven and stays
+   out of the comparisons). *)
 
 open Fstream_core
 open Fstream_runtime
 open Fstream_workloads
+module Graph = Fstream_graph.Graph
 module P = Fstream_parallel.Parallel_engine
+module Metrics = Fstream_obs.Metrics
+module Ring = Fstream_obs.Ring
+module Sink = Fstream_obs.Sink
 
 let fig2_kernels g =
   Filters.for_graph g (fun v outs ->
       if v = 0 then Filters.block_edge 2 outs else Filters.passthrough outs)
 
 let test_fig2_deadlocks () =
+  (* no watchdog: the structural quiescence check alone must catch the
+     wedge, and Kahn determinism pins its traffic exactly *)
   let g = Topo_gen.fig2_triangle ~cap:2 in
-  let s =
-    P.run ~stall_ms:100 ~graph:g ~kernels:(fig2_kernels g) ~inputs:50
-      ~avoidance:Engine.No_avoidance ()
-  in
-  Alcotest.(check bool) "deadlocked across domains" true
-    (s.outcome = Report.Deadlocked);
-  Alcotest.(check int) "wedged with the same traffic as the sequential engine"
-    7 s.data_messages
+  List.iter
+    (fun domains ->
+      let s =
+        P.run ~domains ~graph:g ~kernels:(fig2_kernels g) ~inputs:50
+          ~avoidance:Engine.No_avoidance ()
+      in
+      Alcotest.(check bool) "deadlocked across domains" true
+        (s.outcome = Report.Deadlocked);
+      Alcotest.(check int)
+        "wedged with the same traffic as the sequential engine" 7
+        s.data_messages)
+    [ 1; 2; 4 ]
 
 let test_fig2_avoided () =
   let g = Topo_gen.fig2_triangle ~cap:2 in
@@ -28,7 +43,7 @@ let test_fig2_avoided () =
   | Error e -> Alcotest.fail (Compiler.error_to_string e)
   | Ok p ->
     let s =
-      P.run ~stall_ms:100 ~graph:g ~kernels:(fig2_kernels g) ~inputs:50
+      P.run ~domains:2 ~graph:g ~kernels:(fig2_kernels g) ~inputs:50
         ~avoidance:(Engine.Non_propagation (Compiler.send_thresholds g p.intervals))
         ()
     in
@@ -36,8 +51,6 @@ let test_fig2_avoided () =
     Alcotest.(check int) "all data delivered" 50 s.sink_data
 
 let test_matches_sequential_engine () =
-  (* deterministic kernels: message counts are schedule-independent, so
-     the parallel run must reproduce the sequential engine's stats *)
   let g = Topo_gen.fig4_left ~cap:2 in
   let kernels () =
     Filters.for_graph g (fun v outs ->
@@ -52,7 +65,7 @@ let test_matches_sequential_engine () =
     in
     let seq = Engine.run ~graph:g ~kernels:(kernels ()) ~inputs:60 ~avoidance () in
     let par =
-      P.run ~stall_ms:150 ~graph:g ~kernels:(kernels ()) ~inputs:60 ~avoidance ()
+      P.run ~domains:3 ~graph:g ~kernels:(kernels ()) ~inputs:60 ~avoidance ()
     in
     Alcotest.(check bool) "both complete" true
       (seq.Report.outcome = Report.Completed && par.outcome = Report.Completed);
@@ -65,33 +78,284 @@ let test_pipeline_parallel () =
   let g = Topo_gen.pipeline ~stages:6 ~cap:2 in
   let kernels = Filters.for_graph g (fun _ outs -> Filters.passthrough outs) in
   let s =
-    P.run ~stall_ms:100 ~graph:g ~kernels ~inputs:200
+    P.run ~domains:2 ~graph:g ~kernels ~inputs:200
       ~avoidance:Engine.No_avoidance ()
   in
   Alcotest.(check bool) "completed" true (s.outcome = Report.Completed);
   Alcotest.(check int) "all delivered" 200 s.sink_data
 
-let test_node_limit () =
-  let g = Topo_gen.pipeline ~stages:70 ~cap:1 in
-  Alcotest.check_raises "too many nodes rejected"
-    (Invalid_argument "Parallel_engine.run: more than 64 nodes") (fun () ->
+(* The old runtime rejected graphs with more than 64 nodes (one domain
+   per node); the pool takes a 4096-node pipeline on 4 workers. *)
+let test_node_cap_gone () =
+  let g = Topo_gen.pipeline ~stages:4095 ~cap:2 in
+  let kernels = Filters.for_graph g (fun _ outs -> Filters.passthrough outs) in
+  let s =
+    P.run ~domains:4 ~graph:g ~kernels ~inputs:8 ~avoidance:Engine.No_avoidance
+      ()
+  in
+  Alcotest.(check bool) "4096-node pipeline completes" true
+    (s.outcome = Report.Completed);
+  Alcotest.(check int) "every hop forwarded" (8 * 4095) s.data_messages;
+  Alcotest.(check int) "all delivered" 8 s.sink_data
+
+let test_large_cs4_chain () =
+  let rng = Tutil.rng_of 7 in
+  let g = Topo_gen.random_cs4 rng ~blocks:120 ~block_edges:22 ~max_cap:4 in
+  Alcotest.(check bool) "graph is >= 1000 nodes" true (Graph.num_nodes g >= 1000);
+  match Compiler.plan Compiler.Non_propagation g with
+  | Error e -> Alcotest.fail (Compiler.error_to_string e)
+  | Ok p ->
+    let kernels () =
+      Filters.for_graph g (fun v outs ->
+          if v mod 3 = 1 then Filters.periodic ~keep_every:3 outs
+          else Filters.passthrough outs)
+    in
+    let avoidance =
+      Engine.Non_propagation (Compiler.send_thresholds g p.intervals)
+    in
+    let seq = Engine.run ~graph:g ~kernels:(kernels ()) ~inputs:20 ~avoidance () in
+    let par =
+      P.run ~domains:4 ~graph:g ~kernels:(kernels ()) ~inputs:20 ~avoidance ()
+    in
+    Alcotest.(check bool) "both complete" true
+      (seq.Report.outcome = Report.Completed && par.outcome = Report.Completed);
+    Alcotest.(check int) "same data count" seq.Report.data_messages
+      par.data_messages;
+    Alcotest.(check int) "same sink deliveries" seq.Report.sink_data
+      par.sink_data
+
+(* Regression for the false-deadlock bug: the old watchdog only watched
+   the push/pop counter, so a kernel computing past [stall_ms] aborted
+   the run. The backstop now also requires zero in-flight kernels; a
+   kernel sleeping far beyond the window must not trip it. *)
+let test_slow_kernel_no_false_deadlock () =
+  let g = Topo_gen.pipeline ~stages:2 ~cap:2 in
+  let kernels v =
+    if v = 1 then fun ~seq:_ ~got:_ ->
+      Unix.sleepf 0.06;
+      List.map (fun (e : Graph.edge) -> e.id) (Graph.out_edges g 1)
+    else Filters.for_graph g (fun _ outs -> Filters.passthrough outs) v
+  in
+  let s =
+    P.run ~domains:2 ~stall_ms:20 ~graph:g ~kernels ~inputs:3
+      ~avoidance:Engine.No_avoidance ()
+  in
+  Alcotest.(check bool) "slow kernel still completes" true
+    (s.outcome = Report.Completed);
+  Alcotest.(check int) "nothing lost" 3 s.sink_data
+
+(* Blocking episodes: [Blocked] fires once when a node's sends park on
+   a full channel, not once per retry/wakeup. A cap-1 pipeline with a
+   slow sink forces the producers to block on nearly every firing; the
+   per-node count stays bounded by firings, and the live collector
+   agrees exactly with the replayed ring log. *)
+let test_blocked_once_per_episode () =
+  let inputs = 12 in
+  let g = Topo_gen.pipeline ~stages:2 ~cap:1 in
+  let kernels v =
+    if v = 2 then fun ~seq:_ ~got:_ ->
+      Unix.sleepf 0.004;
+      []
+    else Filters.for_graph g (fun _ outs -> Filters.passthrough outs) v
+  in
+  let ring = Ring.create ~capacity:2048 () in
+  let c = Metrics.collector ~graph:g ~inputs () in
+  let s =
+    P.run ~domains:2 ~graph:g ~kernels ~inputs
+      ~sink:(Sink.tee (Ring.sink ring) (Metrics.sink c))
+      ~avoidance:Engine.No_avoidance ()
+  in
+  Alcotest.(check bool) "completed" true (s.outcome = Report.Completed);
+  Alcotest.(check int) "ring kept the whole log" 0 (Ring.dropped ring);
+  let live = Metrics.result c in
+  let replay = Metrics.of_events ~graph:g ~inputs (Ring.contents ring) in
+  Alcotest.(check (array int)) "blocked visits: collector = replay"
+    replay.Metrics.blocked_visits live.Metrics.blocked_visits;
+  Alcotest.(check (array int)) "firings: collector = replay"
+    replay.Metrics.fired live.Metrics.fired;
+  Alcotest.(check int) "same event count" replay.Metrics.events
+    live.Metrics.events;
+  (* one episode at most per firing (inputs + EOS); spurious-wakeup
+     re-emission would multiply this by the retry count *)
+  Array.iteri
+    (fun v b ->
+      Alcotest.(check bool)
+        (Printf.sprintf "node %d blocked episodes bounded by firings" v)
+        true
+        (b <= inputs + 2))
+    live.Metrics.blocked_visits
+
+(* Kernel-output validation on the parallel path: linear in the number
+   of returned ids (owner table), not a scan of the out-edge list per
+   id. Same shape as the sequential wide-split regression. *)
+let test_wide_split_parallel () =
+  let branches = 600 in
+  let edges =
+    List.init branches (fun i -> (0, 1 + i, 2))
+    @ List.init branches (fun i -> (1 + i, branches + 1, 2))
+  in
+  let g = Graph.make ~nodes:(branches + 2) edges in
+  let out0 =
+    List.map (fun (e : Graph.edge) -> e.id) (Graph.out_edges g 0)
+  in
+  let passthrough = Filters.for_graph g (fun _ outs -> Filters.passthrough outs) in
+  let kernels v =
+    if v = 0 then fun ~seq:_ ~got:_ -> out0 @ out0 else passthrough v
+  in
+  let s =
+    P.run ~domains:2 ~graph:g ~kernels ~inputs:8 ~avoidance:Engine.No_avoidance
+      ()
+  in
+  Alcotest.(check bool) "completed" true (s.outcome = Report.Completed);
+  Alcotest.(check int) "duplicates coalesced: one send per edge per seq"
+    (8 * 2 * branches) s.data_messages;
+  Alcotest.(check int) "join consumed every branch" (8 * branches) s.sink_data;
+  let stolen v = if v = 1 then fun ~seq:_ ~got:_ -> out0 else passthrough v in
+  Alcotest.check_raises "foreign edge id rejected"
+    (Invalid_argument
+       (Printf.sprintf "Parallel_engine: kernel of node 1 returned edge %d"
+          (List.hd out0)))
+    (fun () ->
       ignore
-        (P.run ~graph:g
-           ~kernels:(Filters.for_graph g (fun _ o -> Filters.passthrough o))
-           ~inputs:1 ~avoidance:Engine.No_avoidance ()))
+        (P.run ~domains:2 ~graph:g ~kernels:stolen ~inputs:1
+           ~avoidance:Engine.No_avoidance ()))
+
+(* ----- differential qcheck: pool vs sequential engine ----- *)
+
+let graph_of_family seed =
+  match seed mod 3 with
+  | 0 -> Tutil.random_sp_of_seed ~max_edges:24 seed
+  | 1 -> Tutil.random_ladder_of_seed ~max_rungs:8 seed
+  | _ -> Tutil.random_cs4_of_seed seed
+
+let domains_of seed = match seed / 3 mod 3 with 0 -> 1 | 1 -> 2 | _ -> 4
+
+(* node-deterministic kernels, rebuilt identically for each engine:
+   per-node RNG (thread-safe and schedule-independent) plus periodic
+   relays *)
+let mixed_kernels g seed () =
+  Filters.for_graph g (fun v outs ->
+      match v mod 3 with
+      | 0 -> Filters.bernoulli (Random.State.make [| seed; v |]) ~keep:0.7 outs
+      | 1 -> Filters.periodic ~keep_every:(2 + (seed mod 3)) outs
+      | _ -> Filters.passthrough outs)
+
+(* paper-pattern filtering (sources and single-output relays only) —
+   the regime where Propagation is sound, so completion itself is
+   schedule-independent *)
+let paper_pattern_kernels g seed () =
+  Filters.for_graph g (fun v outs ->
+      if Graph.in_degree g v = 0 || Graph.out_degree g v = 1 then
+        Filters.bernoulli (Random.State.make [| seed; v |]) ~keep:0.6 outs
+      else Filters.passthrough outs)
+
+let prop_no_avoidance_agrees =
+  Tutil.qtest ~count:18 "pool = sequential under no avoidance (wedges too)"
+    Tutil.seed_gen (fun seed ->
+      let g = graph_of_family seed in
+      let kernels = mixed_kernels g seed in
+      let seq =
+        Engine.run ~graph:g ~kernels:(kernels ()) ~inputs:30
+          ~avoidance:Engine.No_avoidance ()
+      in
+      let par =
+        P.run ~domains:(domains_of seed) ~graph:g ~kernels:(kernels ())
+          ~inputs:30 ~avoidance:Engine.No_avoidance ()
+      in
+      seq.Report.outcome = par.Report.outcome
+      && seq.Report.data_messages = par.Report.data_messages
+      && seq.Report.sink_data = par.Report.sink_data)
+
+let prop_non_propagation_agrees =
+  Tutil.qtest ~count:18 "pool = sequential under non-propagation"
+    Tutil.seed_gen (fun seed ->
+      let g = graph_of_family seed in
+      match Compiler.plan Compiler.Non_propagation g with
+      | Error _ -> false
+      | Ok p ->
+        let avoidance =
+          Engine.Non_propagation (Compiler.send_thresholds g p.intervals)
+        in
+        let kernels = mixed_kernels g seed in
+        let seq =
+          Engine.run ~graph:g ~kernels:(kernels ()) ~inputs:30 ~avoidance ()
+        in
+        let par =
+          P.run ~domains:(domains_of seed) ~graph:g ~kernels:(kernels ())
+            ~inputs:30 ~avoidance ()
+        in
+        seq.Report.outcome = Report.Completed
+        && par.Report.outcome = Report.Completed
+        && seq.Report.data_messages = par.Report.data_messages
+        && seq.Report.sink_data = par.Report.sink_data)
+
+let prop_propagation_agrees =
+  Tutil.qtest ~count:18
+    "pool = sequential under propagation (paper-pattern filtering)"
+    Tutil.seed_gen (fun seed ->
+      let g = graph_of_family seed in
+      match Compiler.plan Compiler.Propagation g with
+      | Error _ -> true (* family outside the wrapper's domain: skip *)
+      | Ok p ->
+        let avoidance =
+          Engine.Propagation (Compiler.propagation_thresholds g p.intervals)
+        in
+        let kernels = paper_pattern_kernels g seed in
+        let seq =
+          Engine.run ~graph:g ~kernels:(kernels ()) ~inputs:30 ~avoidance ()
+        in
+        let par =
+          P.run ~domains:(domains_of seed) ~graph:g ~kernels:(kernels ())
+            ~inputs:30 ~avoidance ()
+        in
+        seq.Report.outcome = Report.Completed
+        && par.Report.outcome = Report.Completed
+        && seq.Report.data_messages = par.Report.data_messages
+        && seq.Report.sink_data = par.Report.sink_data)
+
+(* one deterministic big instance per run: a >= 512-node ladder checked
+   at every pool width *)
+let test_big_ladder_differential () =
+  let rng = Tutil.rng_of 7 in
+  let g = Topo_gen.random_ladder rng ~rungs:130 ~segment_edges:5 ~max_cap:4 in
+  Alcotest.(check bool) "graph is >= 512 nodes" true (Graph.num_nodes g >= 512);
+  match Compiler.plan Compiler.Non_propagation g with
+  | Error e -> Alcotest.fail (Compiler.error_to_string e)
+  | Ok p ->
+    let avoidance =
+      Engine.Non_propagation (Compiler.send_thresholds g p.intervals)
+    in
+    let kernels = mixed_kernels g 41 in
+    let seq = Engine.run ~graph:g ~kernels:(kernels ()) ~inputs:20 ~avoidance () in
+    Alcotest.(check bool) "sequential completes" true
+      (seq.Report.outcome = Report.Completed);
+    List.iter
+      (fun domains ->
+        let par =
+          P.run ~domains ~graph:g ~kernels:(kernels ()) ~inputs:20 ~avoidance ()
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "pool completes with %d domains" domains)
+          true
+          (par.Report.outcome = Report.Completed);
+        Alcotest.(check int)
+          (Printf.sprintf "data count at %d domains" domains)
+          seq.Report.data_messages par.Report.data_messages;
+        Alcotest.(check int)
+          (Printf.sprintf "sink count at %d domains" domains)
+          seq.Report.sink_data par.Report.sink_data)
+      [ 1; 2; 4 ]
 
 let prop_avoidance_sound_in_parallel =
-  (* randomized soundness under real concurrency: per-node RNG keeps
-     kernels thread-safe *)
-  Tutil.qtest ~count:15 "non-propagation sound across domains"
-    Tutil.seed_gen (fun seed ->
+  Tutil.qtest ~count:15 "non-propagation sound across domains" Tutil.seed_gen
+    (fun seed ->
       let rng = Tutil.rng_of seed in
       let g =
         Topo_gen.random_cs4 rng
           ~blocks:(1 + Random.State.int rng 2)
           ~block_edges:6 ~max_cap:3
       in
-      Fstream_graph.Graph.num_nodes g > 20
+      Graph.num_nodes g > 20
       ||
       match Compiler.plan Compiler.Non_propagation g with
       | Error _ -> false
@@ -103,49 +367,12 @@ let prop_avoidance_sound_in_parallel =
               Filters.bernoulli r ~keep:0.6 outs)
         in
         let s =
-          P.run ~stall_ms:150 ~graph:g ~kernels ~inputs:40
+          P.run ~domains:(domains_of seed) ~graph:g ~kernels ~inputs:40
             ~avoidance:
               (Engine.Non_propagation (Compiler.send_thresholds g p.intervals))
             ()
         in
         s.outcome = Report.Completed)
-
-let prop_engines_agree_on_deterministic_kernels =
-  (* deterministic filtering makes the delivered message multiset
-     schedule-independent: both engines must agree exactly *)
-  Tutil.qtest ~count:15 "parallel = sequential on deterministic kernels"
-    Tutil.seed_gen (fun seed ->
-      let rng = Tutil.rng_of seed in
-      let g =
-        Topo_gen.random_cs4 rng
-          ~blocks:(1 + Random.State.int rng 2)
-          ~block_edges:6 ~max_cap:3
-      in
-      Fstream_graph.Graph.num_nodes g > 16
-      ||
-      match Compiler.plan Compiler.Non_propagation g with
-      | Error _ -> false
-      | Ok p ->
-        let period = 2 + Random.State.int rng 3 in
-        let kernels () =
-          Filters.for_graph g (fun v outs ->
-              if v mod 2 = 0 then Filters.periodic ~keep_every:period outs
-              else Filters.passthrough outs)
-        in
-        let avoidance =
-          Engine.Non_propagation (Compiler.send_thresholds g p.intervals)
-        in
-        let seq =
-          Engine.run ~graph:g ~kernels:(kernels ()) ~inputs:30 ~avoidance ()
-        in
-        let par =
-          P.run ~stall_ms:150 ~graph:g ~kernels:(kernels ()) ~inputs:30
-            ~avoidance ()
-        in
-        seq.Report.outcome = Report.Completed
-        && par.outcome = Report.Completed
-        && seq.Report.data_messages = par.data_messages
-        && seq.Report.sink_data = par.sink_data)
 
 let suite =
   [
@@ -156,7 +383,20 @@ let suite =
       test_matches_sequential_engine;
     Alcotest.test_case "pipeline flows in parallel" `Quick
       test_pipeline_parallel;
-    Alcotest.test_case "node limit" `Quick test_node_limit;
+    Alcotest.test_case "64-node cap gone: 4096-node pipeline" `Quick
+      test_node_cap_gone;
+    Alcotest.test_case "1k-node cs4 chain matches sequential" `Quick
+      test_large_cs4_chain;
+    Alcotest.test_case "slow kernel is not a deadlock" `Quick
+      test_slow_kernel_no_false_deadlock;
+    Alcotest.test_case "blocked emitted once per episode" `Quick
+      test_blocked_once_per_episode;
+    Alcotest.test_case "wide split node (parallel)" `Quick
+      test_wide_split_parallel;
+    Alcotest.test_case "512-node ladder differential" `Quick
+      test_big_ladder_differential;
+    prop_no_avoidance_agrees;
+    prop_non_propagation_agrees;
+    prop_propagation_agrees;
     prop_avoidance_sound_in_parallel;
-    prop_engines_agree_on_deterministic_kernels;
   ]
