@@ -475,18 +475,9 @@ let repair_cmd =
         Format.eprintf "repair failed: %s@." e;
         2
       | Ok r ->
-        Format.printf "repaired: %d channel(s) deleted, %d added@."
-          r.deleted_edges r.added_edges;
-        List.iter
-          (fun (rr : Fstream_repair.Repair.reroute) ->
-            Format.printf "  reroute %d->%d via %d%s@." (fst rr.deleted)
-              (snd rr.deleted) rr.via
-              (match rr.added with
-              | None -> " (relay channel existed)"
-              | Some (a, b) -> Printf.sprintf " (added %d->%d)" a b))
-          r.reroutes;
-        Format.printf "reachability preserved: %b@."
-          (Fstream_repair.Repair.preserves_reachability g r);
+        Format.printf "%a@."
+          (Fstream_repair.Repair.pp_summary ~original:g)
+          r;
         (match out with
         | Some path ->
           Graph_io.save path r.graph;
@@ -504,6 +495,136 @@ let repair_cmd =
   let doc = "Rewrite a non-CS4 topology into a CS4 one (paper §VII)." in
   Cmd.v (Cmd.info "repair" ~doc)
     Term.(const run $ file_arg $ demo_arg $ seed_arg $ out)
+
+(* ------------------------------------------------------------------ *)
+(* lint                                                                 *)
+
+(* Lint findings get their own exit-code band (20-24), disjoint from the
+   compiler's 10-14, so scripts and CI can tell "the linter found
+   errors" apart from "the linter could not run". *)
+let lint_cmd =
+  let module Lint = Fstream_analysis.Lint in
+  let module Render = Fstream_analysis.Render in
+  let run file demo seed algorithm max_cycles format fail_on fix out color =
+    (* files may carry per-node behaviours (App_spec): lint them too *)
+    let loaded =
+      match (file, demo) with
+      | Some path, None -> (
+        match App_spec.load path with
+        | Error e -> Error e
+        | Ok spec ->
+          Ok
+            ( spec.App_spec.graph,
+              if spec.App_spec.behaviors = [] then None else Some spec ))
+      | _ -> (
+        match load_graph ~seed file demo with
+        | Error e -> Error e
+        | Ok g -> Ok (g, None))
+    in
+    match loaded with
+    | Error e ->
+      Format.eprintf "error: %s@." e;
+      24
+    | Ok (g, spec) ->
+      let config =
+        {
+          Lint.default_config with
+          algorithm;
+          spec;
+          max_cycles =
+            Option.value max_cycles
+              ~default:Lint.default_config.Lint.max_cycles;
+        }
+      in
+      let source =
+        match (file, demo) with
+        | Some path, _ -> path
+        | None, Some name -> "demo:" ^ name
+        | None, None -> "graph"
+      in
+      let render g report =
+        match format with
+        | `Text -> Render.text ~color Format.std_formatter ~graph:g ~source report
+        | `Json -> Render.jsonl Format.std_formatter ~graph:g report
+        | `Sarif -> Render.sarif Format.std_formatter ~graph:g ~source report
+      in
+      let exit_code (report : Lint.report) =
+        if Lint.count report Lint.Error > 0 then 20
+        else if report.Lint.incomplete <> None then 23
+        else if fail_on = `Warning && Lint.count report Lint.Warning > 0 then
+          21
+        else 0
+      in
+      let report = Lint.run ~config g in
+      render g report;
+      if not fix then exit_code report
+      else begin
+        match Lint.apply_fixes g report with
+        | Error e ->
+          Format.eprintf "fix failed: %s@." e;
+          22
+        | Ok (fixed, actions) ->
+          List.iter (fun a -> Format.printf "fix: %s@." a) actions;
+          (match out with
+          | Some path ->
+            Graph_io.save path fixed;
+            Format.printf "fixed topology written to %s@." path
+          | None -> Format.printf "@.%a@." Graph.pp fixed);
+          (* the verdict that counts is the fixed topology's *)
+          let report' = Lint.run ~config:{ config with Lint.spec = None } fixed in
+          Format.printf "@.re-lint of the fixed topology:@.";
+          render fixed report';
+          exit_code report'
+      end
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json); ("sarif", `Sarif) ]) `Text
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:
+            "Output format: $(b,text) (human), $(b,json) (one object per \
+             finding) or $(b,sarif) (SARIF 2.1.0 for code-scanning upload).")
+  in
+  let fail_on_arg =
+    Arg.(
+      value
+      & opt (enum [ ("error", `Error); ("warning", `Warning) ]) `Error
+      & info [ "fail-on" ] ~docv:"SEV"
+          ~doc:
+            "Lowest severity that fails the run: $(b,error) (default; exit \
+             20) or $(b,warning) (exit 21 when only warnings are present).")
+  in
+  let fix_arg =
+    Arg.(
+      value & flag
+      & info [ "fix" ]
+          ~doc:
+            "Apply the report's fixits (CS4 reroute, buffer scaling), print \
+             the fixed topology (or write it with $(b,--output)), and \
+             re-lint it; the exit code reflects the fixed topology.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"With $(b,--fix): write the fixed topology to FILE.")
+  in
+  let color_arg =
+    Arg.(
+      value & flag
+      & info [ "color" ] ~doc:"Colorize severities in $(b,text) output.")
+  in
+  let doc =
+    "Statically analyze a topology: structural, cycle, capacity and spec \
+     rules with witnesses and fixits."
+  in
+  Cmd.v (Cmd.info "lint" ~doc)
+    Term.(
+      const run $ file_arg $ demo_arg $ seed_arg $ algorithm_arg
+      $ max_cycles_arg $ format_arg $ fail_on_arg $ fix_arg $ out_arg
+      $ color_arg)
 
 (* ------------------------------------------------------------------ *)
 (* size                                                                 *)
@@ -574,6 +695,7 @@ let () =
             simulate_cmd;
             verify_cmd;
             repair_cmd;
+            lint_cmd;
             size_cmd;
             dot_cmd;
           ]))

@@ -1,0 +1,904 @@
+open Fstream_graph
+open Fstream_ladder
+open Fstream_core
+module Sp_recognize = Fstream_spdag.Sp_recognize
+module Repair = Fstream_repair.Repair
+module App_spec = Fstream_workloads.App_spec
+
+type severity = Error | Warning | Info
+
+let pp_severity ppf = function
+  | Error -> Format.pp_print_string ppf "error"
+  | Warning -> Format.pp_print_string ppf "warning"
+  | Info -> Format.pp_print_string ppf "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+type location =
+  | Whole_graph
+  | Node of Graph.node
+  | Channel of int
+  | Nodes of Graph.node list
+  | Channels of int list
+
+type fixit = Reroute of Repair.t | Scale_buffers of int
+
+type diagnostic = {
+  code : string;
+  severity : severity;
+  location : location;
+  message : string;
+  witness : string list;
+  fixit : fixit option;
+}
+
+type rule = { id : string; title : string; default_severity : severity }
+
+(* The registry. Codes are stable; new rules append within their band
+   (FS1xx structure, FS2xx cycle/CS4, FS3xx capacities/intervals,
+   FS4xx application specs). *)
+let rules =
+  [
+    {
+      id = "FS101";
+      title = "topology has a directed cycle";
+      default_severity = Error;
+    };
+    {
+      id = "FS102";
+      title = "topology is not connected";
+      default_severity = Error;
+    };
+    {
+      id = "FS103";
+      title = "multiple sources or sinks";
+      default_severity = Warning;
+    };
+    {
+      id = "FS104";
+      title = "node unreachable from every source, or unable to reach a sink";
+      default_severity = Error;
+    };
+    {
+      id = "FS201";
+      title = "not CS4: a cycle has several sources (Theorem V.7 fails)";
+      default_severity = Error;
+    };
+    {
+      id = "FS202";
+      title = "multi-source undirected cycle (exponential-route evidence)";
+      default_severity = Warning;
+    };
+    {
+      id = "FS203";
+      title = "not series-parallel: reduction stalls (ladder/CS4 route in use)";
+      default_severity = Info;
+    };
+    {
+      id = "FS301";
+      title = "buffer too small: dummy interval below 1";
+      default_severity = Warning;
+    };
+    {
+      id = "FS302";
+      title = "threshold table inconsistent with computed intervals";
+      default_severity = Error;
+    };
+    {
+      id = "FS303";
+      title = "Propagation budget erodes a tighter cycle (unsound avoidance)";
+      default_severity = Error;
+    };
+    {
+      id = "FS304";
+      title = "parallel channels with asymmetric capacities";
+      default_severity = Info;
+    };
+    {
+      id = "FS401";
+      title = "spec behaviour binds an unknown node or channel";
+      default_severity = Error;
+    };
+    {
+      id = "FS402";
+      title = "spec filters at a split node under the Propagation table";
+      default_severity = Error;
+    };
+    {
+      id = "FS403";
+      title = "conflicting spec behaviours for one node";
+      default_severity = Warning;
+    };
+  ]
+
+let rule id = List.find_opt (fun r -> r.id = id) rules
+
+type config = {
+  algorithm : Compiler.algorithm;
+  max_cycles : int;
+  audit_thresholds : Thresholds.t option;
+  spec : App_spec.t option;
+}
+
+let default_config =
+  {
+    algorithm = Compiler.Non_propagation;
+    max_cycles = 200_000;
+    audit_thresholds = None;
+    spec = None;
+  }
+
+type report = { diagnostics : diagnostic list; incomplete : string option }
+
+let count r sev =
+  List.length (List.filter (fun d -> d.severity = sev) r.diagnostics)
+
+let max_severity r =
+  List.fold_left
+    (fun acc d ->
+      match acc with
+      | None -> Some d.severity
+      | Some s ->
+        if severity_rank d.severity < severity_rank s then Some d.severity
+        else acc)
+    None r.diagnostics
+
+(* ------------------------------------------------------------------ *)
+(* Small helpers                                                        *)
+
+let diag ?(witness = []) ?fixit code location message =
+  let severity =
+    match rule code with
+    | Some r -> r.default_severity
+    | None -> invalid_arg (Printf.sprintf "Lint.diag: unknown rule %s" code)
+  in
+  { code; severity; location; message; witness; fixit }
+
+let node_list_string nodes =
+  String.concat ", " (List.map string_of_int nodes)
+
+let truncated_nodes ?(keep = 8) nodes =
+  let n = List.length nodes in
+  if n <= keep then node_list_string nodes
+  else
+    Printf.sprintf "%s, ... (%d in all)"
+      (node_list_string (List.filteri (fun i _ -> i < keep) nodes))
+      n
+
+let chan_string g id =
+  let e = Graph.edge g id in
+  Printf.sprintf "e%d (%d->%d)" id e.Graph.src e.Graph.dst
+
+(* One directed cycle of a non-DAG, as a vertex list, via DFS back edge. *)
+let directed_cycle g =
+  let n = Graph.num_nodes g in
+  let color = Array.make n 0 in
+  let parent = Array.make n (-1) in
+  let found = ref None in
+  let rec dfs v =
+    color.(v) <- 1;
+    List.iter
+      (fun (e : Graph.edge) ->
+        if !found = None then
+          if color.(e.dst) = 0 then begin
+            parent.(e.dst) <- v;
+            dfs e.dst
+          end
+          else if color.(e.dst) = 1 then begin
+            let rec collect u acc =
+              if u = e.dst then e.dst :: acc else collect parent.(u) (u :: acc)
+            in
+            found := Some (collect v [])
+          end)
+      (Graph.out_edges g v);
+    color.(v) <- 2
+  in
+  let v = ref 0 in
+  while !found = None && !v < n do
+    if color.(!v) = 0 then dfs !v;
+    incr v
+  done;
+  !found
+
+(* Undirected connected components, as sorted node lists. *)
+let components g =
+  let n = Graph.num_nodes g in
+  let comp = Array.make n (-1) in
+  let next = ref 0 in
+  for v = 0 to n - 1 do
+    if comp.(v) = -1 then begin
+      let c = !next in
+      incr next;
+      let stack = ref [ v ] in
+      comp.(v) <- c;
+      while !stack <> [] do
+        let u = List.hd !stack in
+        stack := List.tl !stack;
+        List.iter
+          (fun (e : Graph.edge) ->
+            let w = Graph.other_endpoint e u in
+            if comp.(w) = -1 then begin
+              comp.(w) <- c;
+              stack := w :: !stack
+            end)
+          (Graph.incident_edges g u)
+      done
+    end
+  done;
+  let buckets = Array.make !next [] in
+  for v = n - 1 downto 0 do
+    buckets.(comp.(v)) <- v :: buckets.(comp.(v))
+  done;
+  Array.to_list buckets
+
+let cycle_channel_ids c =
+  List.map (fun (o : Cycles.oriented) -> o.Cycles.edge.Graph.id) c
+
+(* ------------------------------------------------------------------ *)
+(* Analysis context shared by the rules                                 *)
+
+type ctx = {
+  g : Graph.t;
+  cfg : config;
+  dag : bool;
+  connected : bool;
+  two_terminal : (Graph.node * Graph.node) option;
+  cycles : Cycles.t list option;  (** [None]: cyclic graph or budget *)
+  classification : (Cs4.t, Cs4.failure) result option;
+  plan : (Compiler.plan, Compiler.error) result option;
+  mutable incomplete : string option;
+}
+
+let make_ctx cfg g =
+  let dag = Topo.is_dag g in
+  let connected = Topo.connected g in
+  let incomplete = ref None in
+  let cycles =
+    if not dag then None
+    else
+      try Some (Cycles.enumerate ~max_cycles:cfg.max_cycles g)
+      with Failure _ ->
+        incomplete :=
+          Some
+            (Printf.sprintf
+               "cycle enumeration exceeded the budget of %d simple cycles; \
+                cycle-structure rules (FS2xx, FS303) were skipped"
+               cfg.max_cycles);
+        None
+  in
+  let classification =
+    match Topo.is_two_terminal g with
+    | Some _ when connected -> Some (Cs4.classify g)
+    | _ -> None
+  in
+  let plan =
+    if dag && connected then
+      Some
+        (Compiler.plan ~allow_general:true ~max_cycles:cfg.max_cycles
+           cfg.algorithm g)
+  else None
+  in
+  (match plan with
+  | Some (Stdlib.Error (Compiler.Cycle_budget_exceeded n))
+    when !incomplete = None ->
+    incomplete :=
+      Some
+        (Printf.sprintf
+           "interval computation gave up after %d enumerated cycles; \
+            interval rules (FS3xx) were skipped"
+           n)
+  | _ -> ());
+  {
+    g;
+    cfg;
+    dag;
+    connected;
+    two_terminal = Topo.is_two_terminal g;
+    cycles;
+    classification;
+    plan;
+    incomplete = !incomplete;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* FS1xx: structure                                                     *)
+
+let rule_fs101 ctx =
+  if ctx.dag then []
+  else
+    let witness, loc =
+      match directed_cycle ctx.g with
+      | Some vs ->
+        ( [
+            Printf.sprintf "directed cycle: %s -> %s"
+              (String.concat " -> " (List.map string_of_int vs))
+              (string_of_int (List.hd vs));
+          ],
+          Nodes vs )
+      | None -> ([], Whole_graph)
+    in
+    [
+      diag ~witness "FS101" loc
+        "the topology has a directed cycle: streams cannot be scheduled \
+         and no interval table exists";
+    ]
+
+let rule_fs102 ctx =
+  if ctx.connected then []
+  else
+    let comps = components ctx.g in
+    let smallest =
+      List.fold_left
+        (fun acc c ->
+          match acc with
+          | None -> Some c
+          | Some b -> if List.length c < List.length b then Some c else acc)
+        None comps
+    in
+    let witness =
+      Printf.sprintf "%d components; smallest is {%s}" (List.length comps)
+        (match smallest with
+        | Some c -> truncated_nodes c
+        | None -> "")
+    in
+    [
+      diag ~witness:[ witness ] "FS102"
+        (match smallest with Some c -> Nodes c | None -> Whole_graph)
+        "the topology is not connected: isolated parts cannot exchange \
+         sequence numbers and the interval algorithms reject it";
+    ]
+
+let rule_fs103 ctx =
+  if not ctx.dag then []
+  else
+    let sources = Graph.sources ctx.g and sinks = Graph.sinks ctx.g in
+    let one what nodes =
+      if List.length nodes <= 1 then []
+      else
+        [
+          diag "FS103" (Nodes nodes)
+            (Printf.sprintf
+               "%d %ss (nodes %s): the polynomial SP/CS4 algorithms need a \
+                two-terminal DAG; only the exponential general route applies"
+               (List.length nodes) what (node_list_string nodes));
+        ]
+    in
+    one "source" sources @ one "sink" sinks
+
+let rule_fs104 ctx =
+  if ctx.dag then []
+  else begin
+    let n = Graph.num_nodes ctx.g in
+    let reach_from_sources = Array.make n false in
+    let reach_to_sinks = Array.make n false in
+    let sweep init adj mark =
+      let stack = ref init in
+      List.iter (fun v -> mark.(v) <- true) init;
+      while !stack <> [] do
+        let v = List.hd !stack in
+        stack := List.tl !stack;
+        List.iter
+          (fun w ->
+            if not mark.(w) then begin
+              mark.(w) <- true;
+              stack := w :: !stack
+            end)
+          (adj v)
+      done
+    in
+    sweep (Graph.sources ctx.g)
+      (fun v ->
+        List.map (fun (e : Graph.edge) -> e.dst) (Graph.out_edges ctx.g v))
+      reach_from_sources;
+    sweep (Graph.sinks ctx.g)
+      (fun v ->
+        List.map (fun (e : Graph.edge) -> e.src) (Graph.in_edges ctx.g v))
+      reach_to_sinks;
+    let collect mark =
+      List.filter (fun v -> not mark.(v)) (List.init n Fun.id)
+    in
+    let unreachable = collect reach_from_sources in
+    let dead_end = collect reach_to_sinks in
+    let one what nodes =
+      if nodes = [] then []
+      else
+        [
+          diag "FS104" (Nodes nodes)
+            (Printf.sprintf "node(s) %s %s: they can never %s"
+               (truncated_nodes nodes)
+               (if what = "unreachable" then
+                  "are unreachable from every source"
+                else "cannot reach any sink")
+               (if what = "unreachable" then "fire" else "drain"));
+        ]
+    in
+    one "unreachable" unreachable @ one "dead-end" dead_end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* FS2xx: cycle structure                                               *)
+
+let bad_cycles ctx =
+  match ctx.cycles with
+  | None -> []
+  | Some cs -> List.filter (fun c -> not (Cycles.is_cs4_cycle c)) cs
+
+let rule_fs201 ctx =
+  match ctx.classification with
+  | Some (Stdlib.Error (Cs4.Bad_block { block_source; block_sink; reason }))
+    ->
+    let witness_cycle =
+      match bad_cycles ctx with c :: _ -> Some c | [] -> None
+    in
+    let witness =
+      match witness_cycle with
+      | Some c ->
+        [
+          Printf.sprintf "witness cycle through nodes {%s}"
+            (node_list_string (List.sort_uniq compare (Cycles.vertices c)));
+          Printf.sprintf "cycle sources {%s}, sinks {%s}"
+            (node_list_string (Cycles.cycle_sources c))
+            (node_list_string (Cycles.cycle_sinks c));
+        ]
+      | None -> []
+    in
+    let fixit =
+      match Repair.repair ctx.g with
+      | Ok r when r.Repair.reroutes <> [] -> Some (Reroute r)
+      | _ -> None
+    in
+    let loc =
+      match witness_cycle with
+      | Some c -> Channels (cycle_channel_ids c)
+      | None -> Nodes [ block_source; block_sink ]
+    in
+    [
+      diag ~witness ?fixit "FS201" loc
+        (Printf.sprintf
+           "not CS4: block %d..%d is neither SP nor an SP-ladder (%s); \
+            interval computation falls back to the exponential general \
+            route"
+           block_source block_sink reason);
+    ]
+  | _ -> []
+
+let rule_fs202 ctx =
+  let bad = bad_cycles ctx in
+  let total = List.length bad in
+  let keep = 5 in
+  List.filteri (fun i _ -> i < keep) bad
+  |> List.mapi (fun i c ->
+         let srcs = Cycles.cycle_sources c in
+         diag "FS202"
+           (Channels (cycle_channel_ids c))
+           (Printf.sprintf
+              "multi-source cycle %d of %d: %d sources {%s}, %d sinks {%s} \
+               — each such cycle multiplies the general route's work"
+              (i + 1) total (List.length srcs) (node_list_string srcs)
+              (List.length (Cycles.cycle_sinks c))
+              (node_list_string (Cycles.cycle_sinks c))))
+
+let rule_fs203 ctx =
+  match ctx.classification with
+  | Some (Ok _) -> (
+    match Sp_recognize.recognize ctx.g with
+    | Stdlib.Error (Sp_recognize.Irreducible { remaining_edges }) ->
+      [
+        diag "FS203" Whole_graph
+          (Printf.sprintf
+             "not series-parallel: the series/parallel reduction stalls \
+              with %d super-edges; the ladder/CS4 algorithms are in use \
+              (polynomial, not linear)"
+             remaining_edges);
+      ]
+    | _ -> [])
+  | _ -> []
+
+(* ------------------------------------------------------------------ *)
+(* FS3xx: capacities, intervals, thresholds                             *)
+
+let rule_fs301 ctx =
+  match ctx.plan with
+  | Some (Ok p) ->
+    let offenders =
+      Graph.fold_edges ctx.g ~init:[] ~f:(fun acc e ->
+          let i = p.Compiler.intervals.(e.Graph.id) in
+          if Interval.is_finite i && Interval.floor_opt i = Some 0 then
+            (e.Graph.id, i) :: acc
+          else acc)
+      |> List.rev
+    in
+    if offenders = [] then []
+    else
+      let fixit =
+        match Sizing.min_uniform_scale ctx.g ctx.cfg.algorithm ~target:1 with
+        | Ok c when c > 1 -> Some (Scale_buffers c)
+        | _ -> None
+      in
+      List.map
+        (fun (id, i) ->
+          diag
+            ~witness:
+              [
+                Printf.sprintf "interval %s < 1 on channel %s"
+                  (Format.asprintf "%a" Interval.pp i)
+                  (chan_string ctx.g id);
+              ]
+            ?fixit "FS301" (Channel id)
+            (Printf.sprintf
+               "buffer too small on channel %s: the dummy interval is below \
+                1, so the runtime clamps to a dummy every sequence number \
+                (SDF-degenerate avoidance)"
+               (chan_string ctx.g id)))
+        offenders
+  | _ -> []
+
+let rule_fs302 ctx =
+  match (ctx.cfg.audit_thresholds, ctx.plan) with
+  | Some t, _ when not (Thresholds.compatible t ctx.g) ->
+    [
+      diag "FS302" Whole_graph
+        "the supplied threshold table was computed for a different \
+         topology (fingerprint mismatch); the engines will refuse it";
+    ]
+  | Some t, Some (Ok p) ->
+    Graph.fold_edges ctx.g ~init:[] ~f:(fun acc e ->
+        let id = e.Graph.id in
+        let sound = Interval.threshold p.Compiler.intervals.(id) in
+        match (Thresholds.get t id, sound) with
+        | None, Some k ->
+          diag
+            ~witness:
+              [
+                Printf.sprintf
+                  "computed interval %s requires a threshold of at most %d"
+                  (Format.asprintf "%a" Interval.pp
+                     p.Compiler.intervals.(id))
+                  k;
+              ]
+            "FS302" (Channel id)
+            (Printf.sprintf
+               "channel %s has a finite dummy interval but the supplied \
+                table never sends dummies on it — a filtered stream can \
+                starve its consumer forever"
+               (chan_string ctx.g id))
+          :: acc
+        | Some supplied, Some k when supplied > k ->
+          diag
+            ~witness:
+              [
+                Printf.sprintf "supplied threshold %d > sound bound %d"
+                  supplied k;
+              ]
+            "FS302" (Channel id)
+            (Printf.sprintf
+               "threshold on channel %s is later than the computed \
+                interval allows: dummies arrive after the opposing buffer \
+                can already be full"
+               (chan_string ctx.g id))
+          :: acc
+        | _ -> acc)
+    |> List.rev
+  | _ -> []
+
+(* FS303: the budget-erosion hazard of the paper-literal Propagation
+   table (DESIGN.md, deviation 3). An edge that leaves the source of
+   one cycle carries that cycle's full opposing-capacity budget; if the
+   same edge lies mid-run on another cycle, the sound forwarding bound
+   there is that cycle's opposing capacity, which can be smaller. We
+   compare the paper table against the run-sum-disciplined
+   Relay_propagation table edge by edge; any strictly looser threshold
+   is a machine-checkable unsoundness witness (the 4-node erosion
+   counterexample is the canonical instance). *)
+let rule_fs303 ctx =
+  match (ctx.cfg.algorithm, ctx.plan) with
+  | Compiler.Propagation, Some (Ok p) -> (
+    match
+      Compiler.plan ~allow_general:true ~max_cycles:ctx.cfg.max_cycles
+        Compiler.Relay_propagation ctx.g
+    with
+    | Stdlib.Error _ -> []
+    | Ok relay ->
+      let thr_p = Compiler.propagation_thresholds ctx.g p.Compiler.intervals in
+      let thr_r = Compiler.send_thresholds ctx.g relay.Compiler.intervals in
+      let erosion_witness id bound =
+        (* the cycle that imposes the violated bound, for the witness *)
+        match ctx.cycles with
+        | None -> []
+        | Some cs ->
+          let best = ref None in
+          List.iter
+            (fun c ->
+              let runs = Cycles.runs c in
+              let opposite = Cycles.opposite_run c in
+              Array.iteri
+                (fun i r ->
+                  if
+                    List.exists
+                      (fun (e : Graph.edge) -> e.Graph.id = id)
+                      r.Cycles.run_edges
+                  then
+                    let b = Cycles.run_caps runs.(opposite.(i)) in
+                    match !best with
+                    | Some (b', _) when b' <= b -> ()
+                    | _ -> best := Some (b, c))
+                runs)
+            cs;
+          (match !best with
+          | Some (b, c) when b <= bound ->
+            [
+              Printf.sprintf
+                "violated by the cycle through nodes {%s} (opposing \
+                 capacity %d)"
+                (node_list_string
+                   (List.sort_uniq compare (Cycles.vertices c)))
+                b;
+            ]
+          | _ -> [])
+      in
+      Graph.fold_edges ctx.g ~init:[] ~f:(fun acc e ->
+          let id = e.Graph.id in
+          match (Thresholds.get thr_p id, Thresholds.get thr_r id) with
+          | Some a, Some b when a > b ->
+            diag
+              ~witness:
+                (Printf.sprintf
+                   "Propagation threshold %d > sound forwarding bound %d" a b
+                :: erosion_witness id b)
+              "FS303" (Channel id)
+              (Printf.sprintf
+                 "the Propagation budget on channel %s erodes a tighter \
+                  cycle: a node may legally lag by %d sequence numbers \
+                  where %d already wedges (use non-propagation or relay \
+                  thresholds)"
+                 (chan_string ctx.g id) a b)
+            :: acc
+          | None, Some b ->
+            diag
+              ~witness:
+                [ Printf.sprintf "sound forwarding bound is %d" b ]
+              "FS303" (Channel id)
+              (Printf.sprintf
+                 "channel %s lies on a cycle but the Propagation table \
+                  never originates dummies on it"
+                 (chan_string ctx.g id))
+            :: acc
+          | _ -> acc)
+      |> List.rev)
+  | _ -> []
+
+let rule_fs304 ctx =
+  let seen = Hashtbl.create 16 in
+  Graph.fold_edges ctx.g ~init:[] ~f:(fun acc e ->
+      let key = (e.Graph.src, e.Graph.dst) in
+      if Hashtbl.mem seen key then acc
+      else begin
+        Hashtbl.add seen key ();
+        let group = e :: Graph.parallel_edges ctx.g e in
+        let caps =
+          List.sort_uniq compare (List.map (fun e -> e.Graph.cap) group)
+        in
+        if List.length group >= 2 && List.length caps >= 2 then
+          diag
+            ~witness:
+              [
+                Printf.sprintf "capacities {%s} between nodes %d and %d"
+                  (String.concat ", " (List.map string_of_int caps))
+                  e.Graph.src e.Graph.dst;
+              ]
+            "FS304"
+            (Channels
+               (List.sort compare (List.map (fun e -> e.Graph.id) group)))
+            (Printf.sprintf
+               "parallel channels %d->%d have asymmetric capacities: their \
+                pair cycle's interval is limited by the smaller buffer, so \
+                the extra capacity buys nothing"
+               e.Graph.src e.Graph.dst)
+          :: acc
+        else acc
+      end)
+  |> List.rev
+
+(* ------------------------------------------------------------------ *)
+(* FS4xx: application specs                                             *)
+
+let is_filtering = function
+  | App_spec.Passthrough -> false
+  | App_spec.Bernoulli p -> p < 1.0
+  | App_spec.Periodic k -> k > 1
+  | App_spec.Drop | App_spec.Route_one | App_spec.Block _ -> true
+
+let rule_fs401 ctx =
+  match ctx.cfg.spec with
+  | None -> []
+  | Some spec ->
+    List.filter_map
+      (fun (v, b) ->
+        let bad_node = v < 0 || v >= Graph.num_nodes ctx.g in
+        let bad_edge =
+          (not bad_node)
+          &&
+          match b with
+          | App_spec.Block e ->
+            not
+              (List.exists
+                 (fun (edge : Graph.edge) -> edge.Graph.id = e)
+                 (Graph.out_edges ctx.g v))
+          | _ -> false
+        in
+        if bad_node then
+          Some
+            (diag "FS401" Whole_graph
+               (Printf.sprintf
+                  "spec behaviour '%s' is bound to node %d, which does not \
+                   exist (topology has %d nodes)"
+                  (Format.asprintf "%a" App_spec.pp_behavior b)
+                  v (Graph.num_nodes ctx.g)))
+        else if bad_edge then
+          Some
+            (diag "FS401" (Node v)
+               (Printf.sprintf
+                  "spec behaviour '%s' on node %d names a channel that is \
+                   not one of the node's out-channels"
+                  (Format.asprintf "%a" App_spec.pp_behavior b)
+                  v))
+        else None)
+      spec.App_spec.behaviors
+
+let rule_fs402 ctx =
+  match (ctx.cfg.algorithm, ctx.cfg.spec) with
+  | Compiler.Propagation, Some spec ->
+    let splitter v =
+      Graph.in_degree ctx.g v > 0 && Graph.out_degree ctx.g v >= 2
+    in
+    let listed = List.map fst spec.App_spec.behaviors in
+    let explicit =
+      List.filter_map
+        (fun (v, b) ->
+          if
+            v >= 0
+            && v < Graph.num_nodes ctx.g
+            && is_filtering b && splitter v
+          then
+            Some
+              (diag "FS402" (Node v)
+                 (Printf.sprintf
+                    "spec filters ('%s') at split node %d: the Propagation \
+                     table is only sound when filtering sits at sources \
+                     and pure relays (DESIGN.md deviation 3)"
+                    (Format.asprintf "%a" App_spec.pp_behavior b)
+                    v))
+          else None)
+        spec.App_spec.behaviors
+    in
+    let defaulted =
+      if not (is_filtering spec.App_spec.default) then []
+      else
+        let nodes =
+          List.filter
+            (fun v -> splitter v && not (List.mem v listed))
+            (List.init (Graph.num_nodes ctx.g) Fun.id)
+        in
+        if nodes = [] then []
+        else
+          [
+            diag "FS402" (Nodes nodes)
+              (Printf.sprintf
+                 "the spec's default behaviour ('%s') filters, and split \
+                  node(s) %s fall through to it: the Propagation table is \
+                  only sound when filtering sits at sources and pure relays"
+                 (Format.asprintf "%a" App_spec.pp_behavior
+                    spec.App_spec.default)
+                 (truncated_nodes nodes));
+          ]
+    in
+    explicit @ defaulted
+  | _ -> []
+
+let rule_fs403 ctx =
+  match ctx.cfg.spec with
+  | None -> []
+  | Some spec ->
+    let seen = Hashtbl.create 8 in
+    List.filter_map
+      (fun (v, b) ->
+        match Hashtbl.find_opt seen v with
+        | None ->
+          Hashtbl.add seen v b;
+          None
+        | Some first ->
+          Some
+            (diag "FS403" (Node v)
+               (Printf.sprintf
+                  "node %d has several behaviour directives; the first \
+                   ('%s') wins and '%s' is silently ignored"
+                  v
+                  (Format.asprintf "%a" App_spec.pp_behavior first)
+                  (Format.asprintf "%a" App_spec.pp_behavior b))))
+      spec.App_spec.behaviors
+
+(* ------------------------------------------------------------------ *)
+
+let location_key = function
+  | Whole_graph -> (0, [])
+  | Node v -> (1, [ v ])
+  | Channel e -> (2, [ e ])
+  | Nodes l -> (3, l)
+  | Channels l -> (4, l)
+
+let run ?(config = default_config) g =
+  let ctx = make_ctx config g in
+  let diagnostics =
+    List.concat
+      [
+        rule_fs101 ctx;
+        rule_fs102 ctx;
+        rule_fs103 ctx;
+        rule_fs104 ctx;
+        rule_fs201 ctx;
+        rule_fs202 ctx;
+        rule_fs203 ctx;
+        rule_fs301 ctx;
+        rule_fs302 ctx;
+        rule_fs303 ctx;
+        rule_fs304 ctx;
+        rule_fs401 ctx;
+        rule_fs402 ctx;
+        rule_fs403 ctx;
+      ]
+  in
+  let diagnostics =
+    List.stable_sort
+      (fun a b ->
+        match compare a.code b.code with
+        | 0 -> (
+          match compare (location_key a.location) (location_key b.location) with
+          | 0 -> compare a.message b.message
+          | c -> c)
+        | c -> c)
+      diagnostics
+  in
+  { diagnostics; incomplete = ctx.incomplete }
+
+let apply_fixes g report =
+  let reroute =
+    List.find_map
+      (fun d -> match d.fixit with Some (Reroute r) -> Some r | _ -> None)
+      report.diagnostics
+  in
+  let scale =
+    List.fold_left
+      (fun acc d ->
+        match d.fixit with
+        | Some (Scale_buffers c) -> max acc c
+        | _ -> acc)
+      1 report.diagnostics
+  in
+  if reroute = None && scale = 1 then
+    Stdlib.Error "no finding carries an applicable fixit"
+  else begin
+    let g, actions =
+      match reroute with
+      | Some r ->
+        ( r.Repair.graph,
+          [
+            Printf.sprintf
+              "rerouted %d channel(s) through relays (%d added) to reach CS4"
+              r.Repair.deleted_edges r.Repair.added_edges;
+          ] )
+      | None -> (g, [])
+    in
+    let g, actions =
+      if scale > 1 then
+        ( Sizing.scale_caps g scale,
+          actions
+          @ [
+              Printf.sprintf
+                "scaled every buffer capacity by x%d to lift all dummy \
+                 intervals to >= 1"
+                scale;
+            ] )
+      else (g, actions)
+    in
+    Ok (g, actions)
+  end

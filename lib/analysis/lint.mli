@@ -1,0 +1,98 @@
+(** Static diagnostics for stream plans: `streamcheck lint`.
+
+    The paper's contribution is *static* deadlock reasoning — safety is
+    decided from topology (SP / CS4 structure, Lemmas III.1–III.4,
+    Theorem V.7) before anything runs. The rest of the repository
+    exposes that reasoning as monolithic pass/fail tools ([classify],
+    [verify], [repair]); this module turns it into a diagnostics layer:
+    a registry of named rules, each yielding structured findings with a
+    stable code ([FS101], ...), a severity, a location (nodes/channels),
+    a human message, a concrete witness (the bad cycle, the undersized
+    channel, the eroded budget), and — where the repository knows the
+    cure — a machine-applicable fixit.
+
+    Severity contract: a report with zero [Error]-severity findings is
+    the linter's claim that the configured plan is safe — for graphs
+    small enough to check, {!Fstream_verify.Verify} finds no reachable
+    wedge under the corresponding avoidance wrapper (property-tested in
+    [test/test_lint.ml] across all three wrapper configurations).
+    [Warning]s flag degenerate-but-sound plans (e.g. a buffer so small
+    its channel needs a dummy every sequence number); [Info]s are
+    structural notes. *)
+
+open Fstream_graph
+
+type severity = Error | Warning | Info
+
+val pp_severity : Format.formatter -> severity -> unit
+
+(** Where a finding points. Channels are edge ids of the linted graph. *)
+type location =
+  | Whole_graph
+  | Node of Graph.node
+  | Channel of int
+  | Nodes of Graph.node list
+  | Channels of int list
+
+type fixit =
+  | Reroute of Fstream_repair.Repair.t
+      (** replace the topology by the CS4 repair (paper §VII) *)
+  | Scale_buffers of int
+      (** multiply every buffer capacity by this factor
+          ({!Fstream_core.Sizing.scale_caps}) *)
+
+type diagnostic = {
+  code : string;  (** stable rule code, e.g. ["FS201"] *)
+  severity : severity;
+  location : location;
+  message : string;  (** one-line human message *)
+  witness : string list;  (** concrete evidence, one line per element *)
+  fixit : fixit option;
+}
+
+type rule = {
+  id : string;
+  title : string;  (** short description for registries / SARIF *)
+  default_severity : severity;
+}
+
+val rules : rule list
+(** The registry, in code order. Every diagnostic's [code] names one of
+    these. *)
+
+val rule : string -> rule option
+
+type config = {
+  algorithm : Fstream_core.Compiler.algorithm;
+      (** the plan being audited (default [Non_propagation]) *)
+  max_cycles : int;
+      (** budget for cycle enumeration (default 200_000) *)
+  audit_thresholds : Fstream_core.Thresholds.t option;
+      (** an externally supplied threshold table to audit against the
+          computed intervals (rule FS302); [None] audits nothing *)
+  spec : Fstream_workloads.App_spec.t option;
+      (** per-node behaviours to lint against the topology and plan
+          (rules FS401–FS403) *)
+}
+
+val default_config : config
+
+type report = {
+  diagnostics : diagnostic list;
+      (** sorted by code, then location, then message *)
+  incomplete : string option;
+      (** when analysis could not finish (cycle-enumeration budget
+          exhausted): what was skipped. A lint-clean verdict is not
+          trustworthy in this state. *)
+}
+
+val run : ?config:config -> Graph.t -> report
+
+val count : report -> severity -> int
+val max_severity : report -> severity option
+
+val apply_fixes : Graph.t -> report -> (Graph.t * string list, string) result
+(** Apply every fixit of the report to the graph: first the CS4 reroute
+    (if any finding carries one), then the largest buffer-scaling
+    factor. Returns the fixed graph and a human summary line per action
+    taken; [Error] if the report carries no fixit at all. *)

@@ -1,0 +1,32 @@
+(** Renderers for lint reports: human text, JSON lines, SARIF 2.1.0.
+
+    All three take the linted graph so channel locations can be shown
+    with their endpoints, and a [source] label naming what was linted
+    (a file path or ["demo:NAME"]); the SARIF renderer uses it as the
+    artifact URI GitHub code scanning anchors results to. *)
+
+open Fstream_graph
+
+val text :
+  ?color:bool ->
+  Format.formatter ->
+  graph:Graph.t ->
+  source:string ->
+  Lint.report ->
+  unit
+(** Grouped human output: one block per diagnostic (code, severity,
+    location, message, indented witness and fixit lines) and a trailing
+    summary line. [color] (default [false]) wraps severities in ANSI
+    colors. *)
+
+val jsonl : Format.formatter -> graph:Graph.t -> Lint.report -> unit
+(** One JSON object per diagnostic, then one summary object
+    [{"summary": ...}] carrying the severity counts and the
+    [incomplete] note. *)
+
+val sarif :
+  Format.formatter -> graph:Graph.t -> source:string -> Lint.report -> unit
+(** A complete SARIF 2.1.0 log: one run, the full rule registry under
+    [tool.driver.rules], one [result] per diagnostic with logical
+    locations for nodes/channels, severities mapped to
+    error/warning/note. *)

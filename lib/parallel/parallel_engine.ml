@@ -82,6 +82,7 @@ type node_state = {
   mutable sink_got : int; (* data consumed, if this node is a sink *)
   mutable reuse : Message.t; (* last popped Data block, reusable *)
   mutable state : sched;
+  mutable wakes : int; (* tasks this node made runnable, not yet signalled *)
   got_buf : int array; (* scratch: in-edges that delivered data *)
   freed_buf : int array; (* scratch: producers freed by our pops *)
   src : bool;
@@ -198,6 +199,7 @@ let run ?domains ?(grain = 32) ?stall_ms ?sink ~graph:g ~kernels ~inputs
           sink_got = 0;
           reuse = hole;
           state = Idle;
+          wakes = 0;
           got_buf = Array.make (max in_deg 1) 0;
           freed_buf = Array.make (max in_deg 1) 0;
           src = in_deg = 0;
@@ -239,11 +241,14 @@ let run ?domains ?(grain = 32) ?stall_ms ?sink ~graph:g ~kernels ~inputs
     Condition.broadcast idle_cond;
     Mutex.unlock idle_lock
   in
-  (* Make [v] runnable. Caller holds [sh] = [v]'s shard lock. The
-     idlers check pairs with the idle section's re-check of [queued]:
-     both sides use sequentially-consistent atomics, so either the
-     enqueuer sees the idler and broadcasts, or the idler sees the new
-     [queued] count and rescans — a wakeup cannot be lost. *)
+  (* Make [v] runnable. Caller holds [sh] = [v]'s shard lock. Returns
+     whether [v] was actually enqueued; signalling idle workers is the
+     caller's job (batched per firing, {!signal_idlers}). The wakeup
+     handshake pairs with the idle section's re-check of [queued]: both
+     sides use sequentially-consistent atomics, so either the enqueuer
+     sees the idler and signals, or the idler sees the new [queued]
+     count (incremented before any signalling decision) and rescans —
+     a wakeup cannot be lost, however late the signal is batched. *)
   let wake_locked sh v =
     let s = st.(v) in
     match s.state with
@@ -255,36 +260,57 @@ let run ?domains ?(grain = 32) ?stall_ms ?sink ~graph:g ~kernels ~inputs
       sh.queue.(tail) <- v;
       sh.q_len <- sh.q_len + 1;
       Atomic.incr queued;
-      if Atomic.get idlers > 0 then begin
-        Mutex.lock idle_lock;
-        Condition.broadcast idle_cond;
-        Mutex.unlock idle_lock
-      end
-    | Running -> s.state <- Running_dirty
-    | Queued | Running_dirty -> ()
+      true
+    | Running ->
+      s.state <- Running_dirty;
+      false
+    | Queued | Running_dirty -> false
   in
-  let wake v =
-    let sh = shards.(shard_of.(v)) in
-    Mutex.lock sh.lock;
-    wake_locked sh v;
-    Mutex.unlock sh.lock
+  (* Wake at most [k] idle workers — one per task made runnable, never
+     more than are napping; extra runnable tasks are picked up by the
+     workers' own shard scans. Signalling once per batch (instead of
+     broadcasting per enqueue) is what keeps a firing that frees f
+     producers from stampeding all [nd] workers f times. *)
+  let signal_idlers k =
+    if k > 0 && Atomic.get idlers > 0 then begin
+      Mutex.lock idle_lock;
+      let k =
+        let i = Atomic.get idlers in
+        if k < i then k else i
+      in
+      if k >= nd then Condition.broadcast idle_cond
+      else
+        for _ = 1 to k do
+          Condition.signal idle_cond
+        done;
+      Mutex.unlock idle_lock
+    end
   in
-  (* Push on [e]. Caller holds [shard (dst e)]'s lock [sh]. *)
-  let push_now sh e (msg : Message.t) =
+  let flush_wakes s =
+    if s.wakes > 0 then begin
+      let k = s.wakes in
+      s.wakes <- 0;
+      signal_idlers k
+    end
+  in
+  (* Push on [e]. Caller holds [shard (dst e)]'s lock [sh]; [s] is the
+     sending node's state, which accumulates the wakes of this firing. *)
+  let push_now sh s e (msg : Message.t) =
     let c = chans.(e) in
     if Channel.push c msg then begin
       Atomic.incr progress;
-      if Channel.length c = 1 then wake_locked sh ed.((e * 8) + f_dst);
+      if Channel.length c = 1 && wake_locked sh ed.((e * 8) + f_dst) then
+        s.wakes <- s.wakes + 1;
       if obs then
         ev (Event.Push { edge = e; seq = msg.seq; payload = payload_of msg });
       true
     end
     else false
   in
-  let push_to e msg =
+  let push_to s e msg =
     let sh = shards.(shard_of.(ed.((e * 8) + f_dst))) in
     Mutex.lock sh.lock;
-    let landed = push_now sh e msg in
+    let landed = push_now sh s e msg in
     Mutex.unlock sh.lock;
     landed
   in
@@ -312,7 +338,7 @@ let run ?domains ?(grain = 32) ?stall_ms ?sink ~graph:g ~kernels ~inputs
       s.pend_msg.(s.pend_head) <- hole;
       s.pend_head <- (if s.pend_head + 1 >= size then 0 else s.pend_head + 1);
       s.pend_len <- s.pend_len - 1;
-      if ed.((eid * 8) + f_bstamp) <> fid && push_to eid msg then ()
+      if ed.((eid * 8) + f_bstamp) <> fid && push_to s eid msg then ()
       else begin
         ed.((eid * 8) + f_bstamp) <- fid;
         enqueue s eid msg
@@ -329,7 +355,7 @@ let run ?domains ?(grain = 32) ?stall_ms ?sink ~graph:g ~kernels ~inputs
       if
         seq >= 0
         && ed.(eb + f_bstamp) <> fid
-        && push_to e (Message.dummy ~seq)
+        && push_to s e (Message.dummy ~seq)
       then begin
         ed.(eb + f_slot) <- -1;
         s.slots <- s.slots - 1
@@ -380,7 +406,7 @@ let run ?domains ?(grain = 32) ?stall_ms ?sink ~graph:g ~kernels ~inputs
          end);
         ed.(eb + f_last) <- seq;
         let msg = msg_for s seq in
-        if not (push_to e msg) then enqueue s e msg
+        if not (push_to s e msg) then enqueue s e msg
       end
       else begin
         let due = seq - ed.(eb + f_last) >= ed.(eb + f_thr) in
@@ -392,7 +418,7 @@ let run ?domains ?(grain = 32) ?stall_ms ?sink ~graph:g ~kernels ~inputs
           ed.(eb + f_last) <- seq;
           (* immediate delivery attempt, matching the sequential
              visit's post-firing flush *)
-          if push_to e (Message.dummy ~seq) then begin
+          if push_to s e (Message.dummy ~seq) then begin
             ed.(eb + f_slot) <- -1;
             s.slots <- s.slots - 1
           end
@@ -410,7 +436,7 @@ let run ?domains ?(grain = 32) ?stall_ms ?sink ~graph:g ~kernels ~inputs
          s.slots <- s.slots - 1;
          drop_slot e old
        end);
-      if not (push_to e hole) then enqueue s e hole
+      if not (push_to s e hole) then enqueue s e hole
     done;
     if obs then ev (Event.Eos { node = v });
     s.finished <- true
@@ -488,10 +514,16 @@ let run ?domains ?(grain = 32) ?stall_ms ?sink ~graph:g ~kernels ~inputs
   let rec got_list s k acc =
     if k < 0 then acc else got_list s (k - 1) (s.got_buf.(k) :: acc)
   in
+  (* One signalling batch for every producer this pop pass freed. *)
   let wake_freed s nfreed =
     for k = 0 to nfreed - 1 do
-      wake s.freed_buf.(k)
-    done
+      let v = s.freed_buf.(k) in
+      let sh = shards.(shard_of.(v)) in
+      Mutex.lock sh.lock;
+      if wake_locked sh v then s.wakes <- s.wakes + 1;
+      Mutex.unlock sh.lock
+    done;
+    flush_wakes s
   in
   let fire_inner v s =
     let shv = shards.(shard_of.(v)) in
@@ -555,6 +587,7 @@ let run ?domains ?(grain = 32) ?stall_ms ?sink ~graph:g ~kernels ~inputs
   let run_node v =
     let s = st.(v) in
     if s.pend_len > 0 || s.slots > 0 then flush v s;
+    flush_wakes s;
     if s.pend_len = 0 && s.blocked then s.blocked <- false;
     let continue = ref (s.pend_len = 0) in
     let budget = ref grain in
@@ -564,6 +597,8 @@ let run ?domains ?(grain = 32) ?stall_ms ?sink ~graph:g ~kernels ~inputs
         else if not s.finished then fire_inner v s
         else false
       in
+      (* wakes collected during the firing, one signalling batch *)
+      flush_wakes s;
       decr budget;
       if not fired then continue := false
       else if s.pend_len > 0 then begin
@@ -603,14 +638,13 @@ let run ?domains ?(grain = 32) ?stall_ms ?sink ~graph:g ~kernels ~inputs
       sh.queue.(tail) <- v;
       sh.q_len <- sh.q_len + 1;
       Atomic.incr queued;
-      if Atomic.get idlers > 0 then begin
-        Mutex.lock idle_lock;
-        Condition.broadcast idle_cond;
-        Mutex.unlock idle_lock
-      end
+      Mutex.unlock sh.lock;
+      signal_idlers 1
     end
-    else s.state <- Idle;
-    Mutex.unlock sh.lock
+    else begin
+      s.state <- Idle;
+      Mutex.unlock sh.lock
+    end
   in
   (* Worker side: scan own shard first, then steal round-robin. *)
   let find_task w =

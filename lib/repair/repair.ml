@@ -105,3 +105,20 @@ let preserves_reachability original t =
     done;
     !ok
   end
+
+(* Shared rendering for the CLI: `streamcheck repair` and
+   `streamcheck lint --fix` print reroutes through these, so the two
+   commands cannot drift apart. *)
+let pp_reroute ppf r =
+  Format.fprintf ppf "reroute %d->%d via %d%s" (fst r.deleted) (snd r.deleted)
+    r.via
+    (match r.added with
+    | None -> " (relay channel existed)"
+    | Some (a, b) -> Printf.sprintf " (added %d->%d)" a b)
+
+let pp_summary ~original ppf t =
+  Format.fprintf ppf "repaired: %d channel(s) deleted, %d added@." t.deleted_edges
+    t.added_edges;
+  List.iter (fun r -> Format.fprintf ppf "  %a@." pp_reroute r) t.reroutes;
+  Format.fprintf ppf "reachability preserved: %b"
+    (preserves_reachability original t)

@@ -51,3 +51,11 @@ val preserves_reachability : Graph.t -> t -> bool
 (** Every ordered node pair connected by a directed path in the
     original graph is still connected in the repaired one — the
     property that makes rerouted forwarding possible. *)
+
+val pp_reroute : Format.formatter -> reroute -> unit
+(** One line: [reroute s->t via t' (added a->b | relay channel existed)]. *)
+
+val pp_summary : original:Graph.t -> Format.formatter -> t -> unit
+(** The CLI summary shared by [streamcheck repair] and
+    [streamcheck lint --fix]: deleted/added counts, one line per
+    reroute, and whether reachability from [original] is preserved. *)

@@ -1,0 +1,172 @@
+The linter turns the structural theorems into coded diagnostics. A
+clean topology exits 0:
+
+  $ streamcheck lint --demo fig2
+  lint: demo:fig2
+  clean: no findings
+
+Findings carry stable codes, severities, locations, witnesses and
+fixits; Error findings exit 20:
+
+  $ streamcheck lint --demo butterfly
+  lint: demo:butterfly
+  FS201 error channels {e2, e4, e5, e3}: not CS4: block 0..5 is neither SP nor an SP-ladder (missing cross-link at rail frontier); interval computation falls back to the exponential general route
+      witness: witness cycle through nodes {1, 2, 3, 4}
+      witness: cycle sources {1, 2}, sinks {3, 4}
+      fix: reroute to CS4 (1 channel(s) deleted, 1 added); reroute 1->3 via 4 (added 4->3)
+  FS202 warning channels {e2, e4, e5, e3}: multi-source cycle 1 of 1: 2 sources {1, 2}, 2 sinks {3, 4} — each such cycle multiplies the general route's work
+  1 error(s), 1 warning(s), 0 info(s)
+  [20]
+
+Warnings alone pass by default but fail under --fail-on warning (exit
+21):
+
+  $ cat > thin.graph <<'EOF'
+  > nodes 5
+  > edge 0 1 1
+  > edge 1 2 1
+  > edge 2 3 1
+  > edge 3 4 1
+  > edge 0 4 1
+  > EOF
+  $ streamcheck lint --file thin.graph
+  lint: thin.graph
+  FS301 warning channel e0 (0->1): buffer too small on channel e0 (0->1): the dummy interval is below 1, so the runtime clamps to a dummy every sequence number (SDF-degenerate avoidance)
+      witness: interval 1/4 < 1 on channel e0 (0->1)
+      fix: scale every buffer capacity by x4
+  FS301 warning channel e1 (1->2): buffer too small on channel e1 (1->2): the dummy interval is below 1, so the runtime clamps to a dummy every sequence number (SDF-degenerate avoidance)
+      witness: interval 1/4 < 1 on channel e1 (1->2)
+      fix: scale every buffer capacity by x4
+  FS301 warning channel e2 (2->3): buffer too small on channel e2 (2->3): the dummy interval is below 1, so the runtime clamps to a dummy every sequence number (SDF-degenerate avoidance)
+      witness: interval 1/4 < 1 on channel e2 (2->3)
+      fix: scale every buffer capacity by x4
+  FS301 warning channel e3 (3->4): buffer too small on channel e3 (3->4): the dummy interval is below 1, so the runtime clamps to a dummy every sequence number (SDF-degenerate avoidance)
+      witness: interval 1/4 < 1 on channel e3 (3->4)
+      fix: scale every buffer capacity by x4
+  0 error(s), 4 warning(s), 0 info(s)
+  $ streamcheck lint --file thin.graph --fail-on warning
+  lint: thin.graph
+  FS301 warning channel e0 (0->1): buffer too small on channel e0 (0->1): the dummy interval is below 1, so the runtime clamps to a dummy every sequence number (SDF-degenerate avoidance)
+      witness: interval 1/4 < 1 on channel e0 (0->1)
+      fix: scale every buffer capacity by x4
+  FS301 warning channel e1 (1->2): buffer too small on channel e1 (1->2): the dummy interval is below 1, so the runtime clamps to a dummy every sequence number (SDF-degenerate avoidance)
+      witness: interval 1/4 < 1 on channel e1 (1->2)
+      fix: scale every buffer capacity by x4
+  FS301 warning channel e2 (2->3): buffer too small on channel e2 (2->3): the dummy interval is below 1, so the runtime clamps to a dummy every sequence number (SDF-degenerate avoidance)
+      witness: interval 1/4 < 1 on channel e2 (2->3)
+      fix: scale every buffer capacity by x4
+  FS301 warning channel e3 (3->4): buffer too small on channel e3 (3->4): the dummy interval is below 1, so the runtime clamps to a dummy every sequence number (SDF-degenerate avoidance)
+      witness: interval 1/4 < 1 on channel e3 (3->4)
+      fix: scale every buffer capacity by x4
+  0 error(s), 4 warning(s), 0 info(s)
+  [21]
+
+--fix without an applicable fixit is exit 22:
+
+  $ streamcheck lint --demo fig2 --fix
+  lint: demo:fig2
+  clean: no findings
+  fix failed: no finding carries an applicable fixit
+  [22]
+
+An exhausted cycle budget makes the clean verdict untrustworthy — exit
+23, never 0:
+
+  $ streamcheck lint --demo fig2 --max-cycles 0
+  lint: demo:fig2
+  analysis incomplete: cycle enumeration exceeded the budget of 0 simple cycles; cycle-structure rules (FS2xx, FS303) were skipped
+  clean: no findings
+  [23]
+
+Unreadable input is exit 24:
+
+  $ streamcheck lint --file no-such.graph
+  error: no-such.graph: No such file or directory
+  [24]
+
+JSON lines: one object per finding plus a trailing summary object:
+
+  $ streamcheck lint --demo butterfly --format json
+  {"code":"FS201","severity":"error","location":{"kind":"channels","channels":[2,4,5,3]},"message":"not CS4: block 0..5 is neither SP nor an SP-ladder (missing cross-link at rail frontier); interval computation falls back to the exponential general route","witness":["witness cycle through nodes {1, 2, 3, 4}","cycle sources {1, 2}, sinks {3, 4}"],"fixit":{"kind":"reroute","deleted_edges":1,"added_edges":1,"reroutes":["reroute 1->3 via 4 (added 4->3)"]}}
+  {"code":"FS202","severity":"warning","location":{"kind":"channels","channels":[2,4,5,3]},"message":"multi-source cycle 1 of 1: 2 sources {1, 2}, 2 sinks {3, 4} — each such cycle multiplies the general route's work","witness":[]}
+  {"summary":{"errors":1,"warnings":1,"infos":0},"incomplete":null}
+  [20]
+
+SARIF 2.1.0 spot-check: version, schema, the rule registry, and one
+result per finding with logical locations:
+
+  $ streamcheck lint --demo butterfly --format sarif | grep -c '"version": "2.1.0"'
+  1
+  $ streamcheck lint --demo butterfly --format sarif | grep -c '"$schema": "https://json.schemastore.org/sarif-2.1.0.json"'
+  1
+  $ streamcheck lint --demo butterfly --format sarif | grep -c '"id":"FS'
+  14
+  $ streamcheck lint --demo butterfly --format sarif | grep -o '"ruleId":"[A-Z0-9]*"'
+  "ruleId":"FS201"
+  "ruleId":"FS202"
+  $ streamcheck lint --demo butterfly --format sarif | grep -o '"level":"error"'
+  "level":"error"
+  "level":"error"
+  "level":"error"
+  "level":"error"
+  "level":"error"
+  "level":"error"
+  "level":"error"
+  "level":"error"
+  "level":"error"
+
+--fix applies the CS4 reroute, writes the fixed topology, and re-lints
+it; the exit code reflects the fixed topology:
+
+  $ streamcheck lint --demo butterfly --fix -o fixed.graph
+  lint: demo:butterfly
+  FS201 error channels {e2, e4, e5, e3}: not CS4: block 0..5 is neither SP nor an SP-ladder (missing cross-link at rail frontier); interval computation falls back to the exponential general route
+      witness: witness cycle through nodes {1, 2, 3, 4}
+      witness: cycle sources {1, 2}, sinks {3, 4}
+      fix: reroute to CS4 (1 channel(s) deleted, 1 added); reroute 1->3 via 4 (added 4->3)
+  FS202 warning channels {e2, e4, e5, e3}: multi-source cycle 1 of 1: 2 sources {1, 2}, 2 sinks {3, 4} — each such cycle multiplies the general route's work
+  1 error(s), 1 warning(s), 0 info(s)
+  fix: rerouted 1 channel(s) through relays (1 added) to reach CS4
+  fixed topology written to fixed.graph
+  
+  re-lint of the fixed topology:
+  lint: demo:butterfly
+  FS203 info graph: not series-parallel: the series/parallel reduction stalls with 7 super-edges; the ladder/CS4 algorithms are in use (polynomial, not linear)
+  0 error(s), 0 warning(s), 1 info(s)
+
+The round trip: the written topology lints clean of errors and
+classifies as CS4:
+
+  $ streamcheck lint --file fixed.graph
+  lint: fixed.graph
+  FS203 info graph: not series-parallel: the series/parallel reduction stalls with 7 super-edges; the ladder/CS4 algorithms are in use (polynomial, not linear)
+  0 error(s), 0 warning(s), 1 info(s)
+  $ streamcheck classify --file fixed.graph | grep 'CS4'
+  CS4: serial composition of 1 block(s)
+
+Buffer-scaling fixits round-trip the same way:
+
+  $ streamcheck lint --file thin.graph --fix -o sized.graph
+  lint: thin.graph
+  FS301 warning channel e0 (0->1): buffer too small on channel e0 (0->1): the dummy interval is below 1, so the runtime clamps to a dummy every sequence number (SDF-degenerate avoidance)
+      witness: interval 1/4 < 1 on channel e0 (0->1)
+      fix: scale every buffer capacity by x4
+  FS301 warning channel e1 (1->2): buffer too small on channel e1 (1->2): the dummy interval is below 1, so the runtime clamps to a dummy every sequence number (SDF-degenerate avoidance)
+      witness: interval 1/4 < 1 on channel e1 (1->2)
+      fix: scale every buffer capacity by x4
+  FS301 warning channel e2 (2->3): buffer too small on channel e2 (2->3): the dummy interval is below 1, so the runtime clamps to a dummy every sequence number (SDF-degenerate avoidance)
+      witness: interval 1/4 < 1 on channel e2 (2->3)
+      fix: scale every buffer capacity by x4
+  FS301 warning channel e3 (3->4): buffer too small on channel e3 (3->4): the dummy interval is below 1, so the runtime clamps to a dummy every sequence number (SDF-degenerate avoidance)
+      witness: interval 1/4 < 1 on channel e3 (3->4)
+      fix: scale every buffer capacity by x4
+  0 error(s), 4 warning(s), 0 info(s)
+  fix: scaled every buffer capacity by x4 to lift all dummy intervals to >= 1
+  fixed topology written to sized.graph
+  
+  re-lint of the fixed topology:
+  lint: thin.graph
+  clean: no findings
+  $ streamcheck lint --file sized.graph --fail-on warning
+  lint: sized.graph
+  clean: no findings

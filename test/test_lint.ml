@@ -1,0 +1,330 @@
+(* The lint engine: every FS* rule has a positive and a negative
+   fixture, and the severity contract is property-tested — a report
+   with zero Error findings means the configured plan is safe, checked
+   against the exhaustive model checker in all three sound wrapper
+   configurations (cf. test_soundness.ml). *)
+
+open Fstream_graph
+open Fstream_core
+module Lint = Fstream_analysis.Lint
+module Topo_gen = Fstream_workloads.Topo_gen
+module App_spec = Fstream_workloads.App_spec
+module Verify = Fstream_verify.Verify
+module Engine = Fstream_runtime.Engine
+
+let has code (r : Lint.report) =
+  List.exists (fun (d : Lint.diagnostic) -> d.Lint.code = code) r.diagnostics
+
+let find code (r : Lint.report) =
+  List.find (fun (d : Lint.diagnostic) -> d.Lint.code = code) r.diagnostics
+
+let errors r = Lint.count r Lint.Error
+
+let check_fires name code report =
+  Alcotest.(check bool) (name ^ ": " ^ code ^ " fires") true (has code report)
+
+let check_silent name code report =
+  Alcotest.(check bool)
+    (name ^ ": " ^ code ^ " silent")
+    false (has code report)
+
+(* ------------------------------------------------------------------ *)
+(* registry *)
+
+let test_registry () =
+  Alcotest.(check bool) "at least ten rules" true (List.length Lint.rules >= 10);
+  let ids = List.map (fun (r : Lint.rule) -> r.Lint.id) Lint.rules in
+  Alcotest.(check int)
+    "rule ids are unique"
+    (List.length ids)
+    (List.length (List.sort_uniq compare ids));
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) (id ^ " resolvable") true (Lint.rule id <> None))
+    ids
+
+(* ------------------------------------------------------------------ *)
+(* FS1xx: structure *)
+
+let test_fs101 () =
+  let cyclic = Graph.make ~nodes:2 [ (0, 1, 1); (1, 0, 1) ] in
+  let r = Lint.run cyclic in
+  check_fires "cyclic" "FS101" r;
+  let d = find "FS101" r in
+  Alcotest.(check bool) "has a cycle witness" true (d.Lint.witness <> []);
+  check_silent "fig2" "FS101" (Lint.run (Topo_gen.fig2_triangle ~cap:2))
+
+let test_fs102 () =
+  let split = Graph.make ~nodes:4 [ (0, 1, 1); (2, 3, 1) ] in
+  check_fires "disconnected" "FS102" (Lint.run split);
+  check_silent "fig2" "FS102" (Lint.run (Topo_gen.fig2_triangle ~cap:2))
+
+let test_fs103 () =
+  let twosrc = Graph.make ~nodes:3 [ (0, 2, 1); (1, 2, 1) ] in
+  check_fires "two sources" "FS103" (Lint.run twosrc);
+  check_silent "pipeline" "FS103" (Lint.run (Topo_gen.pipeline ~stages:4 ~cap:2))
+
+let test_fs104 () =
+  (* nodes 1,2 form a directed cycle unreachable from the source *)
+  let g = Graph.make ~nodes:4 [ (0, 3, 1); (1, 2, 1); (2, 1, 1); (1, 3, 1) ] in
+  let r = Lint.run g in
+  check_fires "unreachable cycle" "FS101" r;
+  check_fires "unreachable cycle" "FS104" r;
+  check_silent "fig2" "FS104" (Lint.run (Topo_gen.fig2_triangle ~cap:2))
+
+(* ------------------------------------------------------------------ *)
+(* FS2xx: cycle structure *)
+
+let test_fs201 () =
+  let r = Lint.run (Topo_gen.fig4_butterfly ~cap:2) in
+  check_fires "butterfly" "FS201" r;
+  let d = find "FS201" r in
+  Alcotest.(check bool) "witness cycle shown" true (d.Lint.witness <> []);
+  Alcotest.(check bool)
+    "carries a reroute fixit" true
+    (match d.Lint.fixit with Some (Lint.Reroute _) -> true | _ -> false);
+  check_silent "fig5 ladder" "FS201" (Lint.run (Topo_gen.fig5_ladder ~cap:2))
+
+let test_fs202 () =
+  check_fires "butterfly" "FS202" (Lint.run (Topo_gen.fig4_butterfly ~cap:2));
+  check_silent "fig2" "FS202" (Lint.run (Topo_gen.fig2_triangle ~cap:2))
+
+let test_fs203 () =
+  check_fires "fig4-left ladder" "FS203" (Lint.run (Topo_gen.fig4_left ~cap:2));
+  check_silent "fig2 is SP" "FS203" (Lint.run (Topo_gen.fig2_triangle ~cap:2))
+
+(* ------------------------------------------------------------------ *)
+(* FS3xx: capacities, intervals, thresholds *)
+
+(* a 4-hop run against a 1-cap chord: interval 1/4 on the long run *)
+let undersized () =
+  Graph.make ~nodes:5
+    [ (0, 1, 1); (1, 2, 1); (2, 3, 1); (3, 4, 1); (0, 4, 1) ]
+
+let test_fs301 () =
+  let r = Lint.run (undersized ()) in
+  check_fires "1/4 interval" "FS301" r;
+  let d = find "FS301" r in
+  Alcotest.(check bool)
+    "carries a buffer-scaling fixit" true
+    (match d.Lint.fixit with Some (Lint.Scale_buffers c) -> c >= 4 | _ -> false);
+  check_silent "fig2 cap 2" "FS301" (Lint.run (Topo_gen.fig2_triangle ~cap:2))
+
+let test_fs301_fix_roundtrip () =
+  let g = undersized () in
+  let r = Lint.run g in
+  match Lint.apply_fixes g r with
+  | Error e -> Alcotest.fail e
+  | Ok (fixed, _) ->
+    check_silent "after scaling" "FS301" (Lint.run fixed)
+
+let test_fs302 () =
+  let g = Topo_gen.fig2_triangle ~cap:2 in
+  let too_late = Thresholds.of_array g [| Some 10; Some 10; Some 10 |] in
+  let cfg t = { Lint.default_config with Lint.audit_thresholds = Some t } in
+  check_fires "late thresholds" "FS302" (Lint.run ~config:(cfg too_late) g);
+  (* a table fingerprinted for another topology *)
+  let other = Topo_gen.pipeline ~stages:2 ~cap:2 in
+  let foreign = Thresholds.of_array other [| Some 1; Some 1 |] in
+  check_fires "foreign table" "FS302" (Lint.run ~config:(cfg foreign) g);
+  (* the compiler's own table audits clean *)
+  (match Compiler.plan Compiler.Non_propagation g with
+  | Error _ -> Alcotest.fail "fig2 must plan"
+  | Ok p ->
+    let good = Compiler.send_thresholds g p.Compiler.intervals in
+    check_silent "computed table" "FS302" (Lint.run ~config:(cfg good) g));
+  check_silent "no table supplied" "FS302" (Lint.run g)
+
+let prop_config = { Lint.default_config with Lint.algorithm = Compiler.Propagation }
+
+let test_fs303 () =
+  let r = Lint.run ~config:prop_config (Topo_gen.erosion_counterexample ()) in
+  check_fires "erosion counterexample" "FS303" r;
+  Alcotest.(check bool)
+    "erosion is an Error" true
+    ((find "FS303" r).Lint.severity = Lint.Error);
+  check_silent "fig2 under propagation" "FS303"
+    (Lint.run ~config:prop_config (Topo_gen.fig2_triangle ~cap:2));
+  (* the rule is propagation-specific *)
+  check_silent "non-propagation audit" "FS303"
+    (Lint.run (Topo_gen.erosion_counterexample ()))
+
+let test_fs304 () =
+  let uneven = Graph.make ~nodes:2 [ (0, 1, 1); (0, 1, 3) ] in
+  check_fires "asymmetric pair" "FS304" (Lint.run uneven);
+  let even = Graph.make ~nodes:2 [ (0, 1, 2); (0, 1, 2) ] in
+  check_silent "symmetric pair" "FS304" (Lint.run even)
+
+(* ------------------------------------------------------------------ *)
+(* FS4xx: application specs *)
+
+let diamond () =
+  Graph.make ~nodes:5 [ (0, 1, 1); (1, 2, 1); (1, 3, 1); (2, 4, 1); (3, 4, 1) ]
+
+let with_spec ?(algorithm = Compiler.Non_propagation) g behaviors default =
+  let spec = { App_spec.graph = g; behaviors; default } in
+  Lint.run
+    ~config:{ Lint.default_config with Lint.algorithm; Lint.spec = Some spec }
+    g
+
+let test_fs401 () =
+  let g = Topo_gen.fig2_triangle ~cap:2 in
+  check_fires "unknown node" "FS401"
+    (with_spec g [ (7, App_spec.Passthrough) ] App_spec.Passthrough);
+  check_fires "foreign channel" "FS401"
+    (with_spec g [ (0, App_spec.Block 99) ] App_spec.Passthrough);
+  check_silent "valid spec" "FS401"
+    (with_spec g [ (0, App_spec.Drop) ] App_spec.Passthrough)
+
+let test_fs402 () =
+  let g = diamond () in
+  check_fires "filter at split" "FS402"
+    (with_spec ~algorithm:Compiler.Propagation g
+       [ (1, App_spec.Drop) ]
+       App_spec.Passthrough);
+  check_fires "filtering default reaches a split" "FS402"
+    (with_spec ~algorithm:Compiler.Propagation g [] (App_spec.Bernoulli 0.5));
+  check_silent "same spec, non-propagation" "FS402"
+    (with_spec g [ (1, App_spec.Drop) ] App_spec.Passthrough);
+  check_silent "filtering only at source and relays" "FS402"
+    (with_spec ~algorithm:Compiler.Propagation g
+       [ (0, App_spec.Drop); (2, App_spec.Periodic 3) ]
+       App_spec.Passthrough)
+
+let test_fs403 () =
+  let g = Topo_gen.fig2_triangle ~cap:2 in
+  check_fires "duplicate directives" "FS403"
+    (with_spec g
+       [ (0, App_spec.Drop); (0, App_spec.Passthrough) ]
+       App_spec.Passthrough);
+  check_silent "unique directives" "FS403"
+    (with_spec g
+       [ (0, App_spec.Drop); (1, App_spec.Passthrough) ]
+       App_spec.Passthrough)
+
+(* ------------------------------------------------------------------ *)
+(* fixits *)
+
+let test_fix_butterfly () =
+  let g = Topo_gen.fig4_butterfly ~cap:2 in
+  let r = Lint.run g in
+  Alcotest.(check bool) "butterfly has errors" true (errors r > 0);
+  match Lint.apply_fixes g r with
+  | Error e -> Alcotest.fail e
+  | Ok (fixed, actions) ->
+    Alcotest.(check bool) "actions reported" true (actions <> []);
+    Alcotest.(check int) "fixed topology lints clean of errors" 0
+      (errors (Lint.run fixed));
+    Alcotest.(check bool) "fixed topology is CS4" true
+      (Fstream_ladder.Cs4.is_cs4 fixed)
+
+let test_fix_nothing_to_do () =
+  let g = Topo_gen.fig2_triangle ~cap:2 in
+  let r = Lint.run g in
+  Alcotest.(check bool)
+    "clean report has no fixits" true
+    (match Lint.apply_fixes g r with Error _ -> true | Ok _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* the severity contract: lint-clean implies verify-safe *)
+
+let small_graph_of_seed seed =
+  let rng = Tutil.rng_of seed in
+  let g0 =
+    Topo_gen.random_sp rng
+      ~target_edges:(2 + Random.State.int rng 4)
+      ~max_cap:2
+  in
+  if Random.State.bool rng then g0
+  else begin
+    (* a forward chord usually leaves CS4: exercises the vacuous side *)
+    let n = Graph.num_nodes g0 in
+    let rank = Topo.rank g0 in
+    let edges =
+      List.map (fun (e : Graph.edge) -> (e.src, e.dst, e.cap)) (Graph.edges g0)
+    in
+    let a = Random.State.int rng n and b = Random.State.int rng n in
+    let edges =
+      if rank.(a) < rank.(b) then edges @ [ (a, b, 1 + Random.State.int rng 2) ]
+      else edges
+    in
+    Graph.make ~nodes:n edges
+  end
+
+let no_wedge g avoidance =
+  match Verify.check ~max_states:20_000 ~graph:g ~avoidance ~inputs:3 () with
+  | Verify.Deadlocks _ -> false
+  | Verify.Safe _ | Verify.Out_of_budget _ -> true
+
+let clean (r : Lint.report) = errors r = 0 && r.Lint.incomplete = None
+
+let prop_lint_clean_implies_safe =
+  Tutil.qtest ~count:300 "lint-clean implies verify-safe (three modes)"
+    Tutil.seed_gen (fun seed ->
+      let g = small_graph_of_seed seed in
+      let nonprop_ok =
+        if not (clean (Lint.run g)) then true
+        else
+          match Compiler.plan Compiler.Non_propagation g with
+          | Error _ -> false (* clean lint promises a plan *)
+          | Ok p ->
+            let t = Compiler.send_thresholds g p.Compiler.intervals in
+            (* absorbing wrapper, and the sound forwarding hybrid *)
+            no_wedge g (Engine.Non_propagation t)
+            && no_wedge g (Engine.Propagation t)
+      in
+      let prop_ok =
+        if not (clean (Lint.run ~config:prop_config g)) then true
+        else
+          match Compiler.plan Compiler.Propagation g with
+          | Error _ -> false
+          | Ok p ->
+            no_wedge g
+              (Engine.Propagation
+                 (Compiler.propagation_thresholds g p.Compiler.intervals))
+      in
+      nonprop_ok && prop_ok)
+
+(* Sanity for the property above: the erosion counterexample is exactly
+   the case where a lint Error (FS303) excludes an unsound table. *)
+let test_fs303_guards_the_contract () =
+  let g = Topo_gen.erosion_counterexample () in
+  let r = Lint.run ~config:prop_config g in
+  Alcotest.(check bool) "erosion instance is not lint-clean" false (clean r);
+  match Compiler.plan Compiler.Propagation g with
+  | Error _ -> Alcotest.fail "erosion instance must plan"
+  | Ok p ->
+    let t = Compiler.propagation_thresholds g p.Compiler.intervals in
+    Alcotest.(check bool)
+      "and its paper-literal table really wedges" false
+      (match
+         Verify.check ~max_states:200_000 ~strategy:`Dfs ~graph:g
+           ~avoidance:(Engine.Propagation t) ~inputs:4 ()
+       with
+      | Verify.Deadlocks _ -> false
+      | _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "registry" `Quick test_registry;
+    Alcotest.test_case "FS101 directed cycle" `Quick test_fs101;
+    Alcotest.test_case "FS102 disconnected" `Quick test_fs102;
+    Alcotest.test_case "FS103 arity" `Quick test_fs103;
+    Alcotest.test_case "FS104 unreachable" `Quick test_fs104;
+    Alcotest.test_case "FS201 non-CS4 witness" `Quick test_fs201;
+    Alcotest.test_case "FS202 multi-source cycles" `Quick test_fs202;
+    Alcotest.test_case "FS203 not SP" `Quick test_fs203;
+    Alcotest.test_case "FS301 undersized buffers" `Quick test_fs301;
+    Alcotest.test_case "FS301 fix round-trip" `Quick test_fs301_fix_roundtrip;
+    Alcotest.test_case "FS302 threshold audit" `Quick test_fs302;
+    Alcotest.test_case "FS303 budget erosion" `Quick test_fs303;
+    Alcotest.test_case "FS304 parallel asymmetry" `Quick test_fs304;
+    Alcotest.test_case "FS401 unknown bindings" `Quick test_fs401;
+    Alcotest.test_case "FS402 filter at split" `Quick test_fs402;
+    Alcotest.test_case "FS403 duplicate directives" `Quick test_fs403;
+    Alcotest.test_case "fix butterfly" `Quick test_fix_butterfly;
+    Alcotest.test_case "fix refuses clean reports" `Quick test_fix_nothing_to_do;
+    Alcotest.test_case "FS303 guards the contract" `Quick
+      test_fs303_guards_the_contract;
+    prop_lint_clean_implies_safe;
+  ]

@@ -25,4 +25,5 @@ let () =
       ("diagnosis", Test_diagnosis.suite);
       ("app_spec", Test_app_spec.suite);
       ("sizing", Test_sizing.suite);
+      ("lint", Test_lint.suite);
     ]
