@@ -62,3 +62,74 @@ let section id title =
 let row fmt = Format.printf fmt
 
 let ok b = if b then "ok" else "MISMATCH"
+
+(* ------------------------------------------------------------------ *)
+(* Headline JSON: [--json FILE] makes the sections deposit their key
+   numbers here and the driver write them out at exit, so CI can attach
+   one machine-readable artifact per PR (BENCH_PR6.json) instead of
+   scraping the tables. Hand-rolled serializer — the repo carries no
+   JSON dependency and the values are flat string/number pairs. *)
+
+let json_file : string option ref = ref None
+
+(* (section, key, value), insertion-ordered *)
+let headlines : (string * string * float) list ref = ref []
+
+let headline sec key v = headlines := (sec, key, v) :: !headlines
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_number v =
+  (* JSON has no inf/nan: clamp to null, callers treat it as missing *)
+  if Float.is_finite v then
+    let s = Printf.sprintf "%.6g" v in
+    (* "%.6g" never prints a spurious exponent OCaml-style ("1e+06" is
+       valid JSON); just guard the degenerate "-0" *)
+    if s = "-0" then "0" else s
+  else "null"
+
+let write_json () =
+  match !json_file with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    let sections =
+      List.fold_left
+        (fun acc (sec, _, _) -> if List.mem sec acc then acc else sec :: acc)
+        []
+        (List.rev !headlines)
+      |> List.rev
+    in
+    output_string oc "{\n  \"bench\": \"filterstream\",\n";
+    Printf.fprintf oc "  \"quick\": %b,\n" !quick;
+    output_string oc "  \"sections\": {\n";
+    List.iteri
+      (fun i sec ->
+        Printf.fprintf oc "    \"%s\": {\n" (json_escape sec);
+        let entries =
+          List.filter (fun (s, _, _) -> s = sec) (List.rev !headlines)
+        in
+        List.iteri
+          (fun j (_, key, v) ->
+            Printf.fprintf oc "      \"%s\": %s%s\n" (json_escape key)
+              (json_number v)
+              (if j = List.length entries - 1 then "" else ","))
+          entries;
+        Printf.fprintf oc "    }%s\n"
+          (if i = List.length sections - 1 then "" else ","))
+      sections;
+    output_string oc "  }\n}\n";
+    close_out oc;
+    Format.printf "@.headline JSON written to %s@." path

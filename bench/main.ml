@@ -408,11 +408,18 @@ let c6 () =
         (rps t_ready s_ready)
         (t_ready /. float (messages s_ready))
         pp_ns t_sweep (rps t_sweep s_sweep)
+        (rps t_ready s_ready /. rps t_sweep s_sweep);
+      headline "C6"
+        (Printf.sprintf "pipeline_%d_ready_rounds_per_sec" (stages + 1))
+        (rps t_ready s_ready);
+      headline "C6"
+        (Printf.sprintf "pipeline_%d_speedup_vs_sweep" (stages + 1))
         (rps t_ready s_ready /. rps t_sweep s_sweep))
-    [ 1_023; 4_095; 16_383; 65_535 ];
+    (if !quick then [ 1_023 ] else [ 1_023; 4_095; 16_383; 65_535 ]);
   row "  (sweep timed over its first %d+ rounds at the larger sizes)@." 64;
   row "  S1 random CS4 workloads, both schedulers end to end:@.";
-  let trials = 200 and inputs = 80 in
+  let trials = if !quick then 40 else 200 in
+  let inputs = 80 in
   let run_all scheduler =
     let rng = Random.State.make [| 31337 |] in
     let outcomes = ref [] and elapsed = ref 0. and msgs = ref 0 in
@@ -459,7 +466,9 @@ let c6 () =
   row "  %d trials, stats identical across schedulers: %s, speedup %.1fx@."
     trials
     (ok (ro = so))
-    (st_ /. rt)
+    (st_ /. rt);
+  headline "C6" "cs4_ready_ns_per_message" (rt /. float (max 1 rm));
+  headline "C6" "cs4_speedup_vs_sweep" (st_ /. rt)
 
 (* ------------------------------------------------------------------ *)
 (* C7. Hot-path cost of the steady-state loop: throughput + GC load.    *)
@@ -498,7 +507,16 @@ let c7 () =
         (float rounds /. (t /. 1e9))
         (t /. float messages)
         (gc.minor_words /. float messages)
-        gc.minor_collections)
+        gc.minor_collections;
+      headline "C7"
+        (Printf.sprintf "pipeline_%d_rounds_per_sec" (stages + 1))
+        (float rounds /. (t /. 1e9));
+      headline "C7"
+        (Printf.sprintf "pipeline_%d_ns_per_message" (stages + 1))
+        (t /. float messages);
+      headline "C7"
+        (Printf.sprintf "pipeline_%d_minor_words_per_message" (stages + 1))
+        (gc.minor_words /. float messages))
     pipeline_sizes;
   row "  S1 random CS4 workloads (Bernoulli filtering, non-prop wrapper):@.";
   let trials = if !quick then 40 else 200 in
@@ -543,7 +561,9 @@ let c7 () =
     (!minor /. float (max 1 !msgs))
     !collections;
   row "  (minor words per message = Gc.minor_words delta over the whole run@.";
-  row "   divided by delivered messages; table tracked in EXPERIMENTS.md C7)@."
+  row "   divided by delivered messages; table tracked in EXPERIMENTS.md C7)@.";
+  headline "C7" "cs4_ns_per_message" (!elapsed /. float (max 1 !msgs));
+  headline "C7" "cs4_minor_words_per_message" (!minor /. float (max 1 !msgs))
 
 (* ------------------------------------------------------------------ *)
 (* O1. Observability overhead: bare run vs null sink vs ring sink.      *)
@@ -881,6 +901,9 @@ let p1 () =
         (Format.asprintf "%a" pp_ns seq_ns)
         (msgs /. (seq_ns /. 1e9))
         "-";
+      headline "P1"
+        (Printf.sprintf "pipeline_%d_sequential_msgs_per_sec" stages)
+        (msgs /. (seq_ns /. 1e9));
       let base = ref 0. in
       List.iter
         (fun domains ->
@@ -898,7 +921,10 @@ let p1 () =
             (Printf.sprintf "pool-%d" domains)
             (Format.asprintf "%a" pp_ns ns)
             (msgs /. (ns /. 1e9))
-            (!base /. ns))
+            (!base /. ns);
+          headline "P1"
+            (Printf.sprintf "pipeline_%d_pool%d_msgs_per_sec" stages domains)
+            (msgs /. (ns /. 1e9)))
         domain_counts)
     sizes;
   (* scheduling overhead alone: zero-work kernels on the smallest size *)
@@ -916,6 +942,7 @@ let p1 () =
     (Format.asprintf "%a" pp_ns seq_ns)
     (msgs /. (seq_ns /. 1e9))
     "-";
+  headline "P1" "zero_work_sequential_msgs_per_sec" (msgs /. (seq_ns /. 1e9));
   List.iter
     (fun domains ->
       let ns =
@@ -928,8 +955,101 @@ let p1 () =
         (Printf.sprintf "pool-%d" domains)
         (Format.asprintf "%a" pp_ns ns)
         (msgs /. (ns /. 1e9))
-        "-")
+        "-";
+      headline "P1"
+        (Printf.sprintf "zero_work_pool%d_msgs_per_sec" domains)
+        (msgs /. (ns /. 1e9)))
     [ 1; List.fold_left max 1 domain_counts ]
+
+(* ------------------------------------------------------------------ *)
+(* FU1. Kernel fusion: grain amplification on deep pipelines.           *)
+
+(* ISSUE PR6 calls this section §F1; it is named FU1 here because F1 is
+   already the paper's Fig. 1 experiment. The claim under test: with
+   fusion a 64k-stage zero-work pipeline on the pool runtime lands
+   within 2x of the sequential engine's throughput (stage-firings/sec),
+   where the unfused pool pays per-message scheduling on every hop. On
+   a single-core CI box the pool cannot win anything; the ratio is the
+   honest overhead figure there (see EXPERIMENTS.md FU1). *)
+let fu1 () =
+  section "FU1" "kernel fusion: 64k-stage pipeline, pool vs sequential";
+  let stages = if !quick then 4_095 else 65_535 in
+  let inputs = if !quick then 8 else 16 in
+  let g = Topo_gen.pipeline ~stages ~cap:4 in
+  let kernels () = Filters.for_graph g (fun _ outs -> Filters.passthrough outs) in
+  let fusion = Fusion.fuse g in
+  let fg = fusion.Fusion.graph in
+  row "  %d stages fused into %d compound kernels (%d channels collapsed);@."
+    stages (Graph.num_nodes fg)
+    (Fusion.internal_edges fusion);
+  row "  zero-work passthrough kernels, %d inputs — pure scheduling cost;@."
+    inputs;
+  row "  host has %d core(s) available@." (Domain.recommended_domain_count ());
+  (* throughput unit: original stage firings per second. The fused runs
+     do the same logical work per input (every stage's kernel runs) but
+     push only boundary messages, so raw msgs/sec would flatter them. *)
+  let firings = float (stages * inputs) in
+  let repeat = if !quick then 1 else 2 in
+  let domains = min 4 (max 1 (Domain.recommended_domain_count ())) in
+  let check (r : Report.t) = assert (r.Report.sink_data = inputs) in
+  let time name key thunk =
+    let ns = time_best ~repeat thunk in
+    row "  %-22s %12s %16.0f@." name
+      (Format.asprintf "%a" pp_ns ns)
+      (firings /. (ns /. 1e9));
+    headline "FU1" key (firings /. (ns /. 1e9));
+    ns
+  in
+  row "  %-22s %12s %16s@." "configuration" "wall" "stage-firings/s";
+  let seq_ns =
+    time "sequential" "sequential_firings_per_sec" (fun () ->
+        let r =
+          Engine.run ~graph:g ~kernels:(kernels ()) ~inputs
+            ~avoidance:Engine.No_avoidance ()
+        in
+        check r;
+        r)
+  in
+  let _ =
+    time "sequential --fuse" "sequential_fused_firings_per_sec" (fun () ->
+        let fw = Fused.make fusion (kernels ()) in
+        let r =
+          Engine.run ~graph:fg ~kernels:(Fused.kernels fw) ~inputs
+            ~avoidance:Engine.No_avoidance ()
+        in
+        check r;
+        r)
+  in
+  let _ =
+    time
+      (Printf.sprintf "pool-%d" domains)
+      (Printf.sprintf "pool%d_firings_per_sec" domains)
+      (fun () ->
+        let r =
+          P.run ~domains ~graph:g ~kernels:(kernels ()) ~inputs
+            ~avoidance:Engine.No_avoidance ()
+        in
+        check r;
+        r)
+  in
+  let pool_fused_ns =
+    time
+      (Printf.sprintf "pool-%d --fuse" domains)
+      (Printf.sprintf "pool%d_fused_firings_per_sec" domains)
+      (fun () ->
+        let fw = Fused.make fusion (kernels ()) in
+        let r =
+          P.run ~domains ~graph:fg ~kernels:(Fused.kernels fw) ~inputs
+            ~avoidance:Engine.No_avoidance ()
+        in
+        check r;
+        r)
+  in
+  let ratio = seq_ns /. pool_fused_ns in
+  headline "FU1" "pool_fused_over_sequential" ratio;
+  row "  pool --fuse vs sequential: %.2fx (headline wants >= 0.5x): %s@."
+    ratio
+    (ok (ratio >= 0.5))
 
 (* ------------------------------------------------------------------ *)
 (* A1. Bandwidth ablation: what do computed intervals save over SDF?    *)
@@ -1167,6 +1287,7 @@ let sections =
     ("S1", s1);
     ("S2", s2);
     ("P1", p1);
+    ("FU1", fu1);
     ("A1", a1);
     ("A2", a2);
     ("A3", a3);
@@ -1174,19 +1295,22 @@ let sections =
   ]
 
 let () =
-  (* flags: [--quick] shrinks every sweep (CI smoke); [--only] is an
-     accepted no-op so `-- --only C7 --quick` reads naturally. The
-     remaining arguments select sections, default all. *)
-  let args =
-    List.filter
-      (fun a ->
-        if a = "--quick" then begin
-          quick := true;
-          false
-        end
-        else a <> "--only")
-      (List.tl (Array.to_list Sys.argv))
+  (* flags: [--quick] shrinks every sweep (CI smoke); [--json FILE]
+     writes the sections' headline numbers as one JSON object at exit;
+     [--only] is an accepted no-op so `-- --only C7 --quick` reads
+     naturally. The remaining arguments select sections, default all. *)
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--quick" :: rest ->
+      quick := true;
+      parse acc rest
+    | "--json" :: path :: rest ->
+      json_file := Some path;
+      parse acc rest
+    | "--only" :: rest -> parse acc rest
+    | a :: rest -> parse (a :: acc) rest
   in
+  let args = parse [] (List.tl (Array.to_list Sys.argv)) in
   let requested = match args with [] -> List.map fst sections | l -> l in
   Format.printf
     "filterstream benchmark harness — every table/figure of the paper@.";
@@ -1197,4 +1321,5 @@ let () =
       | None ->
         Format.printf "unknown section %S (available: %s)@." name
           (String.concat ", " (List.map fst sections)))
-    requested
+    requested;
+  write_json ()

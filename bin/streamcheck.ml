@@ -290,9 +290,39 @@ let domains_arg =
     & info [ "domains" ] ~docv:"N"
         ~doc:"Worker domains for $(b,--parallel) (default: automatic).")
 
+let fuse_flag_arg =
+  Arg.(
+    value & flag
+    & info [ "fuse" ]
+        ~doc:
+          "Run the kernel-fusion pass first: chains of single-in/single-out \
+           bridge nodes execute as one compound kernel over the fused \
+           topology (internal channels become stack locals). Outcome and \
+           sink counts are preserved; data-message counts drop with the \
+           collapsed channels. Implies per-node workload RNG, like \
+           $(b,--parallel).")
+
+(* Per-node filter classes for fusion from a declarative spec: chains
+   never span a behaviour change. *)
+let spec_filter_class (spec : App_spec.t) =
+  let classes = ref [] in
+  let class_of b =
+    match List.assoc_opt b !classes with
+    | Some i -> i
+    | None ->
+      let i = List.length !classes in
+      classes := (b, i) :: !classes;
+      i
+  in
+  fun v ->
+    class_of
+      (match List.assoc_opt v spec.App_spec.behaviors with
+      | Some b -> b
+      | None -> spec.App_spec.default)
+
 let simulate_cmd =
   let run file demo avoidance inputs keep seed scheduler parallel domains
-      trace_out metrics =
+      trace_out metrics fuse =
     let loaded =
       (* files may carry per-node behaviours (App_spec); demos and plain
          graph files get the uniform Bernoulli workload *)
@@ -317,32 +347,73 @@ let simulate_cmd =
       let kernels =
         match spec with
         | Some spec -> App_spec.kernels spec ~seed
-        | None when parallel ->
+        | None when parallel || fuse ->
           (* per-node RNG: thread-safe under the pool runtime, and
-             node-deterministic so counts are schedule-independent *)
+             node-deterministic so counts are schedule-independent and
+             fused runs comparable to unfused ones *)
           Filters.for_graph g (fun v outs ->
               Filters.bernoulli (Random.State.make [| seed; v |]) ~keep outs)
         | None ->
           let rng = Random.State.make [| seed |] in
           Filters.for_graph g (fun _ outs -> Filters.bernoulli rng ~keep outs)
       in
-      let wrapper =
-        match avoidance with
-        | A_none -> Ok Engine.No_avoidance
-        | A_prop -> (
-          match Compiler.plan Compiler.Propagation g with
-          | Ok p ->
-            Ok (Engine.Propagation (Compiler.propagation_thresholds g p.intervals))
-          | Error e -> Error e)
-        | A_nonprop -> (
-          match Compiler.plan Compiler.Non_propagation g with
-          | Ok p ->
-            Ok (Engine.Non_propagation (Compiler.send_thresholds g p.intervals))
-          | Error e -> Error e)
+      let setup =
+        if fuse then begin
+          let filter_class = Option.map spec_filter_class spec in
+          let with_fusion (fusion : Fusion.t) avoidance =
+            let fw = Fused.make fusion kernels in
+            Ok (fusion.Fusion.graph, Fused.kernels fw, avoidance)
+          in
+          match avoidance with
+          | A_none -> with_fusion (Fusion.fuse ?filter_class g) Engine.No_avoidance
+          | A_prop -> (
+            match
+              Compiler.plan ~fuse:true ?filter_class Compiler.Propagation g
+            with
+            | Ok { Compiler.fused = Some { fusion; fused_intervals }; _ } ->
+              with_fusion fusion
+                (Engine.Propagation
+                   (Compiler.propagation_thresholds fusion.Fusion.graph
+                      fused_intervals))
+            | Ok _ -> assert false
+            | Error e -> Error e)
+          | A_nonprop -> (
+            match
+              Compiler.plan ~fuse:true ?filter_class Compiler.Non_propagation g
+            with
+            | Ok { Compiler.fused = Some { fusion; fused_intervals }; _ } ->
+              with_fusion fusion
+                (Engine.Non_propagation
+                   (Compiler.send_thresholds fusion.Fusion.graph
+                      fused_intervals))
+            | Ok _ -> assert false
+            | Error e -> Error e)
+        end
+        else
+          match avoidance with
+          | A_none -> Ok (g, kernels, Engine.No_avoidance)
+          | A_prop -> (
+            match Compiler.plan Compiler.Propagation g with
+            | Ok p ->
+              Ok
+                ( g,
+                  kernels,
+                  Engine.Propagation
+                    (Compiler.propagation_thresholds g p.intervals) )
+            | Error e -> Error e)
+          | A_nonprop -> (
+            match Compiler.plan Compiler.Non_propagation g with
+            | Ok p ->
+              Ok
+                ( g,
+                  kernels,
+                  Engine.Non_propagation (Compiler.send_thresholds g p.intervals)
+                )
+            | Error e -> Error e)
       in
-      match wrapper with
+      match setup with
       | Error e -> plan_error e
-      | Ok avoidance ->
+      | Ok (g, kernels, avoidance) ->
         let trace =
           Option.map
             (fun path ->
@@ -395,7 +466,66 @@ let simulate_cmd =
     Term.(
       const run $ file_arg $ demo_arg $ avoidance_arg $ inputs_arg $ keep_arg
       $ seed_arg $ scheduler_arg $ parallel_arg $ domains_arg $ trace_out_arg
-      $ metrics_arg)
+      $ metrics_arg $ fuse_flag_arg)
+
+(* ------------------------------------------------------------------ *)
+(* fuse                                                                 *)
+
+let fuse_cmd =
+  let run file demo seed algorithm no_general max_cycles pins =
+    match load_graph ~seed file demo with
+    | Error e ->
+      Format.eprintf "error: %s@." e;
+      1
+    | Ok g -> (
+      let pin = if pins = [] then None else Some (fun v -> List.mem v pins) in
+      match
+        Compiler.plan ~allow_general:(not no_general) ?max_cycles ~fuse:true
+          ?pin algorithm g
+      with
+      | Error e -> plan_error e
+      | Ok { Compiler.fused = None; _ } -> assert false
+      | Ok ({ Compiler.fused = Some { fusion; fused_intervals }; _ } as plan) ->
+        Format.printf "route: %a@." Compiler.pp_route plan.Compiler.route;
+        Format.printf "%a@." Fusion.pp fusion;
+        let fg = fusion.Fusion.graph in
+        let thresholds =
+          match algorithm with
+          | Compiler.Propagation ->
+            Compiler.propagation_thresholds fg fused_intervals
+          | _ -> Compiler.send_thresholds fg fused_intervals
+        in
+        Format.printf "boundary channels:@.";
+        Format.printf "%-6s %-6s %-10s %4s %10s %10s@." "edge" "orig" "channel"
+          "cap" "interval" "threshold";
+        List.iter
+          (fun (e : Graph.edge) ->
+            Format.printf "e%-5d e%-5d %3d -> %-4d %4d %10s %10s@." e.id
+              fusion.Fusion.orig_edge.(e.id)
+              e.src e.dst e.cap
+              (Format.asprintf "%a" Interval.pp fused_intervals.(e.id))
+              (match Thresholds.get thresholds e.id with
+              | None -> "-"
+              | Some k -> string_of_int k))
+          (Graph.edges fg);
+        0)
+  in
+  let pin_arg =
+    Arg.(
+      value & opt (list int) []
+      & info [ "pin" ] ~docv:"NODES"
+          ~doc:
+            "Comma-separated node ids that must stay unfused (extra critical \
+             boundaries).")
+  in
+  let doc =
+    "Print the kernel-fusion partition: compound kernels, collapsed channels, \
+     and the derived interval table for the boundary channels."
+  in
+  Cmd.v (Cmd.info "fuse" ~doc)
+    Term.(
+      const run $ file_arg $ demo_arg $ seed_arg $ algorithm_arg
+      $ no_general_arg $ max_cycles_arg $ pin_arg)
 
 (* ------------------------------------------------------------------ *)
 (* verify                                                               *)
@@ -692,6 +822,7 @@ let () =
           [
             classify_cmd;
             intervals_cmd;
+            fuse_cmd;
             simulate_cmd;
             verify_cmd;
             repair_cmd;

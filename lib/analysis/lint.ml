@@ -582,89 +582,124 @@ let rule_fs302 ctx =
   | _ -> []
 
 (* FS303: the budget-erosion hazard of the paper-literal Propagation
-   table (DESIGN.md, deviation 3). An edge that leaves the source of
-   one cycle carries that cycle's full opposing-capacity budget; if the
-   same edge lies mid-run on another cycle, the sound forwarding bound
-   there is that cycle's opposing capacity, which can be smaller. We
-   compare the paper table against the run-sum-disciplined
-   Relay_propagation table edge by edge; any strictly looser threshold
-   is a machine-checkable unsoundness witness (the 4-node erosion
-   counterexample is the canonical instance). *)
+   table (DESIGN.md, deviation 3). Under unrestricted filtering,
+   soundness is a per-run budget: at a wedge every node along a run can
+   sit one sequence number below its origination threshold without
+   owing anything, so the run is guaranteed to free the opposing
+   buffers only when the sum of (threshold - 1) over its edges stays
+   within opposing capacity - 1. The paper table satisfies this when
+   every non-head run edge is an eager relay (threshold 1) — the budget
+   sits whole at the head; it breaks when an edge mid-run on one cycle
+   is simultaneously the head of another cycle that grants it a looser
+   budget, eroding the tighter cycle (the 4-node erosion counterexample
+   is the canonical instance, and parallel-edge multigraphs hit the
+   same hazard with no erosion "split" in sight). We check the
+   discipline directly on every enumerated cycle; each violated run is
+   a machine-checkable unsoundness witness. *)
 let rule_fs303 ctx =
-  match (ctx.cfg.algorithm, ctx.plan) with
-  | Compiler.Propagation, Some (Ok p) -> (
-    match
-      Compiler.plan ~allow_general:true ~max_cycles:ctx.cfg.max_cycles
-        Compiler.Relay_propagation ctx.g
-    with
-    | Stdlib.Error _ -> []
-    | Ok relay ->
-      let thr_p = Compiler.propagation_thresholds ctx.g p.Compiler.intervals in
-      let thr_r = Compiler.send_thresholds ctx.g relay.Compiler.intervals in
-      let erosion_witness id bound =
-        (* the cycle that imposes the violated bound, for the witness *)
-        match ctx.cycles with
-        | None -> []
-        | Some cs ->
-          let best = ref None in
-          List.iter
-            (fun c ->
-              let runs = Cycles.runs c in
-              let opposite = Cycles.opposite_run c in
-              Array.iteri
-                (fun i r ->
-                  if
-                    List.exists
-                      (fun (e : Graph.edge) -> e.Graph.id = id)
-                      r.Cycles.run_edges
-                  then
-                    let b = Cycles.run_caps runs.(opposite.(i)) in
-                    match !best with
-                    | Some (b', _) when b' <= b -> ()
-                    | _ -> best := Some (b, c))
-                runs)
-            cs;
-          (match !best with
-          | Some (b, c) when b <= bound ->
-            [
-              Printf.sprintf
-                "violated by the cycle through nodes {%s} (opposing \
-                 capacity %d)"
-                (node_list_string
-                   (List.sort_uniq compare (Cycles.vertices c)))
-                b;
-            ]
-          | _ -> [])
-      in
-      Graph.fold_edges ctx.g ~init:[] ~f:(fun acc e ->
-          let id = e.Graph.id in
-          match (Thresholds.get thr_p id, Thresholds.get thr_r id) with
-          | Some a, Some b when a > b ->
-            diag
-              ~witness:
-                (Printf.sprintf
-                   "Propagation threshold %d > sound forwarding bound %d" a b
-                :: erosion_witness id b)
-              "FS303" (Channel id)
-              (Printf.sprintf
-                 "the Propagation budget on channel %s erodes a tighter \
-                  cycle: a node may legally lag by %d sequence numbers \
-                  where %d already wedges (use non-propagation or relay \
-                  thresholds)"
-                 (chan_string ctx.g id) a b)
-            :: acc
-          | None, Some b ->
-            diag
-              ~witness:
-                [ Printf.sprintf "sound forwarding bound is %d" b ]
-              "FS303" (Channel id)
-              (Printf.sprintf
-                 "channel %s lies on a cycle but the Propagation table \
-                  never originates dummies on it"
-                 (chan_string ctx.g id))
-            :: acc
-          | _ -> acc)
-      |> List.rev)
+  match (ctx.cfg.algorithm, ctx.plan, ctx.cycles) with
+  | Compiler.Propagation, Some (Ok p), Some cycles ->
+    let thr = Compiler.propagation_thresholds ctx.g p.Compiler.intervals in
+    let flagged = Hashtbl.create 8 in
+    let acc = ref [] in
+    let emit d id =
+      if not (Hashtbl.mem flagged id) then begin
+        Hashtbl.add flagged id ();
+        acc := d :: !acc
+      end
+    in
+    List.iter
+      (fun c ->
+        let runs = Cycles.runs c in
+        let opposite = Cycles.opposite_run c in
+        let cycle_nodes () =
+          node_list_string (List.sort_uniq compare (Cycles.vertices c))
+        in
+        Array.iteri
+          (fun i r ->
+            let l = Cycles.run_caps runs.(opposite.(i)) in
+            (* worst-case run lag before any origination must fire;
+               None means the table never catches up at all *)
+            let lag =
+              List.fold_left
+                (fun acc (e : Graph.edge) ->
+                  match (acc, Thresholds.get thr e.Graph.id) with
+                  | Some s, Some k -> Some (s + k - 1)
+                  | _ -> None)
+                (Some 0) r.Cycles.run_edges
+            in
+            match lag with
+            | None ->
+              List.iter
+                (fun (e : Graph.edge) ->
+                  if Thresholds.get thr e.Graph.id = None then
+                    emit
+                      (diag
+                         ~witness:
+                           [
+                             Printf.sprintf
+                               "on the cycle through nodes {%s}"
+                               (cycle_nodes ());
+                           ]
+                         "FS303" (Channel e.Graph.id)
+                         (Printf.sprintf
+                            "channel %s lies on a cycle but the Propagation \
+                             table never originates dummies on it"
+                            (chan_string ctx.g e.Graph.id)))
+                      e.Graph.id)
+                r.Cycles.run_edges
+            | Some lag when lag > l - 1 ->
+              (* anchor the finding on the loosest budget in the run:
+                 that is the entry granted by some other cycle *)
+              let anchor =
+                List.fold_left
+                  (fun best (e : Graph.edge) ->
+                    let k =
+                      Option.value ~default:0
+                        (Thresholds.get thr e.Graph.id)
+                    in
+                    match best with
+                    | Some (k', _) when k' >= k -> best
+                    | _ -> Some (k, e.Graph.id))
+                  None r.Cycles.run_edges
+              in
+              Option.iter
+                (fun (k, id) ->
+                  emit
+                    (diag
+                       ~witness:
+                         [
+                           Printf.sprintf
+                             "run {%s} lags up to %d while the opposing \
+                              side holds only %d"
+                             (String.concat ", "
+                                (List.map
+                                   (fun (e : Graph.edge) ->
+                                     Printf.sprintf "%s:[%s]"
+                                       (chan_string ctx.g e.Graph.id)
+                                       (match
+                                          Thresholds.get thr e.Graph.id
+                                        with
+                                       | Some k -> string_of_int k
+                                       | None -> "inf"))
+                                   r.Cycles.run_edges))
+                             lag l;
+                           Printf.sprintf "on the cycle through nodes {%s}"
+                             (cycle_nodes ());
+                         ]
+                       "FS303" (Channel id)
+                       (Printf.sprintf
+                          "the Propagation budget %d on channel %s erodes a \
+                           tighter cycle: its run may legally lag %d \
+                           sequence numbers where %d already wedges (use \
+                           non-propagation thresholds or eager relays)"
+                          k (chan_string ctx.g id) lag l))
+                    id)
+                anchor
+            | Some _ -> ())
+          runs)
+      cycles;
+    List.rev !acc
   | _ -> []
 
 let rule_fs304 ctx =

@@ -18,7 +18,17 @@
     [test/test_lint.ml] across all three wrapper configurations).
     [Warning]s flag degenerate-but-sound plans (e.g. a buffer so small
     its channel needs a dummy every sequence number); [Info]s are
-    structural notes. *)
+    structural notes.
+
+    Kernel fusion: the linter analyses the {e pre-fusion} graph — the
+    topology the user wrote, whose node and channel ids its findings
+    cite. This is sound for fused execution too: {!Fstream_core.Fusion}
+    collapses only bridge edges, which lie on no undirected cycle, so
+    every cycle the rules reason about survives fusion with its
+    buffering and hop counts intact, and the derived fused interval
+    table is exactly the original table restricted to the surviving
+    channels (property-checked in [test/test_fusion.ml]). A plan that
+    lints clean therefore stays clean under [~fuse:true]. *)
 
 open Fstream_graph
 

@@ -7,10 +7,16 @@ type route =
   | Cs4_route of Cs4.t
   | General_route of { cycles : int }
 
+type fused = {
+  fusion : Fusion.t;
+  fused_intervals : Interval.t array;
+}
+
 type plan = {
   algorithm : algorithm;
   intervals : Interval.t array;
   route : route;
+  fused : fused option;
 }
 
 type error =
@@ -79,19 +85,38 @@ let run_general algorithm ?max_cycles g =
     | Relay_propagation -> General.update_relay_propagation
   in
   List.iter (fold ivals) cycles;
-  { algorithm; intervals = ivals; route = General_route { cycles = List.length cycles } }
+  {
+    algorithm;
+    intervals = ivals;
+    route = General_route { cycles = List.length cycles };
+    fused = None;
+  }
 
-let plan ?(allow_general = true) ?max_cycles algorithm g =
+let plan ?(allow_general = true) ?max_cycles ?(fuse = false) ?pin ?filter_class
+    algorithm g =
+  let attach_fusion p =
+    if not fuse then p
+    else
+      let fusion = Fusion.fuse ?pin ?filter_class g in
+      let fused_intervals = Fusion.derive_intervals fusion p.intervals in
+      { p with fused = Some { fusion; fused_intervals } }
+  in
   if not (Topo.is_dag g) then Error Not_a_dag
   else if not (Topo.connected g) then Error Disconnected
   else
     match Cs4.classify g with
     | Ok cls ->
       Ok
-        { algorithm; intervals = run_cs4 algorithm g cls; route = Cs4_route cls }
+        (attach_fusion
+           {
+             algorithm;
+             intervals = run_cs4 algorithm g cls;
+             route = Cs4_route cls;
+             fused = None;
+           })
     | Error failure ->
       if allow_general then
-        try Ok (run_general algorithm ?max_cycles g)
+        try Ok (attach_fusion (run_general algorithm ?max_cycles g))
         with Failure _ ->
           Error
             (Cycle_budget_exceeded

@@ -32,10 +32,20 @@ type route =
       (** exponential fallback; [cycles] is how many undirected simple
           cycles were enumerated *)
 
+type fused = {
+  fusion : Fusion.t;
+  fused_intervals : Interval.t array;
+      (** indexed by fused edge id; derived from the original table via
+          {!Fusion.derive_intervals} — provably (and property-checked)
+          equal to recompiling the same algorithm on [fusion.graph] *)
+}
+
 type plan = {
   algorithm : algorithm;
   intervals : Interval.t array;  (** indexed by edge id *)
   route : route;
+  fused : fused option;
+      (** present when the plan was compiled with [~fuse:true] *)
 }
 
 type error =
@@ -58,6 +68,9 @@ val error_to_string : error -> string
 val plan :
   ?allow_general:bool ->
   ?max_cycles:int ->
+  ?fuse:bool ->
+  ?pin:(Graph.node -> bool) ->
+  ?filter_class:(Graph.node -> int) ->
   algorithm ->
   Graph.t ->
   (plan, error) result
@@ -66,7 +79,18 @@ val plan :
     [Non_cs4_rejected], mirroring a compiler that rejects unsupported
     topologies. The general fallback only needs acyclicity and
     connectivity; [max_cycles] (default 10 million) bounds its cycle
-    enumeration. *)
+    enumeration.
+
+    [fuse] (default [false]) additionally runs the {!Fusion} pass on any
+    successfully compiled topology — including the general-fallback
+    route — and attaches the partition plus the derived fused interval
+    table as [plan.fused]. [pin] and [filter_class] (only meaningful
+    with [~fuse:true]) are forwarded to {!Fusion.fuse}: pinned nodes
+    stay unfused, and chains never span a filter-behaviour-class
+    change. Thresholds for a fused run must
+    be built against [fusion.graph] and [fused_intervals]; the
+    {!Thresholds.t} graph fingerprint then rejects any attempt to run a
+    fused table on the original topology, and vice versa. *)
 
 val send_thresholds : Graph.t -> Interval.t array -> Thresholds.t
 (** Integer gap thresholds for the runtime wrappers, bound to the graph

@@ -12,7 +12,15 @@
     Produce tables with {!Compiler.send_thresholds},
     {!Compiler.propagation_thresholds} or {!Compiler.sdf_thresholds};
     {!of_array} is the escape hatch for hand-built tables (tests,
-    experiments). *)
+    experiments).
+
+    The same hole would reopen with kernel fusion — a fused topology
+    renumbers edges, so an original-graph table applied to the fused
+    graph (or vice versa) would be positionally wrong. It stays closed
+    for free: tables for a fused run are built against
+    [Fusion.graph] and the derived intervals, so their fingerprint
+    binds them to the fused topology and the engines reject any
+    cross-application (checked in [test/test_fusion.ml]). *)
 
 open Fstream_graph
 

@@ -67,6 +67,16 @@ let biconnected_components g =
   done;
   !comps
 
+let bridges g =
+  let b = Array.make (Graph.num_edges g) false in
+  List.iter
+    (fun comp ->
+      match comp with
+      | [ (e : Graph.edge) ] -> b.(e.id) <- true
+      | _ -> ())
+    (biconnected_components g);
+  b
+
 let component_nodes comp =
   List.sort_uniq compare
     (List.concat_map (fun (e : Graph.edge) -> [ e.src; e.dst ]) comp)

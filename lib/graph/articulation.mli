@@ -16,6 +16,14 @@ val biconnected_components : Graph.t -> Graph.edge list list
     Components are listed in no particular order; edges within a
     component are in increasing id order. Assumes connectivity. *)
 
+val bridges : Graph.t -> bool array
+(** [bridges g] is a per-edge-id array marking the bridges of the
+    underlying undirected multigraph: edges whose removal disconnects
+    their endpoints, i.e. edges lying on no undirected cycle. An edge is
+    a bridge exactly when its biconnected component is a singleton
+    (parallel edges form a 2-cycle, so neither copy is a bridge).
+    Assumes connectivity, like {!biconnected_components}. *)
+
 val serial_blocks : Graph.t -> (Graph.node * Graph.node * Graph.edge list) list
 (** For a two-terminal DAG [g] with source [x] and sink [y]:
     the biconnected blocks ordered along the source-to-sink chain, each

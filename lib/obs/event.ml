@@ -11,6 +11,7 @@ type t =
       got_dummy : bool;
       sent : int list;
     }
+  | Subnode_fired of { node : int; sub : int; seq : int }
   | Push of { edge : int; seq : int; payload : payload }
   | Pop of { edge : int; seq : int; payload : payload }
   | Dummy_emitted of { node : int; edge : int; seq : int }
@@ -23,6 +24,7 @@ type t =
 let name = function
   | Round_started _ -> "Round_started"
   | Node_fired _ -> "Node_fired"
+  | Subnode_fired _ -> "Subnode_fired"
   | Push _ -> "Push"
   | Pop _ -> "Pop"
   | Dummy_emitted _ -> "Dummy_emitted"
@@ -50,6 +52,8 @@ let pp ppf = function
   | Node_fired { node; seq; got; got_dummy; sent } ->
     Format.fprintf ppf "n%d fires seq%d got=%a dummy=%b sent=%a" node seq
       pp_ids got got_dummy pp_ids sent
+  | Subnode_fired { node; sub; seq } ->
+    Format.fprintf ppf "n%d fires sub-node n%d seq%d" node sub seq
   | Push { edge; seq; payload } ->
     Format.fprintf ppf "push e%d #%d %a" edge seq pp_payload payload
   | Pop { edge; seq; payload } ->

@@ -37,6 +37,13 @@ type t =
       got_dummy : bool;
       sent : int list;  (** out-edge ids the kernel kept (data enqueued) *)
     }
+  | Subnode_fired of { node : int; sub : int; seq : int }
+      (** a compound (fused) node [node] executed original sub-node
+          [sub] for [seq] — emitted by [Fstream_runtime.Fused] kernels
+          between the enclosing [Node_fired]'s pops and pushes, so
+          fused-chain firings stay attributable to the pre-fusion
+          topology. [sub] indexes the {e original} graph; replay and
+          metrics folds over the running (fused) graph ignore it. *)
   | Push of { edge : int; seq : int; payload : payload }
       (** a message entered a channel's buffer *)
   | Pop of { edge : int; seq : int; payload : payload }

@@ -64,7 +64,9 @@ let feed c (e : Event.t) =
   | Blocked { node; _ } -> c.blocked.(node) <- c.blocked.(node) + 1
   | Wedge { round } ->
     if c.first_wedge = None then c.first_wedge <- Some round
-  | Dummy_emitted _ | Dummy_dropped _ | Eos _ | Run_finished _ -> ()
+  | Subnode_fired _ | Dummy_emitted _ | Dummy_dropped _ | Eos _
+  | Run_finished _ ->
+    ()
 
 let sink c = Sink.make (feed c)
 

@@ -24,6 +24,8 @@ let location_and_args (e : Event.t) =
       node,
       Printf.sprintf {|{"seq":%d,"got":%s,"got_dummy":%b,"sent":%s}|} seq
         (ids got) got_dummy (ids sent) )
+  | Subnode_fired { node; sub; seq } ->
+    (0, node, Printf.sprintf {|{"sub":%d,"seq":%d}|} sub seq)
   | Push { edge; seq; payload = p } ->
     (1, edge, Printf.sprintf {|{"seq":%d,"payload":"%s"}|} seq (payload p))
   | Pop { edge; seq; payload = p } ->

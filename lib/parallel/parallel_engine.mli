@@ -35,7 +35,18 @@
     (consecutive firings may land on different domains, with the
     happens-before edges the scheduler provides), but different nodes'
     kernels run concurrently: a kernel factory passed to {!run} must
-    give each node its own state (e.g. its own [Random.State.t]). *)
+    give each node its own state (e.g. its own [Random.State.t]).
+
+    Grain amplification: when per-message scheduling overhead dominates
+    (tiny kernels on deep pipelines — EXPERIMENTS.md §P1's zero-work
+    rows), run a fused plan instead of scheduling every node: compile
+    with [Compiler.plan ~fuse:true], wrap the kernel factory with
+    {!Fstream_runtime.Fused.make}, and run [fusion.graph] here. A whole
+    chain then costs one task per firing, with its internal hops as
+    plain function calls. The per-node exclusivity guarantee above
+    extends to compound kernels: each one's sub-chain state (the
+    {!Fstream_runtime.Fused.fired} counters) has a single writer at any
+    time. Measured in bench §FU1. *)
 
 open Fstream_graph
 

@@ -1,0 +1,72 @@
+open Fstream_graph
+open Fstream_core
+module Event = Fstream_obs.Event
+module Sink = Fstream_obs.Sink
+
+type t = {
+  fired : int array;  (* per original node *)
+  table : Engine.kernel array;  (* per fused node *)
+}
+
+let compound ?sink (fusion : Fusion.t) (fired : int array) orig_kernels f =
+  let og = fusion.original in
+  let mem = fusion.members.(f) in
+  let k = Array.length mem in
+  let subs = Array.map orig_kernels mem in
+  (* Non-tail members have exactly one out-edge (the fusability rule),
+     and it is the collapsed channel to the next member. *)
+  let link =
+    Array.init (k - 1) (fun i -> (Graph.out_edge_ids og mem.(i)).(0))
+  in
+  let owns =
+    Array.map
+      (fun v ->
+        let ids = Graph.out_edge_ids og v in
+        fun id -> Array.exists (fun e -> e = id) ids)
+      mem
+  in
+  let tick i seq =
+    let v = mem.(i) in
+    fired.(v) <- fired.(v) + 1;
+    match sink with
+    | Some s -> Sink.emit s (Event.Subnode_fired { node = f; sub = v; seq })
+    | None -> ()
+  in
+  let validate i ids =
+    List.iter
+      (fun id ->
+        if not (owns.(i) id) then
+          invalid_arg
+            (Printf.sprintf "Fused: kernel of node %d returned edge %d" mem.(i)
+               id))
+      ids
+  in
+  fun ~seq ~got ->
+    let got0 = List.map (fun fe -> fusion.orig_edge.(fe)) got in
+    (* Walk the chain with the data in a local: each hop is a function
+       call, not a channel round-trip. *)
+    let rec step i got =
+      tick i seq;
+      let out = subs.(i) ~seq ~got in
+      validate i out;
+      if i = k - 1 then out
+      else if List.mem link.(i) out then step (i + 1) [ link.(i) ]
+      else []
+    in
+    let out = step 0 got0 in
+    List.map (fun oe -> fusion.edge_of.(oe)) out
+
+let make ?sink (fusion : Fusion.t) orig_kernels =
+  let sink =
+    match sink with Some s when Sink.is_null s -> None | other -> other
+  in
+  let fired = Array.make (Graph.num_nodes fusion.original) 0 in
+  let table =
+    Array.init (Graph.num_nodes fusion.graph) (fun f ->
+        compound ?sink fusion fired orig_kernels f)
+  in
+  { fired; table }
+
+let kernels t f = t.table.(f)
+
+let fired t = Array.copy t.fired

@@ -96,7 +96,7 @@ let of_events ~graph:g events =
         enqueued.(node) <- enqueued.(node) + Graph.out_degree g node
       | Event.Wedge _ -> wedged := true
       | Event.Run_finished { outcome } -> declared := Some outcome
-      | Event.Dummy_emitted _ | Event.Blocked _ -> ())
+      | Event.Dummy_emitted _ | Event.Blocked _ | Event.Subnode_fired _ -> ())
     events;
   let node_blocked = Array.init n (fun v -> enqueued.(v) > delivered.(v)) in
   let drained =

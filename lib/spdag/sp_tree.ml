@@ -56,6 +56,21 @@ let edges t =
   iter_edges t (fun e -> acc := e :: !acc);
   List.rev !acc
 
+let series_spine t =
+  (* Walk only through Series nodes: anything below a Parallel lies on
+     an undirected cycle formed with the sibling branch. *)
+  let acc = ref [] in
+  let rec go t =
+    match t.shape with
+    | Leaf e -> acc := e :: !acc
+    | Series (a, b) ->
+      go a;
+      go b
+    | Parallel _ -> ()
+  in
+  go t;
+  List.rev !acc
+
 let check_against t g =
   let seen = Array.make (Graph.num_edges g) false in
   let ok = ref true in

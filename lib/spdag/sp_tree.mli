@@ -44,6 +44,15 @@ val edges : t -> Graph.edge list
 
 val iter_edges : t -> (Graph.edge -> unit) -> unit
 
+val series_spine : t -> Graph.edge list
+(** The leaves that sit under no [Parallel] composition, left to right:
+    the edges every source-to-sink path must cross. For the SP graph the
+    tree decomposes, these are exactly the bridges of the underlying
+    undirected graph ({!Fstream_graph.Articulation.bridges}) — the edges
+    on no undirected cycle, and hence the only SP edges a kernel-fusion
+    pass may collapse without disturbing cycle structure. The
+    correspondence is property-checked in [test/test_fusion.ml]. *)
+
 val check_against : t -> Graph.t -> bool
 (** Structural audit used by tests: the tree's leaves are exactly the
     graph's edges (each once), every composition is well-connected, and

@@ -304,6 +304,33 @@ let test_fs303_guards_the_contract () =
       | Verify.Deadlocks _ -> false
       | _ -> true)
 
+(* A second instance of the same hazard with no erosion "split": on a
+   multigraph, parallel-edge cycles grant mid-run budgets > 1, and the
+   run-sum along the long cycle overshoots its opposing capacity. Found
+   by the property above (seed 893); kept as a deterministic fixture. *)
+let test_fs303_multigraph_run_sum () =
+  let g =
+    Graph.make ~nodes:4
+      [ (0, 1, 2); (1, 2, 2); (1, 2, 2); (2, 3, 2); (2, 3, 1); (0, 3, 2) ]
+  in
+  let r = Lint.run ~config:prop_config g in
+  check_fires "parallel-edge multigraph" "FS303" r;
+  Alcotest.(check bool)
+    "and the nonprop audit stays clean" true
+    (clean (Lint.run g));
+  match Compiler.plan Compiler.Propagation g with
+  | Error _ -> Alcotest.fail "multigraph instance must plan"
+  | Ok p ->
+    let t = Compiler.propagation_thresholds g p.Compiler.intervals in
+    Alcotest.(check bool)
+      "and its paper-literal table really wedges" false
+      (match
+         Verify.check ~max_states:200_000 ~graph:g
+           ~avoidance:(Engine.Propagation t) ~inputs:3 ()
+       with
+      | Verify.Deadlocks _ -> false
+      | _ -> true)
+
 let suite =
   [
     Alcotest.test_case "registry" `Quick test_registry;
@@ -326,5 +353,7 @@ let suite =
     Alcotest.test_case "fix refuses clean reports" `Quick test_fix_nothing_to_do;
     Alcotest.test_case "FS303 guards the contract" `Quick
       test_fs303_guards_the_contract;
+    Alcotest.test_case "FS303 multigraph run-sum" `Quick
+      test_fs303_multigraph_run_sum;
     prop_lint_clean_implies_safe;
   ]

@@ -26,4 +26,5 @@ let () =
       ("app_spec", Test_app_spec.suite);
       ("sizing", Test_sizing.suite);
       ("lint", Test_lint.suite);
+      ("fusion", Test_fusion.suite);
     ]

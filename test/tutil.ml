@@ -59,7 +59,17 @@ let random_dag_of_seed seed =
   done;
   Graph.make ~nodes:n (List.rev !edges)
 
+(* Reproducibility override: [QCHECK_SEED=n dune runtest] pins the
+   generator state of every qcheck suite that goes through [qtest] (the
+   same variable qcheck's own runner honours), so a failing case can be
+   replayed exactly. Each test gets a fresh state from the seed — tests
+   must not couple through shared generator state. *)
+let qcheck_seed =
+  Option.bind (Sys.getenv_opt "QCHECK_SEED") (fun s ->
+      int_of_string_opt (String.trim s))
+
 let qtest ?(count = 200) name gen prop =
-  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+  let rand = Option.map (fun seed -> Random.State.make [| seed |]) qcheck_seed in
+  QCheck_alcotest.to_alcotest ?rand (QCheck.Test.make ~count ~name gen prop)
 
 let seed_gen = QCheck.make ~print:string_of_int QCheck.Gen.nat
