@@ -50,12 +50,12 @@ let f1 () =
   row "  %d frames, router keeps 70%% per branch, hit rates 0.9/0.5/0.2/0.05@."
     frames;
   run "no avoidance" Engine.No_avoidance;
-  (match Compiler.plan Compiler.Propagation g with
+  (match Compiler.compile Compiler.Propagation g with
   | Ok p ->
     run "propagation"
       (Engine.Propagation (Compiler.propagation_thresholds g p.intervals))
   | Error e -> row "  propagation plan failed: %a@." Compiler.pp_error e);
-  match Compiler.plan Compiler.Non_propagation g with
+  match Compiler.compile Compiler.Non_propagation g with
   | Ok p ->
     run "non-propagation"
       (Engine.Non_propagation (Compiler.send_thresholds g p.intervals))
@@ -81,12 +81,12 @@ let f2 () =
       s.data_messages s.dummy_messages s.sink_data
   in
   run "no avoidance" Engine.No_avoidance;
-  (match Compiler.plan Compiler.Propagation g with
+  (match Compiler.compile Compiler.Propagation g with
   | Ok p ->
     run "propagation"
       (Engine.Propagation (Compiler.propagation_thresholds g p.intervals))
   | Error e -> row "  %a@." Compiler.pp_error e);
-  match Compiler.plan Compiler.Non_propagation g with
+  match Compiler.compile Compiler.Non_propagation g with
   | Ok p ->
     run "non-propagation"
       (Engine.Non_propagation (Compiler.send_thresholds g p.intervals))
@@ -346,11 +346,11 @@ let c5 () =
       let m = Graph.num_edges g in
       let t_classify = time_best (fun () -> Cs4.classify g) in
       let t_prop =
-        time_best (fun () -> Compiler.plan ~allow_general:false Compiler.Propagation g)
+        time_best (fun () -> Compiler.compile ~options:{ Compiler.Options.default with allow_general = false } Compiler.Propagation g)
       in
       let t_np =
         time_best (fun () ->
-            Compiler.plan ~allow_general:false Compiler.Non_propagation g)
+            Compiler.compile ~options:{ Compiler.Options.default with allow_general = false } Compiler.Non_propagation g)
       in
       row "  %8d %8d %a %a %a %14.2f@." m blocks pp_ns t_classify pp_ns t_prop
         pp_ns t_np
@@ -436,7 +436,7 @@ let c6 () =
         Filters.for_graph g (fun _ outs ->
             Filters.bernoulli krng ~keep:0.6 outs)
       in
-      match Compiler.plan Compiler.Non_propagation g with
+      match Compiler.compile Compiler.Non_propagation g with
       | Error _ -> ()
       | Ok p ->
         let avoidance =
@@ -536,7 +536,7 @@ let c7 () =
       let krng = Random.State.make [| seed |] in
       Filters.for_graph g (fun _ outs -> Filters.bernoulli krng ~keep:0.6 outs)
     in
-    match Compiler.plan Compiler.Non_propagation g with
+    match Compiler.compile Compiler.Non_propagation g with
     | Error _ -> ()
     | Ok p ->
       let avoidance =
@@ -661,7 +661,7 @@ let v1 () =
           let mismatches = ref 0 and edges = ref 0 in
           List.iter
             (fun g ->
-              match Compiler.plan ~allow_general:false algo g with
+              match Compiler.compile ~options:{ Compiler.Options.default with allow_general = false } algo g with
               | Error _ -> incr mismatches
               | Ok p ->
                 let base = baseline g in
@@ -729,19 +729,19 @@ let s1 () =
   in
   let none _g = Some Engine.No_avoidance in
   let prop g =
-    match Compiler.plan Compiler.Propagation g with
+    match Compiler.compile Compiler.Propagation g with
     | Ok p ->
       Some (Engine.Propagation (Compiler.propagation_thresholds g p.intervals))
     | Error _ -> None
   in
   let nonprop g =
-    match Compiler.plan Compiler.Non_propagation g with
+    match Compiler.compile Compiler.Non_propagation g with
     | Ok p ->
       Some (Engine.Non_propagation (Compiler.send_thresholds g p.intervals))
     | Error _ -> None
   in
   let hybrid g =
-    match Compiler.plan Compiler.Non_propagation g with
+    match Compiler.compile Compiler.Non_propagation g with
     | Ok p -> Some (Engine.Propagation (Compiler.send_thresholds g p.intervals))
     | Error _ -> None
   in
@@ -771,12 +771,12 @@ let v2 () =
   section "V2"
     "exhaustive model checking (all schedules x all filtering choices)";
   let nonprop g =
-    match Compiler.plan Compiler.Non_propagation g with
+    match Compiler.compile Compiler.Non_propagation g with
     | Ok p -> Engine.Non_propagation (Compiler.send_thresholds g p.intervals)
     | Error e -> failwith (Compiler.error_to_string e)
   in
   let prop g =
-    match Compiler.plan Compiler.Propagation g with
+    match Compiler.compile Compiler.Propagation g with
     | Ok p -> Engine.Propagation (Compiler.propagation_thresholds g p.intervals)
     | Error e -> failwith (Compiler.error_to_string e)
   in
@@ -839,7 +839,7 @@ let s2 () =
           ~avoidance:Engine.No_avoidance ()
       in
       let safe =
-        match Compiler.plan Compiler.Non_propagation g with
+        match Compiler.compile Compiler.Non_propagation g with
         | Ok p ->
           P.run ~stall_ms:150 ~graph:g ~kernels:(kernels ()) ~inputs
             ~avoidance:
@@ -1052,6 +1052,126 @@ let fu1 () =
     (ok (ratio >= 0.5))
 
 (* ------------------------------------------------------------------ *)
+(* SV1. Multi-tenant serving: one shared pool vs N isolated runs.       *)
+
+(* The serving layer's claim: admitting N tenants onto one pool (lint
+   at the door, one threshold compile per distinct topology, fair-share
+   interleaving) beats giving each application its own run — both the
+   sequential engine back-to-back and a fresh pool per application
+   (which pays domain spawn/join N times). Per-tenant work is small and
+   topologies repeat, the regime a daemon actually sees. *)
+let sv1 () =
+  let module Serve = Fstream_serve.Serve in
+  section "SV1" "multi-tenant serving: shared pool vs N isolated runs";
+  let tenants = if !quick then 12 else 60 in
+  let inputs = if !quick then 24 else 64 in
+  let work = if !quick then 150 else 400 in
+  let topologies =
+    [|
+      Topo_gen.pipeline ~stages:48 ~cap:4;
+      Topo_gen.fig1_split_join ~branches:3 ~cap:2;
+      Topo_gen.random_cs4 (Random.State.make [| 7 |]) ~blocks:3 ~block_edges:8
+        ~max_cap:4;
+    |]
+  in
+  let spin w =
+    let x = ref 0x9e3779b9 in
+    for _ = 1 to w do
+      x := !x lxor (!x lsl 13);
+      x := !x lxor (!x lsr 7);
+      x := !x lxor (!x lsl 17)
+    done;
+    ignore (Sys.opaque_identity !x)
+  in
+  let kernels g i () =
+    Filters.for_graph g (fun v outs ->
+        let rng = Random.State.make [| i; v |] in
+        fun ~seq ~got ->
+         spin work;
+         Filters.bernoulli rng ~keep:0.85 outs ~seq ~got)
+  in
+  let domains = min 4 (max 1 (Domain.recommended_domain_count ())) in
+  row "  %d tenants over %d distinct topologies, %d inputs each,@." tenants
+    (Array.length topologies) inputs;
+  row "  ~%d-iteration kernels, non-propagation avoidance;@." work;
+  row "  host has %d core(s) available — pool width %d@."
+    (Domain.recommended_domain_count ())
+    domains;
+  let repeat = if !quick then 1 else 2 in
+  (* direct per-tenant avoidance tables (compiled once, outside the
+     timed region for the isolated configurations: the serve run is the
+     only one charged for compilation, and it still wins) *)
+  let avoidance =
+    Array.map
+      (fun g ->
+        match Compiler.compile Compiler.Non_propagation g with
+        | Ok p ->
+          Engine.Non_propagation (Compiler.send_thresholds g p.intervals)
+        | Error _ -> assert false)
+      topologies
+  in
+  let check (r : Report.t) = assert (r.Report.outcome = Report.Completed) in
+  row "  %-26s %12s %14s@." "configuration" "wall" "tenants/sec";
+  let time name key thunk =
+    let ns = time_best ~repeat thunk in
+    row "  %-26s %12s %14.1f@." name
+      (Format.asprintf "%a" pp_ns ns)
+      (float tenants /. (ns /. 1e9));
+    headline "SV1" key (float tenants /. (ns /. 1e9));
+    ns
+  in
+  let serve_ns =
+    time "serve (one shared pool)" "serve_tenants_per_sec" (fun () ->
+        let t = Serve.create ~domains () in
+        Fun.protect ~finally:(fun () -> Serve.shutdown t) @@ fun () ->
+        let sessions =
+          Array.init tenants (fun i ->
+              let g = topologies.(i mod Array.length topologies) in
+              match Serve.admit t ~mode:Serve.Non_propagation g with
+              | Ok s -> s
+              | Error _ -> assert false)
+        in
+        Array.iteri
+          (fun i s ->
+            Serve.start t
+              ~kernels:(kernels topologies.(i mod Array.length topologies) i ())
+              ~inputs s)
+          sessions;
+        Array.iter (fun s -> check (Serve.await s)) sessions;
+        assert
+          ((Serve.stats t).Serve.compiles = Array.length topologies))
+  in
+  let seq_ns =
+    time "sequential, back-to-back" "sequential_tenants_per_sec" (fun () ->
+        for i = 0 to tenants - 1 do
+          let g = topologies.(i mod Array.length topologies) in
+          check
+            (Run.exec
+               (Run.sequential
+                  ~avoidance:avoidance.(i mod Array.length topologies)
+                  ())
+               ~graph:g ~kernels:(kernels g i ()) ~inputs ())
+        done)
+  in
+  let isolated_ns =
+    time "pool per tenant" "isolated_pool_tenants_per_sec" (fun () ->
+        for i = 0 to tenants - 1 do
+          let g = topologies.(i mod Array.length topologies) in
+          check
+            (Run.exec
+               (Run.pool ~domains
+                  ~avoidance:avoidance.(i mod Array.length topologies)
+                  ())
+               ~graph:g ~kernels:(kernels g i ()) ~inputs ())
+        done)
+  in
+  headline "SV1" "serve_over_sequential" (seq_ns /. serve_ns);
+  headline "SV1" "serve_over_isolated_pools" (isolated_ns /. serve_ns);
+  row "  serve vs sequential: %.2fx, vs pool-per-tenant: %.2fx@."
+    (seq_ns /. serve_ns)
+    (isolated_ns /. serve_ns)
+
+(* ------------------------------------------------------------------ *)
 (* A1. Bandwidth ablation: what do computed intervals save over SDF?    *)
 
 let a1 () =
@@ -1066,12 +1186,12 @@ let a1 () =
         fun g -> Some (Engine.Non_propagation (Compiler.sdf_thresholds g)) );
       ( "relay table (min L, no /h)",
         fun g ->
-          match Compiler.plan Compiler.Relay_propagation g with
+          match Compiler.compile Compiler.Relay_propagation g with
           | Ok p -> Some (Engine.Non_propagation (Compiler.send_thresholds g p.intervals))
           | Error _ -> None );
       ( "non-propagation table (L/h)",
         fun g ->
-          match Compiler.plan Compiler.Non_propagation g with
+          match Compiler.compile Compiler.Non_propagation g with
           | Ok p -> Some (Engine.Non_propagation (Compiler.send_thresholds g p.intervals))
           | Error _ -> None );
     ]
@@ -1119,12 +1239,12 @@ let a2 () =
   section "A2" "topology repair: butterfly vs repaired SP-ladder";
   let g = Topo_gen.fig4_butterfly ~cap:2 in
   let t_gen =
-    time_best (fun () -> Compiler.plan Compiler.Non_propagation g)
+    time_best (fun () -> Compiler.compile Compiler.Non_propagation g)
   in
   let r = Result.get_ok (Repair.repair g) in
   let g' = r.Repair.graph in
   let t_fast =
-    time_best (fun () -> Compiler.plan ~allow_general:false Compiler.Non_propagation g')
+    time_best (fun () -> Compiler.compile ~options:{ Compiler.Options.default with allow_general = false } Compiler.Non_propagation g')
   in
   row "  original butterfly: general route, %d cycles enumerated, %a@."
     (Cycles.count g) pp_ns t_gen;
@@ -1152,7 +1272,7 @@ let a2 () =
       let rep = Result.get_ok (Repair.repair big) in
       let t_rep =
         time_best ~repeat:1 (fun () ->
-            Compiler.plan ~allow_general:false Compiler.Non_propagation
+            Compiler.compile ~options:{ Compiler.Options.default with allow_general = false } Compiler.Non_propagation
               rep.Repair.graph)
       in
       row "  %6d %10d %a %a@." stages (Cycles.count big) pp_ns t_general pp_ns
@@ -1288,6 +1408,7 @@ let sections =
     ("S2", s2);
     ("P1", p1);
     ("FU1", fu1);
+    ("SV1", sv1);
     ("A1", a1);
     ("A2", a2);
     ("A3", a3);

@@ -53,6 +53,26 @@ let load_graph ~seed file demo =
   | Some _, Some _ -> Error "pass either --file or --demo, not both"
   | None, None -> Error "pass --file FILE or --demo NAME"
 
+(* Exit-code bands — the single place the whole map is written down.
+   Scripts and the cram tests branch on these; never reuse a number
+   across bands.
+
+     0        success (simulate: run completed; lint: no findings at or
+              above --fail-on; verify: safe; serve: every tenant
+              admitted and completed)
+     1        usage / topology load error (cmdliner reserves 124-125
+              for CLI parse errors)
+     2        simulate: run did not complete / verify: deadlock found /
+              repair failed
+     3        verify: state budget exhausted
+     10-14    plan rejected, one code per Compiler.error below
+     20-24    lint band: 20 Error findings, 21 warnings under
+              --fail-on warning, 22 fix failed, 23 analysis
+              incomplete, 24 spec load error
+     30-32    serve band: 30 tenant rejected at admission, 31 an
+              admitted tenant did not complete, 32 tenant spec load
+              error; worst wins (32 > 30 > 31 > 0) *)
+
 (* Typed compiler errors get their own exit-code band so scripts (and
    the cram tests) can tell rejection modes apart without parsing
    stderr. *)
@@ -90,12 +110,39 @@ let seed_arg =
           "Seed for randomized demo topologies ($(b,random-cs4)) and for the \
            filtering workload of $(b,simulate).")
 
+(* Every subcommand takes its topology the same way; one term carries
+   the whole flag group so commands cannot drift apart. *)
+type source = { file : string option; demo : string option; seed : int }
+
+let source_term =
+  Term.(
+    const (fun file demo seed -> { file; demo; seed })
+    $ file_arg $ demo_arg $ seed_arg)
+
+let load_source src = load_graph ~seed:src.seed src.file src.demo
+
+(* Files may carry per-node behaviours (App_spec); demos and plain
+   graph files get a uniform workload. Shared by simulate and lint. *)
+let load_app src =
+  match (src.file, src.demo) with
+  | Some path, None -> (
+    match App_spec.load path with
+    | Error e -> Error e
+    | Ok spec ->
+      Ok
+        ( spec.App_spec.graph,
+          if spec.App_spec.behaviors = [] then None else Some spec ))
+  | _ -> (
+    match load_source src with
+    | Error e -> Error e
+    | Ok g -> Ok (g, None))
+
 (* ------------------------------------------------------------------ *)
 (* classify                                                             *)
 
 let classify_cmd =
-  let run file demo seed =
-    match load_graph ~seed file demo with
+  let run src =
+    match load_source src with
     | Error e ->
       Format.eprintf "error: %s@." e;
       1
@@ -128,9 +175,7 @@ let classify_cmd =
       0
   in
   let doc = "Classify a topology: SP, SP-ladder, CS4 chain, or general DAG." in
-  Cmd.v
-    (Cmd.info "classify" ~doc)
-    Term.(const run $ file_arg $ demo_arg $ seed_arg)
+  Cmd.v (Cmd.info "classify" ~doc) Term.(const run $ source_term)
 
 (* ------------------------------------------------------------------ *)
 (* intervals                                                            *)
@@ -170,15 +215,29 @@ let max_cycles_arg =
           "Budget for the general fallback's simple-cycle enumeration \
            (default 10 million).")
 
+(* The compiler-configuration flag group, as a [Compiler.Options.t]
+   transformer (shared by intervals and fuse, which add their own
+   fields on top). *)
+let compile_options_term =
+  let combine no_general max_cycles (base : Compiler.Options.t) =
+    {
+      base with
+      Compiler.Options.allow_general = not no_general;
+      max_cycles =
+        Option.value max_cycles ~default:base.Compiler.Options.max_cycles;
+    }
+  in
+  Term.(const combine $ no_general_arg $ max_cycles_arg)
+
 let intervals_cmd =
-  let run file demo seed algorithm no_general max_cycles =
-    match load_graph ~seed file demo with
+  let run src algorithm options =
+    match load_source src with
     | Error e ->
       Format.eprintf "error: %s@." e;
       1
     | Ok g -> (
       match
-        Compiler.plan ~allow_general:(not no_general) ?max_cycles algorithm g
+        Compiler.compile ~options:(options Compiler.Options.default) algorithm g
       with
       | Error e -> plan_error e
       | Ok plan ->
@@ -205,9 +264,7 @@ let intervals_cmd =
   let doc = "Compute dummy-message intervals for every channel." in
   Cmd.v
     (Cmd.info "intervals" ~doc)
-    Term.(
-      const run $ file_arg $ demo_arg $ seed_arg $ algorithm_arg
-      $ no_general_arg $ max_cycles_arg)
+    Term.(const run $ source_term $ algorithm_arg $ compile_options_term)
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                             *)
@@ -224,6 +281,22 @@ let avoidance_arg =
     & info [ "avoidance" ] ~docv:"MODE"
         ~doc:"Deadlock avoidance wrapper: $(b,none), $(b,propagation) or \
               $(b,non-propagation).")
+
+(* Compile the threshold table a wrapper choice needs (shared by
+   simulate and verify). *)
+let resolve_avoidance choice g =
+  match choice with
+  | A_none -> Ok Engine.No_avoidance
+  | A_prop -> (
+    match Compiler.compile Compiler.Propagation g with
+    | Ok p ->
+      Ok (Engine.Propagation (Compiler.propagation_thresholds g p.intervals))
+    | Error e -> Error e)
+  | A_nonprop -> (
+    match Compiler.compile Compiler.Non_propagation g with
+    | Ok p ->
+      Ok (Engine.Non_propagation (Compiler.send_thresholds g p.intervals))
+    | Error e -> Error e)
 
 let inputs_arg =
   Arg.(
@@ -275,20 +348,66 @@ let parallel_arg =
            sequential scheduler. Dummy traffic is timing-dependent there; \
            data and sink counts stay schedule-independent.")
 
-let domains_arg =
-  let pos_int =
-    let parse s =
-      match int_of_string_opt s with
-      | Some d when d >= 1 -> Ok d
-      | _ -> Error (`Msg (Printf.sprintf "expected a positive int, got %S" s))
-    in
-    Arg.conv (parse, Format.pp_print_int)
+let pos_int_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some d when d >= 1 -> Ok d
+    | _ -> Error (`Msg (Printf.sprintf "expected a positive int, got %S" s))
   in
+  Arg.conv (parse, Format.pp_print_int)
+
+let domains_arg =
   Arg.(
     value
-    & opt (some pos_int) None
+    & opt (some pos_int_conv) None
     & info [ "domains" ] ~docv:"N"
         ~doc:"Worker domains for $(b,--parallel) (default: automatic).")
+
+let grain_arg =
+  Arg.(
+    value
+    & opt pos_int_conv Run.default_grain
+    & info [ "grain" ] ~docv:"K"
+        ~doc:
+          (Printf.sprintf
+             "With $(b,--parallel): consecutive firings of one node per task \
+              before it re-queues itself (default %d)."
+             Run.default_grain))
+
+let stall_ms_arg =
+  Arg.(
+    value
+    & opt (some pos_int_conv) None
+    & info [ "stall-ms" ] ~docv:"MS"
+        ~doc:
+          "With $(b,--parallel): enable the backstop watchdog — abort as \
+           deadlocked if progress freezes for MS milliseconds with no kernel \
+           in flight (default: disabled; quiescence detection is exact).")
+
+(* The engine flag group, shared by every command that executes a
+   topology: which engine, and its knobs. Folded into a [Run.config]
+   by [run_config] — the one place engine dispatch happens. *)
+type engine_choice = {
+  parallel : bool;
+  domains : int option;
+  grain : int;
+  stall_ms : int option;
+  scheduler : Engine.scheduler;
+}
+
+let engine_term =
+  let combine parallel domains grain stall_ms scheduler =
+    { parallel; domains; grain; stall_ms; scheduler }
+  in
+  Term.(
+    const combine $ parallel_arg $ domains_arg $ grain_arg $ stall_ms_arg
+    $ scheduler_arg)
+
+let run_config ec ?sink ?deadlock_dump ~avoidance () =
+  if ec.parallel then
+    Run.pool ?domains:ec.domains ~grain:ec.grain ?stall_ms:ec.stall_ms ?sink
+      ~avoidance ()
+  else Run.sequential ~scheduler:ec.scheduler ?sink ?deadlock_dump ~avoidance ()
 
 let fuse_flag_arg =
   Arg.(
@@ -321,33 +440,17 @@ let spec_filter_class (spec : App_spec.t) =
       | None -> spec.App_spec.default)
 
 let simulate_cmd =
-  let run file demo avoidance inputs keep seed scheduler parallel domains
-      trace_out metrics fuse =
-    let loaded =
-      (* files may carry per-node behaviours (App_spec); demos and plain
-         graph files get the uniform Bernoulli workload *)
-      match (file, demo) with
-      | Some path, None -> (
-        match App_spec.load path with
-        | Error e -> Error e
-        | Ok spec ->
-          if spec.App_spec.behaviors = [] then
-            Ok (spec.App_spec.graph, None)
-          else Ok (spec.App_spec.graph, Some spec))
-      | _ -> (
-        match load_graph ~seed file demo with
-        | Error e -> Error e
-        | Ok g -> Ok (g, None))
-    in
-    match loaded with
+  let run src avoidance inputs keep engine trace_out metrics fuse =
+    match load_app src with
     | Error e ->
       Format.eprintf "error: %s@." e;
       1
     | Ok (g, spec) -> (
+      let seed = src.seed in
       let kernels =
         match spec with
         | Some spec -> App_spec.kernels spec ~seed
-        | None when parallel || fuse ->
+        | None when engine.parallel || fuse ->
           (* per-node RNG: thread-safe under the pool runtime, and
              node-deterministic so counts are schedule-independent and
              fused runs comparable to unfused ones *)
@@ -368,7 +471,10 @@ let simulate_cmd =
           | A_none -> with_fusion (Fusion.fuse ?filter_class g) Engine.No_avoidance
           | A_prop -> (
             match
-              Compiler.plan ~fuse:true ?filter_class Compiler.Propagation g
+              Compiler.compile
+                ~options:
+                  { Compiler.Options.default with fuse = true; filter_class }
+                Compiler.Propagation g
             with
             | Ok { Compiler.fused = Some { fusion; fused_intervals }; _ } ->
               with_fusion fusion
@@ -379,7 +485,10 @@ let simulate_cmd =
             | Error e -> Error e)
           | A_nonprop -> (
             match
-              Compiler.plan ~fuse:true ?filter_class Compiler.Non_propagation g
+              Compiler.compile
+                ~options:
+                  { Compiler.Options.default with fuse = true; filter_class }
+                Compiler.Non_propagation g
             with
             | Ok { Compiler.fused = Some { fusion; fused_intervals }; _ } ->
               with_fusion fusion
@@ -390,26 +499,7 @@ let simulate_cmd =
             | Error e -> Error e)
         end
         else
-          match avoidance with
-          | A_none -> Ok (g, kernels, Engine.No_avoidance)
-          | A_prop -> (
-            match Compiler.plan Compiler.Propagation g with
-            | Ok p ->
-              Ok
-                ( g,
-                  kernels,
-                  Engine.Propagation
-                    (Compiler.propagation_thresholds g p.intervals) )
-            | Error e -> Error e)
-          | A_nonprop -> (
-            match Compiler.plan Compiler.Non_propagation g with
-            | Ok p ->
-              Ok
-                ( g,
-                  kernels,
-                  Engine.Non_propagation (Compiler.send_thresholds g p.intervals)
-                )
-            | Error e -> Error e)
+          Result.map (fun av -> (g, kernels, av)) (resolve_avoidance avoidance g)
       in
       match setup with
       | Error e -> plan_error e
@@ -434,12 +524,10 @@ let simulate_cmd =
             Some (Fstream_obs.Sink.tee s (Fstream_obs.Metrics.sink c))
         in
         let report =
-          if parallel then
-            Fstream_parallel.Parallel_engine.run ?domains ?sink ~graph:g
-              ~kernels ~inputs ~avoidance ()
-          else
-            Engine.run ~scheduler ~deadlock_dump:Format.std_formatter ?sink
-              ~graph:g ~kernels ~inputs ~avoidance ()
+          Run.exec
+            (run_config engine ?sink ~deadlock_dump:Format.std_formatter
+               ~avoidance ())
+            ~graph:g ~kernels ~inputs ()
         in
         Option.iter
           (fun (s, oc) ->
@@ -464,24 +552,25 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc)
     Term.(
-      const run $ file_arg $ demo_arg $ avoidance_arg $ inputs_arg $ keep_arg
-      $ seed_arg $ scheduler_arg $ parallel_arg $ domains_arg $ trace_out_arg
-      $ metrics_arg $ fuse_flag_arg)
+      const run $ source_term $ avoidance_arg $ inputs_arg $ keep_arg
+      $ engine_term $ trace_out_arg $ metrics_arg $ fuse_flag_arg)
 
 (* ------------------------------------------------------------------ *)
 (* fuse                                                                 *)
 
 let fuse_cmd =
-  let run file demo seed algorithm no_general max_cycles pins =
-    match load_graph ~seed file demo with
+  let run src algorithm options pins =
+    match load_source src with
     | Error e ->
       Format.eprintf "error: %s@." e;
       1
     | Ok g -> (
       let pin = if pins = [] then None else Some (fun v -> List.mem v pins) in
       match
-        Compiler.plan ~allow_general:(not no_general) ?max_cycles ~fuse:true
-          ?pin algorithm g
+        Compiler.compile
+          ~options:
+            (options { Compiler.Options.default with fuse = true; pin })
+          algorithm g
       with
       | Error e -> plan_error e
       | Ok { Compiler.fused = None; _ } -> assert false
@@ -524,36 +613,19 @@ let fuse_cmd =
   in
   Cmd.v (Cmd.info "fuse" ~doc)
     Term.(
-      const run $ file_arg $ demo_arg $ seed_arg $ algorithm_arg
-      $ no_general_arg $ max_cycles_arg $ pin_arg)
+      const run $ source_term $ algorithm_arg $ compile_options_term $ pin_arg)
 
 (* ------------------------------------------------------------------ *)
 (* verify                                                               *)
 
 let verify_cmd =
-  let run file demo seed avoidance inputs max_states strategy =
-    match load_graph ~seed file demo with
+  let run src avoidance inputs max_states strategy =
+    match load_source src with
     | Error e ->
       Format.eprintf "error: %s@." e;
       1
     | Ok g -> (
-      let wrapper =
-        match avoidance with
-        | A_none -> Ok Engine.No_avoidance
-        | A_prop -> (
-          match Compiler.plan Compiler.Propagation g with
-          | Ok p ->
-            Ok
-              (Engine.Propagation
-                 (Compiler.propagation_thresholds g p.intervals))
-          | Error e -> Error e)
-        | A_nonprop -> (
-          match Compiler.plan Compiler.Non_propagation g with
-          | Ok p ->
-            Ok (Engine.Non_propagation (Compiler.send_thresholds g p.intervals))
-          | Error e -> Error e)
-      in
-      match wrapper with
+      match resolve_avoidance avoidance g with
       | Error e -> plan_error e
       | Ok avoidance -> (
         let r = Verify.check ~max_states ~strategy ~graph:g ~avoidance ~inputs () in
@@ -587,15 +659,14 @@ let verify_cmd =
   in
   Cmd.v (Cmd.info "verify" ~doc)
     Term.(
-      const run $ file_arg $ demo_arg $ seed_arg $ avoidance_arg $ inputs
-      $ max_states $ strategy)
+      const run $ source_term $ avoidance_arg $ inputs $ max_states $ strategy)
 
 (* ------------------------------------------------------------------ *)
 (* repair                                                               *)
 
 let repair_cmd =
-  let run file demo seed out =
-    match load_graph ~seed file demo with
+  let run src out =
+    match load_source src with
     | Error e ->
       Format.eprintf "error: %s@." e;
       1
@@ -623,8 +694,7 @@ let repair_cmd =
           ~doc:"Write the repaired topology to FILE (graph file format).")
   in
   let doc = "Rewrite a non-CS4 topology into a CS4 one (paper §VII)." in
-  Cmd.v (Cmd.info "repair" ~doc)
-    Term.(const run $ file_arg $ demo_arg $ seed_arg $ out)
+  Cmd.v (Cmd.info "repair" ~doc) Term.(const run $ source_term $ out)
 
 (* ------------------------------------------------------------------ *)
 (* lint                                                                 *)
@@ -635,23 +705,9 @@ let repair_cmd =
 let lint_cmd =
   let module Lint = Fstream_analysis.Lint in
   let module Render = Fstream_analysis.Render in
-  let run file demo seed algorithm max_cycles format fail_on fix out color =
+  let run src algorithm max_cycles format fail_on fix out color =
     (* files may carry per-node behaviours (App_spec): lint them too *)
-    let loaded =
-      match (file, demo) with
-      | Some path, None -> (
-        match App_spec.load path with
-        | Error e -> Error e
-        | Ok spec ->
-          Ok
-            ( spec.App_spec.graph,
-              if spec.App_spec.behaviors = [] then None else Some spec ))
-      | _ -> (
-        match load_graph ~seed file demo with
-        | Error e -> Error e
-        | Ok g -> Ok (g, None))
-    in
-    match loaded with
+    match load_app src with
     | Error e ->
       Format.eprintf "error: %s@." e;
       24
@@ -667,7 +723,7 @@ let lint_cmd =
         }
       in
       let source =
-        match (file, demo) with
+        match (src.file, src.demo) with
         | Some path, _ -> path
         | None, Some name -> "demo:" ^ name
         | None, None -> "graph"
@@ -752,16 +808,15 @@ let lint_cmd =
   in
   Cmd.v (Cmd.info "lint" ~doc)
     Term.(
-      const run $ file_arg $ demo_arg $ seed_arg $ algorithm_arg
-      $ max_cycles_arg $ format_arg $ fail_on_arg $ fix_arg $ out_arg
-      $ color_arg)
+      const run $ source_term $ algorithm_arg $ max_cycles_arg $ format_arg
+      $ fail_on_arg $ fix_arg $ out_arg $ color_arg)
 
 (* ------------------------------------------------------------------ *)
 (* size                                                                 *)
 
 let size_cmd =
-  let run file demo seed algorithm target =
-    match load_graph ~seed file demo with
+  let run src algorithm target =
+    match load_source src with
     | Error e ->
       Format.eprintf "error: %s@." e;
       1
@@ -773,7 +828,7 @@ let size_cmd =
       | Ok c ->
         Format.printf
           "smallest uniform buffer scaling for intervals >= %d: x%d@." target c;
-        (match Compiler.plan algorithm (Sizing.scale_caps g c) with
+        (match Compiler.compile algorithm (Sizing.scale_caps g c) with
         | Ok p ->
           let tightest =
             Array.fold_left Interval.min Interval.inf p.intervals
@@ -793,14 +848,14 @@ let size_cmd =
     "Compute the minimal uniform buffer scaling for a target dummy rate."
   in
   Cmd.v (Cmd.info "size" ~doc)
-    Term.(const run $ file_arg $ demo_arg $ seed_arg $ algorithm_arg $ target)
+    Term.(const run $ source_term $ algorithm_arg $ target)
 
 (* ------------------------------------------------------------------ *)
 (* dot                                                                  *)
 
 let dot_cmd =
-  let run file demo seed =
-    match load_graph ~seed file demo with
+  let run src =
+    match load_source src with
     | Error e ->
       Format.eprintf "error: %s@." e;
       1
@@ -809,7 +864,172 @@ let dot_cmd =
       0
   in
   let doc = "Emit Graphviz dot for a topology (to stdout)." in
-  Cmd.v (Cmd.info "dot" ~doc) Term.(const run $ file_arg $ demo_arg $ seed_arg)
+  Cmd.v (Cmd.info "dot" ~doc) Term.(const run $ source_term)
+
+(* ------------------------------------------------------------------ *)
+(* serve                                                                *)
+
+(* The multi-tenant daemon shape, batch-sized for a CLI: load every
+   tenant spec, admit them all (lint at the door, compile-once
+   registry), start every admitted session on one shared pool, then
+   await and summarize. Exit codes are the 30-32 band from the map
+   above; the worst tenant wins. *)
+let serve_cmd =
+  let module Serve = Fstream_serve.Serve in
+  let run dir demo_tenants mode inputs seed domains quota grain =
+    let sources =
+      match (dir, demo_tenants) with
+      | Some _, _ :: _ ->
+        Error "pass either --dir or --demo tenants, not both"
+      | Some d, [] -> (
+        match Sys.readdir d with
+        | exception Sys_error e -> Error e
+        | names ->
+          Array.sort compare names;
+          Ok
+            (Array.to_list names
+            |> List.map (Filename.concat d)
+            |> List.filter (fun p -> not (Sys.is_directory p))
+            |> List.map (fun p -> `Spec p)))
+      | None, (_ :: _ as ds) -> Ok (List.map (fun d -> `Demo d) ds)
+      | None, [] ->
+        (* tenant spec paths on stdin, one per line *)
+        let rec read acc =
+          match input_line stdin with
+          | line ->
+            let line = String.trim line in
+            read (if line = "" then acc else `Spec line :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        Ok (read [])
+    in
+    match sources with
+    | Error e ->
+      Format.eprintf "error: %s@." e;
+      32
+    | Ok [] ->
+      Format.eprintf "error: no tenant specs (pass --dir, --demo, or paths \
+                      on stdin)@.";
+      32
+    | Ok sources ->
+      let load_failed = ref false
+      and rejected = ref false
+      and run_failed = ref false in
+      let loaded =
+        List.filter_map
+          (fun source ->
+            match source with
+            | `Spec path -> (
+              let name = Filename.remove_extension (Filename.basename path) in
+              match App_spec.load path with
+              | Error e ->
+                Format.printf "%-16s load error: %s@." name e;
+                load_failed := true;
+                None
+              | Ok spec -> Some (name, spec))
+            | `Demo name -> (
+              match load_graph ~seed None (Some name) with
+              | Error e ->
+                Format.printf "%-16s load error: %s@." name e;
+                load_failed := true;
+                None
+              | Ok g ->
+                Some
+                  ( name,
+                    { App_spec.graph = g; behaviors = []; default =
+                        App_spec.Bernoulli 0.7 } )))
+          sources
+      in
+      let t = Serve.create ?domains ?quota ~grain () in
+      let sessions =
+        List.filter_map
+          (fun (name, (spec : App_spec.t)) ->
+            match Serve.admit t ~name ~spec ~mode spec.App_spec.graph with
+            | Error r ->
+              Format.printf "%-16s rejected: %a@." name Serve.pp_rejection r;
+              rejected := true;
+              None
+            | Ok s -> Some (s, spec))
+          loaded
+      in
+      (* every admitted session is live on the pool before any await:
+         their tasks interleave under the fair-share quota *)
+      List.iter
+        (fun (s, spec) ->
+          Serve.start t ~kernels:(App_spec.kernels spec ~seed) ~inputs s)
+        sessions;
+      List.iter
+        (fun (s, _) ->
+          let r = Serve.await s in
+          if r.Report.outcome <> Report.Completed then run_failed := true;
+          Format.printf "%-16s %a  data=%d sink=%d dummy=%d@." (Serve.name s)
+            Report.pp_outcome r.Report.outcome r.Report.data_messages
+            r.Report.sink_data r.Report.dummy_messages)
+        sessions;
+      Serve.shutdown t;
+      let st = Serve.stats t in
+      Format.printf "tenants=%d rejected=%d compiles=%d@." st.Serve.tenants
+        st.Serve.rejections st.Serve.compiles;
+      if !load_failed then 32
+      else if !rejected then 30
+      else if !run_failed then 31
+      else 0
+  in
+  let dir_arg =
+    Arg.(
+      value
+      & opt (some dir) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:
+            "Serve every App_spec file in DIR as a tenant (sorted by name). \
+             Without $(b,--dir) or $(b,--demo), spec paths are read from \
+             stdin, one per line.")
+  in
+  let demo_tenants_arg =
+    let names = String.concat ", " (List.map fst demos) in
+    Arg.(
+      value & opt_all string []
+      & info [ "demo" ] ~docv:"NAME"
+          ~doc:
+            (Printf.sprintf
+               "Serve a built-in demo topology as a tenant under a Bernoulli \
+                workload (repeatable): %s."
+               names))
+  in
+  let mode_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("none", Serve.No_avoidance);
+               ("propagation", Serve.Propagation);
+               ("non-propagation", Serve.Non_propagation);
+             ])
+          Serve.Non_propagation
+      & info [ "avoidance" ] ~docv:"MODE"
+          ~doc:
+            "Avoidance mode every tenant runs under; the serving layer \
+             compiles one threshold table per distinct topology \
+             fingerprint.")
+  in
+  let quota_arg =
+    Arg.(
+      value
+      & opt (some pos_int_conv) None
+      & info [ "quota" ] ~docv:"K"
+          ~doc:
+            "Fair-share bound: consecutive task grants a worker gives one \
+             tenant while another has queued work.")
+  in
+  let doc =
+    "Serve many tenant applications on one shared worker pool, with lint \
+     admission control and a compile-once threshold registry."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ dir_arg $ demo_tenants_arg $ mode_arg $ inputs_arg
+      $ seed_arg $ domains_arg $ quota_arg $ grain_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -827,6 +1047,7 @@ let () =
             verify_cmd;
             repair_cmd;
             lint_cmd;
+            serve_cmd;
             size_cmd;
             dot_cmd;
           ]))

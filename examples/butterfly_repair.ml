@@ -20,7 +20,7 @@ let () =
   let g = Topo_gen.fig4_butterfly ~cap:2 in
   let name = [| "X"; "a"; "b"; "c"; "d"; "Y" |] in
   Format.printf "original butterfly:@.";
-  (match Compiler.plan Compiler.Non_propagation g with
+  (match Compiler.compile Compiler.Non_propagation g with
   | Ok p -> Format.printf "  interval route: %a@." Compiler.pp_route p.route
   | Error e -> Format.printf "  %a@." Compiler.pp_error e);
 
@@ -49,7 +49,7 @@ let () =
 
   let g' = r.graph in
   let plan =
-    match Compiler.plan Compiler.Non_propagation g' with
+    match Compiler.compile Compiler.Non_propagation g' with
     | Ok p -> p
     | Error e -> failwith (Compiler.error_to_string e)
   in

@@ -16,7 +16,7 @@ open Fstream_runtime
 open Fstream_workloads
 
 let overhead g =
-  match Compiler.plan Compiler.Non_propagation g with
+  match Compiler.compile Compiler.Non_propagation g with
   | Error e -> failwith (Compiler.error_to_string e)
   | Ok plan ->
     let rng = Random.State.make [| 11 |] in

@@ -34,7 +34,7 @@ let () =
   | None -> Format.printf "@.");
 
   let prop_plan =
-    match Compiler.plan Compiler.Propagation g with
+    match Compiler.compile Compiler.Propagation g with
     | Ok p -> p
     | Error e -> failwith (Compiler.error_to_string e)
   in
@@ -53,7 +53,7 @@ let () =
 
   Format.printf "--- non-propagation algorithm ---@.";
   let np_plan =
-    match Compiler.plan Compiler.Non_propagation g with
+    match Compiler.compile Compiler.Non_propagation g with
     | Ok p -> p
     | Error e -> failwith (Compiler.error_to_string e)
   in

@@ -44,7 +44,7 @@ let () =
       ]
   in
   let plan =
-    match Compiler.plan Compiler.Non_propagation g with
+    match Compiler.compile Compiler.Non_propagation g with
     | Ok p -> p
     | Error e -> failwith (Compiler.error_to_string e)
   in

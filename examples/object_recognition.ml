@@ -31,7 +31,7 @@ let () =
      every cycle pairs two router branches, so only the router's
      channels get finite intervals — recognizer channels relay. *)
   let plan =
-    match Compiler.plan Compiler.Propagation g with
+    match Compiler.compile Compiler.Propagation g with
     | Ok p -> p
     | Error e -> failwith (Compiler.error_to_string e)
   in
@@ -65,7 +65,7 @@ let () =
   in
   Format.printf "propagation:      %a@." Report.pp prop;
   let nonprop =
-    match Compiler.plan Compiler.Non_propagation g with
+    match Compiler.compile Compiler.Non_propagation g with
     | Ok p -> run (Engine.Non_propagation (Compiler.send_thresholds g p.intervals))
     | Error e -> failwith (Compiler.error_to_string e)
   in

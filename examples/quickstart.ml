@@ -28,7 +28,7 @@ let () =
   (* 2. Ask the compiler for dummy intervals. It classifies the DAG
      (SP? SP-ladder? general?) and picks the right algorithm. *)
   let plan =
-    match Compiler.plan Compiler.Non_propagation g with
+    match Compiler.compile Compiler.Non_propagation g with
     | Ok p -> p
     | Error e -> failwith (Compiler.error_to_string e)
   in

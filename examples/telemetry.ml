@@ -61,7 +61,7 @@ let () =
           if e = e_routine then incr routine else alerts := f :: !alerts)
         inputs);
   (* compile: intervals for the ladder, then run on real domains *)
-  let plan = Result.get_ok (Compiler.plan Compiler.Non_propagation g) in
+  let plan = Result.get_ok (Compiler.compile Compiler.Non_propagation g) in
   Format.printf "topology: %a@." Compiler.pp_route plan.route;
   let stats =
     Fstream_parallel.Parallel_engine.run ~graph:g

@@ -274,7 +274,9 @@ let make_ctx cfg g =
   let plan =
     if dag && connected then
       Some
-        (Compiler.plan ~allow_general:true ~max_cycles:cfg.max_cycles
+        (Compiler.compile
+           ~options:
+             { Compiler.Options.default with max_cycles = cfg.max_cycles }
            cfg.algorithm g)
   else None
   in

@@ -92,12 +92,33 @@ let run_general algorithm ?max_cycles g =
     fused = None;
   }
 
-let plan ?(allow_general = true) ?max_cycles ?(fuse = false) ?pin ?filter_class
-    algorithm g =
+module Options = struct
+  type t = {
+    allow_general : bool;
+    max_cycles : int;
+    fuse : bool;
+    pin : (Graph.node -> bool) option;
+    filter_class : (Graph.node -> int) option;
+  }
+
+  let default =
+    {
+      allow_general = true;
+      max_cycles = 10_000_000;
+      fuse = false;
+      pin = None;
+      filter_class = None;
+    }
+end
+
+let compile ?(options = Options.default) algorithm g =
   let attach_fusion p =
-    if not fuse then p
+    if not options.Options.fuse then p
     else
-      let fusion = Fusion.fuse ?pin ?filter_class g in
+      let fusion =
+        Fusion.fuse ?pin:options.Options.pin
+          ?filter_class:options.Options.filter_class g
+      in
       let fused_intervals = Fusion.derive_intervals fusion p.intervals in
       { p with fused = Some { fusion; fused_intervals } }
   in
@@ -115,17 +136,31 @@ let plan ?(allow_general = true) ?max_cycles ?(fuse = false) ?pin ?filter_class
              fused = None;
            })
     | Error failure ->
-      if allow_general then
-        try Ok (attach_fusion (run_general algorithm ?max_cycles g))
-        with Failure _ ->
-          Error
-            (Cycle_budget_exceeded
-               (Option.value max_cycles ~default:10_000_000))
+      if options.Options.allow_general then
+        try
+          Ok
+            (attach_fusion
+               (run_general algorithm ~max_cycles:options.Options.max_cycles g))
+        with Failure _ -> Error (Cycle_budget_exceeded options.Options.max_cycles)
       else
         Error
           (match failure with
           | Cs4.Not_two_terminal -> Not_two_terminal
           | Cs4.Bad_block _ -> Non_cs4_rejected failure)
+
+let plan ?(allow_general = true) ?max_cycles ?(fuse = false) ?pin ?filter_class
+    algorithm g =
+  compile
+    ~options:
+      {
+        Options.allow_general;
+        max_cycles =
+          Option.value max_cycles ~default:Options.default.Options.max_cycles;
+        fuse;
+        pin;
+        filter_class;
+      }
+    algorithm g
 
 let send_thresholds g intervals =
   Thresholds.of_array g (Array.map Interval.threshold intervals)

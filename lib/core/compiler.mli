@@ -65,6 +65,46 @@ val pp_error : Format.formatter -> error -> unit
 
 val error_to_string : error -> string
 
+(** Compilation options, replacing [plan]'s historically growing
+    optional-argument list. Build a value by record update on
+    {!Options.default}:
+    [{ Compiler.Options.default with fuse = true }]. *)
+module Options : sig
+  type t = {
+    allow_general : bool;
+        (** permit the exponential fallback on non-CS4 DAGs (default
+            [true]); with [false] such graphs are [Non_cs4_rejected],
+            mirroring a compiler that rejects unsupported topologies *)
+    max_cycles : int;
+        (** bound on the general fallback's undirected-simple-cycle
+            enumeration (default 10 million); exceeding it yields
+            [Cycle_budget_exceeded] *)
+    fuse : bool;
+        (** additionally run the {!Fusion} pass on any successfully
+            compiled topology — including the general-fallback route —
+            and attach the partition plus the derived fused interval
+            table as [plan.fused] (default [false]) *)
+    pin : (Graph.node -> bool) option;
+        (** only meaningful with [fuse = true]: pinned nodes stay
+            unfused (forwarded to {!Fusion.fuse}) *)
+    filter_class : (Graph.node -> int) option;
+        (** only meaningful with [fuse = true]: chains never span a
+            filter-behaviour-class change (forwarded to
+            {!Fusion.fuse}) *)
+  }
+
+  val default : t
+end
+
+val compile :
+  ?options:Options.t -> algorithm -> Graph.t -> (plan, error) result
+(** Classify the topology and compute its interval table under
+    [options] (default {!Options.default}). The general fallback only
+    needs acyclicity and connectivity. Thresholds for a fused run must
+    be built against [fusion.graph] and [fused_intervals]; the
+    {!Thresholds.t} graph fingerprint then rejects any attempt to run a
+    fused table on the original topology, and vice versa. *)
+
 val plan :
   ?allow_general:bool ->
   ?max_cycles:int ->
@@ -74,23 +114,10 @@ val plan :
   algorithm ->
   Graph.t ->
   (plan, error) result
-(** [allow_general] (default [true]) permits the exponential fallback
-    on non-CS4 DAGs; with [~allow_general:false] such graphs are
-    [Non_cs4_rejected], mirroring a compiler that rejects unsupported
-    topologies. The general fallback only needs acyclicity and
-    connectivity; [max_cycles] (default 10 million) bounds its cycle
-    enumeration.
-
-    [fuse] (default [false]) additionally runs the {!Fusion} pass on any
-    successfully compiled topology — including the general-fallback
-    route — and attaches the partition plus the derived fused interval
-    table as [plan.fused]. [pin] and [filter_class] (only meaningful
-    with [~fuse:true]) are forwarded to {!Fusion.fuse}: pinned nodes
-    stay unfused, and chains never span a filter-behaviour-class
-    change. Thresholds for a fused run must
-    be built against [fusion.graph] and [fused_intervals]; the
-    {!Thresholds.t} graph fingerprint then rejects any attempt to run a
-    fused table on the original topology, and vice versa. *)
+[@@deprecated "use Compiler.compile with Compiler.Options instead"]
+(** Labelled-argument wrapper around {!compile}, kept for source
+    compatibility. Each argument maps to the {!Options.t} field of the
+    same name. *)
 
 val send_thresholds : Graph.t -> Interval.t array -> Thresholds.t
 (** Integer gap thresholds for the runtime wrappers, bound to the graph

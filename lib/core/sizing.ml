@@ -7,7 +7,7 @@ let scale_caps g c =
 let min_uniform_scale g algorithm ~target =
   if target < 1 then Error "target interval must be positive"
   else
-    match Compiler.plan ~allow_general:false algorithm g with
+    match Compiler.compile ~options:{ Compiler.Options.default with allow_general = false } algorithm g with
     | Error e -> Error (Compiler.error_to_string e)
     | Ok plan ->
       let tightest =

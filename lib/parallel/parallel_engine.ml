@@ -3,52 +3,72 @@ module Engine = Fstream_runtime.Engine
 module Channel = Fstream_runtime.Channel
 module Message = Fstream_runtime.Message
 module Report = Fstream_runtime.Report
+module Run = Fstream_runtime.Run
 module Thresholds = Fstream_core.Thresholds
 module Event = Fstream_obs.Event
 module Sink = Fstream_obs.Sink
 
-(* Sharded domain-pool runtime.
+(* Sharded domain-pool runtime, multiplexing many application
+   instances over one persistent set of worker domains.
 
    Nodes are lightweight tasks executed by a fixed pool of worker
    domains; the one-domain-per-node model (and its 64-node cap) is
-   gone. The graph's nodes are partitioned into [nshards = domains]
-   contiguous shards, each with its own mutex and a ready-queue of
-   runnable nodes. Workers drain their home shard and steal from the
-   others round-robin when it runs dry.
+   gone. Each submitted instance partitions its graph's nodes into
+   [nshards = domains] contiguous shards, each with its own mutex and
+   a ready-queue of runnable nodes. Workers drain one instance's
+   shards (home shard first, stealing round-robin when it runs dry)
+   and rotate between live instances under the fair-share quota: at
+   most [quota] consecutive task grants to one instance while another
+   instance has queued work, so a hot tenant cannot monopolize the
+   pool — the instance-level analogue of the per-node [grain] bound.
 
    Locking discipline — the single invariant everything hangs off:
 
      every operation on channel [e] happens under the lock of
-     [shard (dst e)].
+     [shard (dst e)] (shards, locks and channels are per instance).
 
    A node's in-edges all terminate at the node, so its firing decision
    (all inputs non-empty, min head sequence, pops) needs exactly one
    lock: its own shard's. A push takes the consumer's shard lock. No
    code path ever holds two shard locks at once: pops that free a full
    channel collect the producer node ids and wake them after the
-   consumer's lock is released. The event sink and the idle condition
-   variable have their own locks, acquired only as leaves.
+   consumer's lock is released. The event sink and the pool's idle
+   condition variable have their own locks, acquired only as leaves.
 
    A node never blocks a worker: sends that find a full channel go to
    the node's pending ring (the sequential engine's model) and the node
    simply drops out of the runnable set until a pop on the jammed
    channel wakes it. With that, pool-level scheduling can never wedge
-   on workers < nodes, and deadlock detection becomes an exact
-   quiescence check instead of a wall-clock heuristic: the run is over
-   when every worker is idle and no task is queued — no kernel in
-   flight, nothing runnable. Live nodes remaining at that point mean a
-   genuine deadlock of the streaming computation itself. The
-   [stall_ms] timer survives only as an off-by-default backstop that
-   additionally requires zero in-flight kernels, so a kernel that
-   computes for longer than the window can never be misreported as a
-   deadlock again.
+   on workers < nodes, and per-instance completion is an exact ticket
+   count instead of a wall-clock heuristic: [live] counts the
+   instance's queued-plus-running tasks (a task keeps its ticket while
+   it re-queues itself or carries a missed wake, and every wake is
+   performed by a running task of the same instance, which still holds
+   its own ticket), so [live] reaching zero is permanent quiescence —
+   nothing runnable, no kernel in flight, and nothing that could ever
+   make a node runnable again. The worker that releases the last
+   ticket finalizes the instance: live nodes remaining at that point
+   mean a genuine deadlock of the streaming computation itself. The
+   previous single-run pool detected the same condition globally
+   ("every worker idle and nothing queued"); the ticket count is that
+   check made per-instance, which a shared pool needs because other
+   tenants keep the workers busy. The [stall_ms] timer survives only
+   as an off-by-default backstop that additionally requires zero
+   in-flight kernels and an empty ready-queue for the instance, so a
+   kernel that computes for longer than the window can never be
+   misreported as a deadlock.
 
    Consecutive executions of one node may land on different workers,
    but never overlap: the per-node [Queued]/[Running]/[Running_dirty]
    state machine (mutated only under the node's shard lock) guarantees
    mutual exclusion, and the lock hand-over gives the happens-before
    edge that makes the node's plain fields (pending ring, dummy slots,
-   stamps, scratch) safe to keep unsynchronized. *)
+   stamps, scratch) safe to keep unsynchronized. An instance's plain
+   setup-time state is published to the workers by the
+   sequentially-consistent write of the pool's instance array; its
+   report is assembled by the finalizing worker, whose last-ticket
+   decrement is ordered after every other worker's release of the same
+   atomic. *)
 
 let hole : Message.t = Message.eos ()
 
@@ -110,678 +130,888 @@ let f_owner = 5
 let f_dst = 6
 let f_drop = 7 (* dummies superseded before delivery *)
 
-let default_domains () =
-  let d = try Domain.recommended_domain_count () with _ -> 2 in
-  max 1 (min 8 (d - 1))
+let default_grain = Run.default_grain
+let default_domains = Run.default_domains
+let default_quota = 4
 
-let run ?domains ?(grain = 32) ?stall_ms ?sink ~graph:g ~kernels ~inputs
-    ~avoidance () =
-  let n = Graph.num_nodes g and m = Graph.num_edges g in
-  let nd =
-    match domains with
-    | None -> default_domains ()
-    | Some d ->
-      if d < 1 || d > 126 then
-        invalid_arg "Parallel_engine.run: domains out of range";
-      d
-  in
-  if grain < 1 then invalid_arg "Parallel_engine.run: grain < 1";
-  let sink =
-    match sink with
-    | Some s when not (Sink.is_null s) -> Some s
-    | _ -> None
-  in
-  let obs = sink <> None in
-  let sink_lock = Mutex.create () in
-  (* sink calls are serialized, whatever domain they come from *)
-  let ev e =
-    match sink with
-    | Some s ->
-      Mutex.lock sink_lock;
-      Sink.emit s e;
-      Mutex.unlock sink_lock
-    | None -> ()
-  in
-  let thresholds, forwarding =
-    match avoidance with
-    | Engine.No_avoidance -> (Array.make m None, false)
-    | Engine.Propagation t ->
-      Thresholds.check t g;
-      (Thresholds.to_array t, true)
-    | Engine.Non_propagation t ->
-      Thresholds.check t g;
-      (Thresholds.to_array t, false)
-  in
-  let chans =
-    Array.init m (fun i -> Channel.create ~capacity:(Graph.edge g i).cap)
-  in
-  let ed = Array.make (m * 8) 0 in
-  for i = 0 to m - 1 do
-    let eb = i * 8 in
-    ed.(eb + f_thr) <- (match thresholds.(i) with Some k -> k | None -> max_int);
-    ed.(eb + f_last) <- -1;
-    ed.(eb + f_slot) <- -1;
-    let e = Graph.edge g i in
-    ed.(eb + f_owner) <- e.src;
-    ed.(eb + f_dst) <- e.dst
-  done;
-  (* CSR adjacency, as in the sequential engine *)
-  let out_off = Array.make (n + 1) 0 in
-  let in_off = Array.make (n + 1) 0 in
-  for v = 0 to n - 1 do
-    out_off.(v + 1) <- out_off.(v) + Graph.out_degree g v;
-    in_off.(v + 1) <- in_off.(v) + Graph.in_degree g v
-  done;
-  let out_flat = Array.make m 0 in
-  let in_flat = Array.make m 0 in
-  for v = 0 to n - 1 do
-    let ids = Graph.out_edge_ids g v in
-    Array.blit ids 0 out_flat out_off.(v) (Array.length ids);
-    let ids = Graph.in_edge_ids g v in
-    Array.blit ids 0 in_flat in_off.(v) (Array.length ids)
-  done;
-  let st =
-    Array.init n (fun v ->
-        let deg = Graph.out_degree g v in
-        let in_deg = Graph.in_degree g v in
-        {
-          kernel = kernels v;
-          pend_eid = Array.make deg 0;
-          pend_msg = Array.make deg hole;
-          pend_head = 0;
-          pend_len = 0;
-          next_input = 0;
-          finished = false;
-          slots = 0;
-          blocked = false;
-          fire_id = 0;
-          flush_id = 0;
-          sink_got = 0;
-          reuse = hole;
-          state = Idle;
-          wakes = 0;
-          got_buf = Array.make (max in_deg 1) 0;
-          freed_buf = Array.make (max in_deg 1) 0;
-          src = in_deg = 0;
-          snk = deg = 0;
-        })
-  in
-  (* contiguous block partition: neighbours tend to share a shard, so a
-     pipeline hop's pop and push often reuse the lock the worker
-     already touched; work-stealing evens out any imbalance *)
-  let nshards = nd in
-  let shard_of = Array.init n (fun v -> v * nshards / n) in
-  let shard_size = Array.make nshards 0 in
-  Array.iter (fun s -> shard_size.(s) <- shard_size.(s) + 1) shard_of;
-  let shards =
-    Array.init nshards (fun i ->
-        {
-          lock = Mutex.create ();
-          queue = Array.make (max shard_size.(i) 1) 0;
-          q_head = 0;
-          q_len = 0;
-        })
-  in
-  (* pool-wide coordination *)
-  let queued = Atomic.make 0 in (* tasks sitting in shard queues *)
-  let idlers = Atomic.make 0 in (* workers inside the idle section *)
-  let in_flight = Atomic.make 0 in (* tasks being executed *)
-  let progress = Atomic.make 0 in (* pushes + pops; backstop input *)
-  let halt = Atomic.make false in
-  let timed_out = Atomic.make false in
-  let run_over = Atomic.make false in
-  let failure = Atomic.make None in
-  let idle_lock = Mutex.create () in
-  let idle_cond = Condition.create () in
-  let stop = ref false in (* guarded by idle_lock *)
-  let halt_now () =
-    Atomic.set halt true;
-    Mutex.lock idle_lock;
-    stop := true;
-    Condition.broadcast idle_cond;
-    Mutex.unlock idle_lock
-  in
-  (* Make [v] runnable. Caller holds [sh] = [v]'s shard lock. Returns
-     whether [v] was actually enqueued; signalling idle workers is the
-     caller's job (batched per firing, {!signal_idlers}). The wakeup
-     handshake pairs with the idle section's re-check of [queued]: both
-     sides use sequentially-consistent atomics, so either the enqueuer
-     sees the idler and signals, or the idler sees the new [queued]
-     count (incremented before any signalling decision) and rescans —
-     a wakeup cannot be lost, however late the signal is batched. *)
-  let wake_locked sh v =
-    let s = st.(v) in
-    match s.state with
-    | Idle ->
-      s.state <- Queued;
-      let size = Array.length sh.queue in
-      let tail = sh.q_head + sh.q_len in
-      let tail = if tail >= size then tail - size else tail in
-      sh.queue.(tail) <- v;
-      sh.q_len <- sh.q_len + 1;
-      Atomic.incr queued;
-      true
-    | Running ->
-      s.state <- Running_dirty;
-      false
-    | Queued | Running_dirty -> false
-  in
+module Pool = struct
+  type inst = {
+    iid : int;
+    iq : int Atomic.t; (* queued tasks of this instance; claim hint *)
+    claim : int -> int option; (* start shard -> claimed node *)
+    exec : int -> unit; (* run a claimed node, finish, maybe finalize *)
+  }
+
+  type t = {
+    nd : int;
+    quota : int;
+    insts : inst array Atomic.t; (* live instances; CAS add/remove *)
+    queued : int Atomic.t; (* tasks in shard queues, all instances *)
+    idlers : int Atomic.t; (* workers inside the idle section *)
+    idle_lock : Mutex.t;
+    idle_cond : Condition.t;
+    mutable stopping : bool; (* guarded by idle_lock *)
+    mutable workers : unit Domain.t array;
+    next_iid : int Atomic.t;
+  }
+
+  type job = {
+    jlock : Mutex.t;
+    jcond : Condition.t;
+    mutable jres : (Report.t, exn) result option;
+    mutable dog : unit Domain.t option; (* backstop watchdog, if any *)
+  }
+
+  let domains t = t.nd
+
   (* Wake at most [k] idle workers — one per task made runnable, never
      more than are napping; extra runnable tasks are picked up by the
-     workers' own shard scans. Signalling once per batch (instead of
+     workers' own scans. Signalling once per batch (instead of
      broadcasting per enqueue) is what keeps a firing that frees f
-     producers from stampeding all [nd] workers f times. *)
-  let signal_idlers k =
-    if k > 0 && Atomic.get idlers > 0 then begin
-      Mutex.lock idle_lock;
+     producers from stampeding all [nd] workers f times. The wakeup
+     handshake pairs with the idle section's re-check of [queued]:
+     both sides use sequentially-consistent atomics, so either the
+     enqueuer sees the idler and signals, or the idler sees the new
+     [queued] count (incremented before any signalling decision) and
+     rescans — a wakeup cannot be lost, however late the signal is
+     batched. *)
+  let signal_idlers t k =
+    if k > 0 && Atomic.get t.idlers > 0 then begin
+      Mutex.lock t.idle_lock;
       let k =
-        let i = Atomic.get idlers in
+        let i = Atomic.get t.idlers in
         if k < i then k else i
       in
-      if k >= nd then Condition.broadcast idle_cond
+      if k >= t.nd then Condition.broadcast t.idle_cond
       else
         for _ = 1 to k do
-          Condition.signal idle_cond
+          Condition.signal t.idle_cond
         done;
-      Mutex.unlock idle_lock
+      Mutex.unlock t.idle_lock
     end
-  in
-  let flush_wakes s =
-    if s.wakes > 0 then begin
-      let k = s.wakes in
-      s.wakes <- 0;
-      signal_idlers k
-    end
-  in
-  (* Push on [e]. Caller holds [shard (dst e)]'s lock [sh]; [s] is the
-     sending node's state, which accumulates the wakes of this firing. *)
-  let push_now sh s e (msg : Message.t) =
-    let c = chans.(e) in
-    if Channel.push c msg then begin
-      Atomic.incr progress;
-      if Channel.length c = 1 && wake_locked sh ed.((e * 8) + f_dst) then
-        s.wakes <- s.wakes + 1;
-      if obs then
-        ev (Event.Push { edge = e; seq = msg.seq; payload = payload_of msg });
-      true
-    end
-    else false
-  in
-  let push_to s e msg =
-    let sh = shards.(shard_of.(ed.((e * 8) + f_dst))) in
-    Mutex.lock sh.lock;
-    let landed = push_now sh s e msg in
-    Mutex.unlock sh.lock;
-    landed
-  in
-  let enqueue s eid msg =
-    let size = Array.length s.pend_eid in
-    assert (s.pend_len < size);
-    let tail = s.pend_head + s.pend_len in
-    let tail = if tail >= size then tail - size else tail in
-    s.pend_eid.(tail) <- eid;
-    s.pend_msg.(tail) <- msg;
-    s.pend_len <- s.pend_len + 1
-  in
-  let drop_slot eid old =
-    ed.((eid * 8) + f_drop) <- ed.((eid * 8) + f_drop) + 1;
-    if obs then ev (Event.Dummy_dropped { edge = eid; seq = old })
-  in
-  (* Attempt every pending send once; a refused channel blocks its
-     later sends this pass (per-channel FIFO), other channels
-     proceed. *)
-  let rec flush_pending s fid size left =
-    if left = 0 then ()
+
+  (* Per-worker rotation state for the fair-share quota. [cursor]
+     indexes the instance array snapshot (re-taken every pick, so a
+     retire just shifts the rotation by one); [grants] counts
+     consecutive grants to [last]. *)
+  type wstate = { mutable cursor : int; mutable last : int; mutable grants : int }
+
+  let pick t pw w =
+    let insts = Atomic.get t.insts in
+    let ni = Array.length insts in
+    if ni = 0 then None
     else begin
-      let eid = s.pend_eid.(s.pend_head) in
-      let msg = s.pend_msg.(s.pend_head) in
-      s.pend_msg.(s.pend_head) <- hole;
-      s.pend_head <- (if s.pend_head + 1 >= size then 0 else s.pend_head + 1);
-      s.pend_len <- s.pend_len - 1;
-      if ed.((eid * 8) + f_bstamp) <> fid && push_to s eid msg then ()
+      if pw.cursor >= ni then pw.cursor <- 0;
+      (* quota exhausted and someone else is waiting: rotate away from
+         the hot instance before scanning *)
+      if ni > 1 && pw.grants >= t.quota then begin
+        let rec waiting k =
+          k < ni
+          && ((let inst = insts.((pw.cursor + k) mod ni) in
+               inst.iid <> pw.last && Atomic.get inst.iq > 0)
+             || waiting (k + 1))
+        in
+        if waiting 0 then pw.cursor <- (pw.cursor + 1) mod ni;
+        pw.grants <- 0
+      end;
+      let rec scan k =
+        if k = ni then None
+        else begin
+          let idx = (pw.cursor + k) mod ni in
+          let inst = insts.(idx) in
+          if Atomic.get inst.iq <= 0 then scan (k + 1)
+          else
+            match inst.claim w with
+            | Some v ->
+              if inst.iid = pw.last then pw.grants <- pw.grants + 1
+              else begin
+                pw.last <- inst.iid;
+                pw.grants <- 1
+              end;
+              pw.cursor <- idx;
+              Some (inst, v)
+            | None -> scan (k + 1)
+        end
+      in
+      scan 0
+    end
+
+  (* Idle protocol: a worker that finds nothing increments [idlers]
+     and naps until an enqueue signals it or the pool stops. Instance
+     completion is detected by the per-instance ticket count, not
+     here. *)
+  let worker t w () =
+    let pw = { cursor = w; last = -1; grants = 0 } in
+    let rec loop () =
+      match pick t pw w with
+      | Some (inst, v) ->
+        inst.exec v;
+        loop ()
+      | None ->
+        Mutex.lock t.idle_lock;
+        Atomic.incr t.idlers;
+        let rec idle () =
+          if t.stopping then ()
+          else if Atomic.get t.queued > 0 then ()
+          else begin
+            Condition.wait t.idle_cond t.idle_lock;
+            idle ()
+          end
+        in
+        idle ();
+        Atomic.decr t.idlers;
+        let quit = t.stopping in
+        Mutex.unlock t.idle_lock;
+        if not quit then loop ()
+    in
+    loop ()
+
+  let create ?domains ?(quota = default_quota) () =
+    let nd =
+      match domains with
+      | None -> default_domains ()
+      | Some d ->
+        if d < 1 || d > 126 then
+          invalid_arg "Parallel_engine.Pool.create: domains out of range";
+        d
+    in
+    if quota < 1 then invalid_arg "Parallel_engine.Pool.create: quota < 1";
+    let t =
+      {
+        nd;
+        quota;
+        insts = Atomic.make [||];
+        queued = Atomic.make 0;
+        idlers = Atomic.make 0;
+        idle_lock = Mutex.create ();
+        idle_cond = Condition.create ();
+        stopping = false;
+        workers = [||];
+        next_iid = Atomic.make 0;
+      }
+    in
+    t.workers <- Array.init nd (fun w -> Domain.spawn (worker t w));
+    t
+
+  let shutdown t =
+    Mutex.lock t.idle_lock;
+    let first = not t.stopping in
+    t.stopping <- true;
+    Condition.broadcast t.idle_cond;
+    Mutex.unlock t.idle_lock;
+    if first then Array.iter Domain.join t.workers
+
+  let submit t ?(grain = default_grain) ?stall_ms ?sink ~graph:g ~kernels
+      ~inputs ~avoidance () =
+    let n = Graph.num_nodes g and m = Graph.num_edges g in
+    if grain < 1 then invalid_arg "Parallel_engine.run: grain < 1";
+    let sink =
+      match sink with Some s when not (Sink.is_null s) -> Some s | _ -> None
+    in
+    let obs = sink <> None in
+    let sink_lock = Mutex.create () in
+    (* sink calls are serialized, whatever domain they come from *)
+    let ev e =
+      match sink with
+      | Some s ->
+        Mutex.lock sink_lock;
+        Sink.emit s e;
+        Mutex.unlock sink_lock
+      | None -> ()
+    in
+    let thresholds, forwarding =
+      match avoidance with
+      | Engine.No_avoidance -> (Array.make m None, false)
+      | Engine.Propagation tb ->
+        Thresholds.check tb g;
+        (Thresholds.to_array tb, true)
+      | Engine.Non_propagation tb ->
+        Thresholds.check tb g;
+        (Thresholds.to_array tb, false)
+    in
+    let chans =
+      Array.init m (fun i -> Channel.create ~capacity:(Graph.edge g i).cap)
+    in
+    let ed = Array.make (m * 8) 0 in
+    for i = 0 to m - 1 do
+      let eb = i * 8 in
+      ed.(eb + f_thr) <-
+        (match thresholds.(i) with Some k -> k | None -> max_int);
+      ed.(eb + f_last) <- -1;
+      ed.(eb + f_slot) <- -1;
+      let e = Graph.edge g i in
+      ed.(eb + f_owner) <- e.src;
+      ed.(eb + f_dst) <- e.dst
+    done;
+    (* CSR adjacency, as in the sequential engine *)
+    let out_off = Array.make (n + 1) 0 in
+    let in_off = Array.make (n + 1) 0 in
+    for v = 0 to n - 1 do
+      out_off.(v + 1) <- out_off.(v) + Graph.out_degree g v;
+      in_off.(v + 1) <- in_off.(v) + Graph.in_degree g v
+    done;
+    let out_flat = Array.make m 0 in
+    let in_flat = Array.make m 0 in
+    for v = 0 to n - 1 do
+      let ids = Graph.out_edge_ids g v in
+      Array.blit ids 0 out_flat out_off.(v) (Array.length ids);
+      let ids = Graph.in_edge_ids g v in
+      Array.blit ids 0 in_flat in_off.(v) (Array.length ids)
+    done;
+    let st =
+      Array.init n (fun v ->
+          let deg = Graph.out_degree g v in
+          let in_deg = Graph.in_degree g v in
+          {
+            kernel = kernels v;
+            pend_eid = Array.make deg 0;
+            pend_msg = Array.make deg hole;
+            pend_head = 0;
+            pend_len = 0;
+            next_input = 0;
+            finished = false;
+            slots = 0;
+            blocked = false;
+            fire_id = 0;
+            flush_id = 0;
+            sink_got = 0;
+            reuse = hole;
+            state = Idle;
+            wakes = 0;
+            got_buf = Array.make (max in_deg 1) 0;
+            freed_buf = Array.make (max in_deg 1) 0;
+            src = in_deg = 0;
+            snk = deg = 0;
+          })
+    in
+    (* contiguous block partition: neighbours tend to share a shard, so
+       a pipeline hop's pop and push often reuse the lock the worker
+       already touched; work-stealing evens out any imbalance *)
+    let nshards = t.nd in
+    let shard_of = Array.init n (fun v -> v * nshards / n) in
+    let shard_size = Array.make nshards 0 in
+    Array.iter (fun s -> shard_size.(s) <- shard_size.(s) + 1) shard_of;
+    let shards =
+      Array.init nshards (fun i ->
+          {
+            lock = Mutex.create ();
+            queue = Array.make (max shard_size.(i) 1) 0;
+            q_head = 0;
+            q_len = 0;
+          })
+    in
+    let iid = Atomic.fetch_and_add t.next_iid 1 in
+    (* instance coordination *)
+    let iq = Atomic.make 0 in (* tasks sitting in this instance's queues *)
+    let live = Atomic.make 0 in (* tickets: queued + running tasks *)
+    let in_flight = Atomic.make 0 in (* tasks being executed *)
+    let progress = Atomic.make 0 in (* pushes + pops; backstop input *)
+    let halt = Atomic.make false in
+    let timed_out = Atomic.make false in
+    let finalized = Atomic.make false in
+    let failure = Atomic.make None in
+    let job =
+      {
+        jlock = Mutex.create ();
+        jcond = Condition.create ();
+        jres = None;
+        dog = None;
+      }
+    in
+    (* Make [v] runnable. Caller holds [sh] = [v]'s shard lock. Returns
+       whether [v] was actually enqueued; signalling idle workers is
+       the caller's job (batched per firing, {!signal_idlers}). An
+       Idle -> Queued transition mints a live ticket. *)
+    let wake_locked sh v =
+      let s = st.(v) in
+      match s.state with
+      | Idle ->
+        s.state <- Queued;
+        let size = Array.length sh.queue in
+        let tail = sh.q_head + sh.q_len in
+        let tail = if tail >= size then tail - size else tail in
+        sh.queue.(tail) <- v;
+        sh.q_len <- sh.q_len + 1;
+        Atomic.incr live;
+        Atomic.incr iq;
+        Atomic.incr t.queued;
+        true
+      | Running ->
+        s.state <- Running_dirty;
+        false
+      | Queued | Running_dirty -> false
+    in
+    let flush_wakes s =
+      if s.wakes > 0 then begin
+        let k = s.wakes in
+        s.wakes <- 0;
+        signal_idlers t k
+      end
+    in
+    (* Push on [e]. Caller holds [shard (dst e)]'s lock [sh]; [s] is
+       the sending node's state, which accumulates the wakes of this
+       firing. *)
+    let push_now sh s e (msg : Message.t) =
+      let c = chans.(e) in
+      if Channel.push c msg then begin
+        Atomic.incr progress;
+        if Channel.length c = 1 && wake_locked sh ed.((e * 8) + f_dst) then
+          s.wakes <- s.wakes + 1;
+        if obs then
+          ev (Event.Push { edge = e; seq = msg.seq; payload = payload_of msg });
+        true
+      end
+      else false
+    in
+    let push_to s e msg =
+      let sh = shards.(shard_of.(ed.((e * 8) + f_dst))) in
+      Mutex.lock sh.lock;
+      let landed = push_now sh s e msg in
+      Mutex.unlock sh.lock;
+      landed
+    in
+    let enqueue s eid msg =
+      let size = Array.length s.pend_eid in
+      assert (s.pend_len < size);
+      let tail = s.pend_head + s.pend_len in
+      let tail = if tail >= size then tail - size else tail in
+      s.pend_eid.(tail) <- eid;
+      s.pend_msg.(tail) <- msg;
+      s.pend_len <- s.pend_len + 1
+    in
+    let drop_slot eid old =
+      ed.((eid * 8) + f_drop) <- ed.((eid * 8) + f_drop) + 1;
+      if obs then ev (Event.Dummy_dropped { edge = eid; seq = old })
+    in
+    (* Attempt every pending send once; a refused channel blocks its
+       later sends this pass (per-channel FIFO), other channels
+       proceed. *)
+    let rec flush_pending s fid size left =
+      if left = 0 then ()
       else begin
-        ed.((eid * 8) + f_bstamp) <- fid;
-        enqueue s eid msg
-      end;
-      flush_pending s fid size (left - 1)
-    end
-  in
-  let rec flush_slots s fid k hi =
-    if k >= hi then ()
-    else begin
-      let e = out_flat.(k) in
-      let eb = e * 8 in
-      let seq = ed.(eb + f_slot) in
-      if
-        seq >= 0
-        && ed.(eb + f_bstamp) <> fid
-        && push_to s e (Message.dummy ~seq)
-      then begin
-        ed.(eb + f_slot) <- -1;
-        s.slots <- s.slots - 1
-      end;
-      flush_slots s fid (k + 1) hi
-    end
-  in
-  let flush v s =
-    s.flush_id <- s.flush_id + 1;
-    let fid = s.flush_id in
-    if s.pend_len > 0 then flush_pending s fid (Array.length s.pend_eid) s.pend_len;
-    if s.slots > 0 then flush_slots s fid out_off.(v) out_off.(v + 1)
-  in
-  (* O(ids) kernel-output validation via the owner field, as in the
-     sequential engine; the per-node fire stamp doubles as the
-     duplicate collapser for [emit]. *)
-  let rec validate_ids v stamp ids =
-    match ids with
-    | [] -> ()
-    | id :: rest ->
-      if id < 0 || id >= m || ed.((id * 8) + f_owner) <> v then
-        invalid_arg
-          (Printf.sprintf "Parallel_engine: kernel of node %d returned edge %d"
-             v id);
-      ed.((id * 8) + f_dstamp) <- stamp;
-      validate_ids v stamp rest
-  in
-  let msg_for s seq =
-    let msg = s.reuse in
-    if msg.Message.seq = seq then msg
-    else begin
-      let nm = Message.data ~seq seq in
-      s.reuse <- nm;
-      nm
-    end
-  in
-  let emit v s ~seq ~got_dummy =
-    let stamp = s.fire_id in
-    for k = out_off.(v) to out_off.(v + 1) - 1 do
-      let e = out_flat.(k) in
-      let eb = e * 8 in
-      if ed.(eb + f_dstamp) = stamp then begin
+        let eid = s.pend_eid.(s.pend_head) in
+        let msg = s.pend_msg.(s.pend_head) in
+        s.pend_msg.(s.pend_head) <- hole;
+        s.pend_head <-
+          (if s.pend_head + 1 >= size then 0 else s.pend_head + 1);
+        s.pend_len <- s.pend_len - 1;
+        if ed.((eid * 8) + f_bstamp) <> fid && push_to s eid msg then ()
+        else begin
+          ed.((eid * 8) + f_bstamp) <- fid;
+          enqueue s eid msg
+        end;
+        flush_pending s fid size (left - 1)
+      end
+    in
+    let rec flush_slots s fid k hi =
+      if k >= hi then ()
+      else begin
+        let e = out_flat.(k) in
+        let eb = e * 8 in
+        let seq = ed.(eb + f_slot) in
+        if
+          seq >= 0
+          && ed.(eb + f_bstamp) <> fid
+          && push_to s e (Message.dummy ~seq)
+        then begin
+          ed.(eb + f_slot) <- -1;
+          s.slots <- s.slots - 1
+        end;
+        flush_slots s fid (k + 1) hi
+      end
+    in
+    let flush v s =
+      s.flush_id <- s.flush_id + 1;
+      let fid = s.flush_id in
+      if s.pend_len > 0 then
+        flush_pending s fid (Array.length s.pend_eid) s.pend_len;
+      if s.slots > 0 then flush_slots s fid out_off.(v) out_off.(v + 1)
+    in
+    (* O(ids) kernel-output validation via the owner field, as in the
+       sequential engine; the per-node fire stamp doubles as the
+       duplicate collapser for [emit]. *)
+    let rec validate_ids v stamp ids =
+      match ids with
+      | [] -> ()
+      | id :: rest ->
+        if id < 0 || id >= m || ed.((id * 8) + f_owner) <> v then
+          invalid_arg
+            (Printf.sprintf
+               "Parallel_engine: kernel of node %d returned edge %d" v id);
+        ed.((id * 8) + f_dstamp) <- stamp;
+        validate_ids v stamp rest
+    in
+    let msg_for s seq =
+      let msg = s.reuse in
+      if msg.Message.seq = seq then msg
+      else begin
+        let nm = Message.data ~seq seq in
+        s.reuse <- nm;
+        nm
+      end
+    in
+    let emit v s ~seq ~got_dummy =
+      let stamp = s.fire_id in
+      for k = out_off.(v) to out_off.(v + 1) - 1 do
+        let e = out_flat.(k) in
+        let eb = e * 8 in
+        if ed.(eb + f_dstamp) = stamp then begin
+          (let old = ed.(eb + f_slot) in
+           if old >= 0 then begin
+             ed.(eb + f_slot) <- -1;
+             s.slots <- s.slots - 1;
+             drop_slot e old
+           end);
+          ed.(eb + f_last) <- seq;
+          let msg = msg_for s seq in
+          if not (push_to s e msg) then enqueue s e msg
+        end
+        else begin
+          let due = seq - ed.(eb + f_last) >= ed.(eb + f_thr) in
+          if (forwarding && got_dummy) || due then begin
+            (let old = ed.(eb + f_slot) in
+             if old >= 0 then drop_slot e old else s.slots <- s.slots + 1);
+            ed.(eb + f_slot) <- seq;
+            if obs then ev (Event.Dummy_emitted { node = v; edge = e; seq });
+            ed.(eb + f_last) <- seq;
+            (* immediate delivery attempt, matching the sequential
+               visit's post-firing flush *)
+            if push_to s e (Message.dummy ~seq) then begin
+              ed.(eb + f_slot) <- -1;
+              s.slots <- s.slots - 1
+            end
+          end
+        end
+      done
+    in
+    let send_eos v s =
+      for k = out_off.(v) to out_off.(v + 1) - 1 do
+        let e = out_flat.(k) in
+        let eb = e * 8 in
         (let old = ed.(eb + f_slot) in
          if old >= 0 then begin
            ed.(eb + f_slot) <- -1;
            s.slots <- s.slots - 1;
            drop_slot e old
          end);
-        ed.(eb + f_last) <- seq;
-        let msg = msg_for s seq in
-        if not (push_to s e msg) then enqueue s e msg
-      end
-      else begin
-        let due = seq - ed.(eb + f_last) >= ed.(eb + f_thr) in
-        if (forwarding && got_dummy) || due then begin
-          (let old = ed.(eb + f_slot) in
-           if old >= 0 then drop_slot e old else s.slots <- s.slots + 1);
-          ed.(eb + f_slot) <- seq;
-          if obs then ev (Event.Dummy_emitted { node = v; edge = e; seq });
-          ed.(eb + f_last) <- seq;
-          (* immediate delivery attempt, matching the sequential
-             visit's post-firing flush *)
-          if push_to s e (Message.dummy ~seq) then begin
-            ed.(eb + f_slot) <- -1;
-            s.slots <- s.slots - 1
-          end
-        end
-      end
-    done
-  in
-  let send_eos v s =
-    for k = out_off.(v) to out_off.(v + 1) - 1 do
-      let e = out_flat.(k) in
-      let eb = e * 8 in
-      (let old = ed.(eb + f_slot) in
-       if old >= 0 then begin
-         ed.(eb + f_slot) <- -1;
-         s.slots <- s.slots - 1;
-         drop_slot e old
-       end);
-      if not (push_to s e hole) then enqueue s e hole
-    done;
-    if obs then ev (Event.Eos { node = v });
-    s.finished <- true
-  in
-  let fire_source v s =
-    if s.next_input < inputs then begin
-      let seq = s.next_input in
-      s.next_input <- seq + 1;
-      s.fire_id <- s.fire_id + 1;
-      let ids = s.kernel ~seq ~got:[] in
-      validate_ids v s.fire_id ids;
-      if obs then
-        ev
-          (Event.Node_fired
-             {
-               node = v;
-               seq;
-               got = [];
-               got_dummy = false;
-               sent = List.sort_uniq compare ids;
-             });
-      emit v s ~seq ~got_dummy:false;
-      true
-    end
-    else if not s.finished then begin
-      send_eos v s;
-      true
-    end
-    else false
-  in
-  (* Head scan / consume, under the node's shard lock. Pops that free
-     a full channel record the producer in [freed_buf]; the wakes are
-     delivered after the lock is dropped (never two shard locks). *)
-  let rec min_head k hi acc =
-    if k >= hi then acc
-    else
-      let c = chans.(in_flat.(k)) in
-      if Channel.is_empty c then min_int
-      else
-        let sq = Channel.peek_seq c in
-        min_head (k + 1) hi (if sq < acc then sq else acc)
-  in
-  let dummy_bit = 1 lsl 62 in
-  let rec consume s i k hi acc nfreed =
-    if k >= hi then (acc, nfreed)
-    else begin
-      let e = in_flat.(k) in
-      let c = chans.(e) in
-      if Channel.peek_seq c = i then begin
-        let was_full = Channel.is_full c in
-        let msg = Channel.pop_exn c in
-        Atomic.incr progress;
-        let nfreed =
-          if was_full then begin
-            s.freed_buf.(nfreed) <- ed.((e * 8) + f_owner);
-            nfreed + 1
-          end
-          else nfreed
-        in
+        if not (push_to s e hole) then enqueue s e hole
+      done;
+      if obs then ev (Event.Eos { node = v });
+      s.finished <- true
+    in
+    let fire_source v s =
+      if s.next_input < inputs then begin
+        let seq = s.next_input in
+        s.next_input <- seq + 1;
+        s.fire_id <- s.fire_id + 1;
+        let ids = s.kernel ~seq ~got:[] in
+        validate_ids v s.fire_id ids;
         if obs then
-          ev (Event.Pop { edge = e; seq = msg.seq; payload = payload_of msg });
-        match msg.body with
-        | Message.Data _ ->
-          s.reuse <- msg;
-          let gn = acc land lnot dummy_bit in
-          s.got_buf.(gn) <- e;
-          if s.snk then s.sink_got <- s.sink_got + 1;
-          consume s i (k + 1) hi (acc + 1) nfreed
-        | Message.Dummy -> consume s i (k + 1) hi (acc lor dummy_bit) nfreed
-        | Message.Eos -> assert false
+          ev
+            (Event.Node_fired
+               {
+                 node = v;
+                 seq;
+                 got = [];
+                 got_dummy = false;
+                 sent = List.sort_uniq compare ids;
+               });
+        emit v s ~seq ~got_dummy:false;
+        true
       end
-      else consume s i (k + 1) hi acc nfreed
-    end
-  in
-  let rec got_list s k acc =
-    if k < 0 then acc else got_list s (k - 1) (s.got_buf.(k) :: acc)
-  in
-  (* One signalling batch for every producer this pop pass freed. *)
-  let wake_freed s nfreed =
-    for k = 0 to nfreed - 1 do
-      let v = s.freed_buf.(k) in
-      let sh = shards.(shard_of.(v)) in
-      Mutex.lock sh.lock;
-      if wake_locked sh v then s.wakes <- s.wakes + 1;
-      Mutex.unlock sh.lock
-    done;
-    flush_wakes s
-  in
-  let fire_inner v s =
-    let shv = shards.(shard_of.(v)) in
-    let lo = in_off.(v) and hi = in_off.(v + 1) in
-    Mutex.lock shv.lock;
-    let i = min_head lo hi max_int in
-    if i = min_int then begin
-      Mutex.unlock shv.lock;
-      false
-    end
-    else if i = max_int then begin
-      (* every input is at end-of-stream *)
-      let nfreed = ref 0 in
-      for k = lo to hi - 1 do
+      else if not s.finished then begin
+        send_eos v s;
+        true
+      end
+      else false
+    in
+    (* Head scan / consume, under the node's shard lock. Pops that
+       free a full channel record the producer in [freed_buf]; the
+       wakes are delivered after the lock is dropped (never two shard
+       locks). *)
+    let rec min_head k hi acc =
+      if k >= hi then acc
+      else
+        let c = chans.(in_flat.(k)) in
+        if Channel.is_empty c then min_int
+        else
+          let sq = Channel.peek_seq c in
+          min_head (k + 1) hi (if sq < acc then sq else acc)
+    in
+    let dummy_bit = 1 lsl 62 in
+    let rec consume s i k hi acc nfreed =
+      if k >= hi then (acc, nfreed)
+      else begin
         let e = in_flat.(k) in
         let c = chans.(e) in
-        let was_full = Channel.is_full c in
-        let msg = Channel.pop_exn c in
-        Atomic.incr progress;
-        if was_full then begin
-          s.freed_buf.(!nfreed) <- ed.((e * 8) + f_owner);
-          incr nfreed
-        end;
-        if obs then
-          ev (Event.Pop { edge = e; seq = msg.seq; payload = payload_of msg })
-      done;
-      Mutex.unlock shv.lock;
-      wake_freed s !nfreed;
-      send_eos v s;
-      true
-    end
-    else begin
-      let acc, nfreed = consume s i lo hi 0 0 in
-      Mutex.unlock shv.lock;
-      wake_freed s nfreed;
-      let gn = acc land lnot dummy_bit in
-      let got_dummy = acc land dummy_bit <> 0 in
-      let got = got_list s (gn - 1) [] in
-      s.fire_id <- s.fire_id + 1;
-      (* kernel runs outside every lock: node computations overlap
-         across domains *)
-      let sent =
-        match got with
-        | [] -> []
-        | got ->
-          let ids = s.kernel ~seq:i ~got in
-          validate_ids v s.fire_id ids;
-          if obs then List.sort_uniq compare ids else []
-      in
-      if obs then
-        ev (Event.Node_fired { node = v; seq = i; got; got_dummy; sent });
-      emit v s ~seq:i ~got_dummy;
-      true
-    end
-  in
-  (* One task execution: retry what was stuck, then fire while the
-     node stays runnable, up to [grain] firings (then requeue, for
-     fairness). A firing whose sends left the pending ring non-empty
-     opens a blocking episode: [Event.Blocked] is emitted exactly once
-     per episode, when it opens. *)
-  let run_node v =
-    let s = st.(v) in
-    if s.pend_len > 0 || s.slots > 0 then flush v s;
-    flush_wakes s;
-    if s.pend_len = 0 && s.blocked then s.blocked <- false;
-    let continue = ref (s.pend_len = 0) in
-    let budget = ref grain in
-    while !continue && !budget > 0 && not (Atomic.get halt) do
-      let fired =
-        if s.src then fire_source v s
-        else if not s.finished then fire_inner v s
-        else false
-      in
-      (* wakes collected during the firing, one signalling batch *)
-      flush_wakes s;
-      decr budget;
-      if not fired then continue := false
-      else if s.pend_len > 0 then begin
-        if not s.blocked then begin
-          s.blocked <- true;
-          if obs then
-            ev (Event.Blocked { node = v; edge = s.pend_eid.(s.pend_head) })
-        end;
-        continue := false
-      end
-    done
-  in
-  (* Post-execution bookkeeping: consume a missed wake ([Running_dirty])
-     or re-queue ourselves while still runnable (grain exhaustion,
-     sources); otherwise go idle and wait for an occupancy wake. *)
-  let all_inputs_ready v =
-    let rec go k hi =
-      k >= hi || ((not (Channel.is_empty chans.(in_flat.(k)))) && go (k + 1) hi)
-    in
-    go in_off.(v) in_off.(v + 1)
-  in
-  let finish_task v =
-    let sh = shards.(shard_of.(v)) in
-    let s = st.(v) in
-    Mutex.lock sh.lock;
-    let rearm =
-      (not (Atomic.get halt))
-      && s.pend_len = 0
-      && (not s.finished)
-      && (s.src || all_inputs_ready v)
-    in
-    if rearm || s.state = Running_dirty then begin
-      s.state <- Queued;
-      let size = Array.length sh.queue in
-      let tail = sh.q_head + sh.q_len in
-      let tail = if tail >= size then tail - size else tail in
-      sh.queue.(tail) <- v;
-      sh.q_len <- sh.q_len + 1;
-      Atomic.incr queued;
-      Mutex.unlock sh.lock;
-      signal_idlers 1
-    end
-    else begin
-      s.state <- Idle;
-      Mutex.unlock sh.lock
-    end
-  in
-  (* Worker side: scan own shard first, then steal round-robin. *)
-  let find_task w =
-    let rec scan k =
-      if k = nshards then None
-      else begin
-        let sh = shards.((w + k) mod nshards) in
-        Mutex.lock sh.lock;
-        if sh.q_len > 0 then begin
-          let v = sh.queue.(sh.q_head) in
-          sh.q_head <-
-            (if sh.q_head + 1 >= Array.length sh.queue then 0
-             else sh.q_head + 1);
-          sh.q_len <- sh.q_len - 1;
-          st.(v).state <- Running;
-          Atomic.decr queued;
-          Mutex.unlock sh.lock;
-          Some v
-        end
-        else begin
-          Mutex.unlock sh.lock;
-          scan (k + 1)
-        end
-      end
-    in
-    scan 0
-  in
-  (* Idle protocol and quiescence: a worker that finds nothing
-     increments [idlers] and naps. If it is the last one in with no
-     queued task, every worker is here — no kernel in flight, nothing
-     runnable — so the run is over (completion or deadlock, told apart
-     from the final state below). *)
-  let worker w () =
-    let rec loop () =
-      if Atomic.get halt then ()
-      else
-        match find_task (w mod nshards) with
-        | Some v ->
-          Atomic.incr in_flight;
-          run_node v;
-          finish_task v;
-          Atomic.decr in_flight;
-          loop ()
-        | None ->
-          Mutex.lock idle_lock;
-          Atomic.incr idlers;
-          let rec idle () =
-            if !stop then ()
-            else if Atomic.get queued > 0 then ()
-            else if Atomic.get idlers = nd then begin
-              stop := true;
-              Condition.broadcast idle_cond
+        if Channel.peek_seq c = i then begin
+          let was_full = Channel.is_full c in
+          let msg = Channel.pop_exn c in
+          Atomic.incr progress;
+          let nfreed =
+            if was_full then begin
+              s.freed_buf.(nfreed) <- ed.((e * 8) + f_owner);
+              nfreed + 1
             end
-            else begin
-              Condition.wait idle_cond idle_lock;
-              idle ()
-            end
+            else nfreed
           in
-          idle ();
-          Atomic.decr idlers;
-          let over = !stop in
-          Mutex.unlock idle_lock;
-          if not over then loop ()
-    in
-    try loop ()
-    with ex ->
-      ignore (Atomic.compare_and_set failure None (Some ex));
-      halt_now ()
-  in
-  (* Backstop watchdog (opt-in): aborts only when the progress counter
-     froze for a whole window with no kernel in flight and nothing
-     queued — i.e. only if the structural check somehow failed to
-     declare quiescence. A slow kernel keeps [in_flight] non-zero and
-     can never trip it. *)
-  let watchdog ms () =
-    let window = float ms /. 1000. in
-    let live () = not (Atomic.get run_over || Atomic.get halt) in
-    let rec nap t =
-      if t > 0. && live () then begin
-        Unix.sleepf (min 0.01 t);
-        nap (t -. 0.01)
-      end
-    in
-    let rec go last =
-      nap window;
-      if live () then begin
-        let p = Atomic.get progress in
-        if p = last && Atomic.get in_flight = 0 && Atomic.get queued = 0
-        then begin
-          Atomic.set timed_out true;
-          halt_now ()
+          if obs then
+            ev
+              (Event.Pop { edge = e; seq = msg.seq; payload = payload_of msg });
+          match msg.body with
+          | Message.Data _ ->
+            s.reuse <- msg;
+            let gn = acc land lnot dummy_bit in
+            s.got_buf.(gn) <- e;
+            if s.snk then s.sink_got <- s.sink_got + 1;
+            consume s i (k + 1) hi (acc + 1) nfreed
+          | Message.Dummy -> consume s i (k + 1) hi (acc lor dummy_bit) nfreed
+          | Message.Eos -> assert false
         end
-        else go p
+        else consume s i (k + 1) hi acc nfreed
       end
     in
-    go (-1)
-  in
-  (* seed: sources are runnable from the start (before workers exist,
-     so no locks; Domain.spawn publishes the writes) *)
-  for v = 0 to n - 1 do
-    if st.(v).src then begin
+    let rec got_list s k acc =
+      if k < 0 then acc else got_list s (k - 1) (s.got_buf.(k) :: acc)
+    in
+    (* One signalling batch for every producer this pop pass freed. *)
+    let wake_freed s nfreed =
+      for k = 0 to nfreed - 1 do
+        let v = s.freed_buf.(k) in
+        let sh = shards.(shard_of.(v)) in
+        Mutex.lock sh.lock;
+        if wake_locked sh v then s.wakes <- s.wakes + 1;
+        Mutex.unlock sh.lock
+      done;
+      flush_wakes s
+    in
+    let fire_inner v s =
+      let shv = shards.(shard_of.(v)) in
+      let lo = in_off.(v) and hi = in_off.(v + 1) in
+      Mutex.lock shv.lock;
+      let i = min_head lo hi max_int in
+      if i = min_int then begin
+        Mutex.unlock shv.lock;
+        false
+      end
+      else if i = max_int then begin
+        (* every input is at end-of-stream *)
+        let nfreed = ref 0 in
+        for k = lo to hi - 1 do
+          let e = in_flat.(k) in
+          let c = chans.(e) in
+          let was_full = Channel.is_full c in
+          let msg = Channel.pop_exn c in
+          Atomic.incr progress;
+          if was_full then begin
+            s.freed_buf.(!nfreed) <- ed.((e * 8) + f_owner);
+            incr nfreed
+          end;
+          if obs then
+            ev (Event.Pop { edge = e; seq = msg.seq; payload = payload_of msg })
+        done;
+        Mutex.unlock shv.lock;
+        wake_freed s !nfreed;
+        send_eos v s;
+        true
+      end
+      else begin
+        let acc, nfreed = consume s i lo hi 0 0 in
+        Mutex.unlock shv.lock;
+        wake_freed s nfreed;
+        let gn = acc land lnot dummy_bit in
+        let got_dummy = acc land dummy_bit <> 0 in
+        let got = got_list s (gn - 1) [] in
+        s.fire_id <- s.fire_id + 1;
+        (* kernel runs outside every lock: node computations overlap
+           across domains *)
+        let sent =
+          match got with
+          | [] -> []
+          | got ->
+            let ids = s.kernel ~seq:i ~got in
+            validate_ids v s.fire_id ids;
+            if obs then List.sort_uniq compare ids else []
+        in
+        if obs then
+          ev (Event.Node_fired { node = v; seq = i; got; got_dummy; sent });
+        emit v s ~seq:i ~got_dummy;
+        true
+      end
+    in
+    (* One task execution: retry what was stuck, then fire while the
+       node stays runnable, up to [grain] firings (then requeue, for
+       fairness). A firing whose sends left the pending ring non-empty
+       opens a blocking episode: [Event.Blocked] is emitted exactly
+       once per episode, when it opens. *)
+    let run_node v =
+      let s = st.(v) in
+      if s.pend_len > 0 || s.slots > 0 then flush v s;
+      flush_wakes s;
+      if s.pend_len = 0 && s.blocked then s.blocked <- false;
+      let continue = ref (s.pend_len = 0) in
+      let budget = ref grain in
+      while !continue && !budget > 0 && not (Atomic.get halt) do
+        let fired =
+          if s.src then fire_source v s
+          else if not s.finished then fire_inner v s
+          else false
+        in
+        (* wakes collected during the firing, one signalling batch *)
+        flush_wakes s;
+        decr budget;
+        if not fired then continue := false
+        else if s.pend_len > 0 then begin
+          if not s.blocked then begin
+            s.blocked <- true;
+            if obs then
+              ev (Event.Blocked { node = v; edge = s.pend_eid.(s.pend_head) })
+          end;
+          continue := false
+        end
+      done
+    in
+    (* Finalize once, when the last ticket is released (or from the
+       backstop watchdog): drain any queue entries an aborted instance
+       left behind, unlist the instance, assemble the report from the
+       channels' ground-truth counters and hand it to the job. *)
+    let finalize () =
+      if Atomic.compare_and_set finalized false true then begin
+        Array.iter
+          (fun sh ->
+            Mutex.lock sh.lock;
+            let k = sh.q_len in
+            if k > 0 then begin
+              sh.q_len <- 0;
+              ignore (Atomic.fetch_and_add iq (-k));
+              ignore (Atomic.fetch_and_add t.queued (-k))
+            end;
+            Mutex.unlock sh.lock)
+          shards;
+        (let rec unlist () =
+           let cur = Atomic.get t.insts in
+           let nxt =
+             Array.of_seq
+               (Seq.filter
+                  (fun (i : inst) -> i.iid <> iid)
+                  (Array.to_seq cur))
+           in
+           if not (Atomic.compare_and_set t.insts cur nxt) then unlist ()
+         in
+         unlist ());
+        let res =
+          match Atomic.get failure with
+          | Some ex -> Error ex
+          | None ->
+            let completed =
+              (not (Atomic.get timed_out))
+              && Array.for_all (fun s -> s.finished && s.pend_len = 0) st
+              && Array.for_all Channel.is_empty chans
+            in
+            let outcome =
+              if completed then Report.Completed else Report.Deadlocked
+            in
+            if obs then ev (Event.Run_finished { outcome });
+            let sum f = Array.fold_left (fun a c -> a + f c) 0 chans in
+            let dropped = ref 0 in
+            for i = 0 to m - 1 do
+              dropped := !dropped + ed.((i * 8) + f_drop)
+            done;
+            Ok
+              {
+                Report.outcome;
+                data_messages = sum Channel.data_pushed;
+                dummy_messages = sum Channel.dummies_pushed;
+                sink_data = Array.fold_left (fun a s -> a + s.sink_got) 0 st;
+                dropped_dummies = !dropped;
+                per_edge_dummies = Array.map Channel.dummies_pushed chans;
+                detail = Report.Parallel;
+              }
+        in
+        Mutex.lock job.jlock;
+        job.jres <- Some res;
+        Condition.broadcast job.jcond;
+        Mutex.unlock job.jlock
+      end
+    in
+    (* Post-execution bookkeeping: consume a missed wake
+       ([Running_dirty]) or re-queue ourselves while still runnable
+       (grain exhaustion, sources) — the task keeps its ticket;
+       otherwise go idle and release it, finalizing on the last one. *)
+    let all_inputs_ready v =
+      let rec go k hi =
+        k >= hi
+        || ((not (Channel.is_empty chans.(in_flat.(k)))) && go (k + 1) hi)
+      in
+      go in_off.(v) in_off.(v + 1)
+    in
+    let finish_task v =
       let sh = shards.(shard_of.(v)) in
-      st.(v).state <- Queued;
-      let tail = sh.q_head + sh.q_len in
-      sh.queue.(tail) <- v;
-      sh.q_len <- sh.q_len + 1;
-      Atomic.incr queued
-    end
-  done;
-  let dogs =
-    match stall_ms with
-    | Some ms when ms > 0 -> [| Domain.spawn (watchdog ms) |]
-    | _ -> [||]
-  in
-  let workers = Array.init nd (fun w -> Domain.spawn (worker w)) in
-  Array.iter Domain.join workers;
-  Atomic.set run_over true;
-  Array.iter Domain.join dogs;
-  (match Atomic.get failure with Some ex -> raise ex | None -> ());
-  let completed =
-    (not (Atomic.get timed_out))
-    && Array.for_all (fun s -> s.finished && s.pend_len = 0) st
-    && Array.for_all Channel.is_empty chans
-  in
-  let outcome = if completed then Report.Completed else Report.Deadlocked in
-  if obs then ev (Event.Run_finished { outcome });
-  let sum f = Array.fold_left (fun a c -> a + f c) 0 chans in
-  let dropped = ref 0 in
-  for i = 0 to m - 1 do
-    dropped := !dropped + ed.((i * 8) + f_drop)
-  done;
-  {
-    Report.outcome;
-    data_messages = sum Channel.data_pushed;
-    dummy_messages = sum Channel.dummies_pushed;
-    sink_data = Array.fold_left (fun a s -> a + s.sink_got) 0 st;
-    dropped_dummies = !dropped;
-    per_edge_dummies = Array.map Channel.dummies_pushed chans;
-    detail = Report.Parallel;
-  }
+      let s = st.(v) in
+      Mutex.lock sh.lock;
+      let rearm =
+        (not (Atomic.get halt))
+        && s.pend_len = 0
+        && (not s.finished)
+        && (s.src || all_inputs_ready v)
+      in
+      if rearm || s.state = Running_dirty then begin
+        s.state <- Queued;
+        let size = Array.length sh.queue in
+        let tail = sh.q_head + sh.q_len in
+        let tail = if tail >= size then tail - size else tail in
+        sh.queue.(tail) <- v;
+        sh.q_len <- sh.q_len + 1;
+        Atomic.incr iq;
+        Atomic.incr t.queued;
+        Mutex.unlock sh.lock;
+        signal_idlers t 1
+      end
+      else begin
+        s.state <- Idle;
+        Mutex.unlock sh.lock;
+        if Atomic.fetch_and_add live (-1) = 1 then finalize ()
+      end
+    in
+    (* Worker side of the instance: claim from the start shard, steal
+       round-robin; execute with kernel-exception containment (the
+       instance halts and drains, the pool lives on). *)
+    let claim w =
+      let rec scan k =
+        if k = nshards then None
+        else begin
+          let sh = shards.((w + k) mod nshards) in
+          Mutex.lock sh.lock;
+          if sh.q_len > 0 then begin
+            let v = sh.queue.(sh.q_head) in
+            sh.q_head <-
+              (if sh.q_head + 1 >= Array.length sh.queue then 0
+               else sh.q_head + 1);
+            sh.q_len <- sh.q_len - 1;
+            st.(v).state <- Running;
+            Atomic.decr iq;
+            Atomic.decr t.queued;
+            Mutex.unlock sh.lock;
+            Some v
+          end
+          else begin
+            Mutex.unlock sh.lock;
+            scan (k + 1)
+          end
+        end
+      in
+      scan 0
+    in
+    let exec v =
+      Atomic.incr in_flight;
+      (try run_node v
+       with ex ->
+         ignore (Atomic.compare_and_set failure None (Some ex));
+         Atomic.set halt true);
+      finish_task v;
+      Atomic.decr in_flight
+    in
+    (* Backstop watchdog (opt-in): fires only when the progress counter
+       froze for a whole window with no kernel in flight and nothing
+       queued for this instance — i.e. only if the ticket count somehow
+       failed to reach zero at quiescence. A slow kernel keeps
+       [in_flight] non-zero and can never trip it. *)
+    let watchdog ms () =
+      let window = float ms /. 1000. in
+      let alive () = not (Atomic.get finalized) in
+      let rec nap left =
+        if left > 0. && alive () then begin
+          Unix.sleepf (min 0.01 left);
+          nap (left -. 0.01)
+        end
+      in
+      let rec go last =
+        nap window;
+        if alive () then begin
+          let p = Atomic.get progress in
+          if p = last && Atomic.get in_flight = 0 && Atomic.get iq = 0
+          then begin
+            Atomic.set timed_out true;
+            Atomic.set halt true;
+            finalize ()
+          end
+          else go p
+        end
+      in
+      go (-1)
+    in
+    (* Seed: sources are runnable from the start. The instance is still
+       private (no locks needed); the pool learns about the new tasks
+       only after the instance array CAS publishes everything. *)
+    let seeded = ref 0 in
+    for v = 0 to n - 1 do
+      if st.(v).src then begin
+        let sh = shards.(shard_of.(v)) in
+        st.(v).state <- Queued;
+        let tail = sh.q_head + sh.q_len in
+        sh.queue.(tail) <- v;
+        sh.q_len <- sh.q_len + 1;
+        incr seeded
+      end
+    done;
+    Atomic.set live !seeded;
+    if !seeded = 0 then
+      (* no sources: nothing can ever run, report on the spot *)
+      finalize ()
+    else begin
+      let inst = { iid; iq; claim; exec } in
+      let rec publish () =
+        let cur = Atomic.get t.insts in
+        let nxt = Array.append cur [| inst |] in
+        if not (Atomic.compare_and_set t.insts cur nxt) then publish ()
+      in
+      publish ();
+      (* [iq] goes live only after [t.queued]: pickers gate on [iq], so
+         no claim can decrement [t.queued] below zero before the adds
+         land; the idle re-check sees [t.queued] and rescans *)
+      ignore (Atomic.fetch_and_add t.queued !seeded);
+      ignore (Atomic.fetch_and_add iq !seeded);
+      signal_idlers t !seeded
+    end;
+    (match stall_ms with
+    | Some ms when ms > 0 -> job.dog <- Some (Domain.spawn (watchdog ms))
+    | _ -> ());
+    job
+
+  let await job =
+    Mutex.lock job.jlock;
+    let rec wait () =
+      match job.jres with
+      | Some res -> res
+      | None ->
+        Condition.wait job.jcond job.jlock;
+        wait ()
+    in
+    let res = wait () in
+    Mutex.unlock job.jlock;
+    (match job.dog with
+    | Some d ->
+      Domain.join d;
+      job.dog <- None
+    | None -> ());
+    match res with Ok r -> r | Error ex -> raise ex
+end
+
+let run ?domains ?grain ?stall_ms ?sink ~graph ~kernels ~inputs ~avoidance () =
+  Run.exec
+    (Run.pool ?domains ?grain ?stall_ms ?sink ~avoidance ())
+    ~graph ~kernels ~inputs ()
+
+(* The Run facade dispatches [Pool] configs here; registration at
+   module-initialization time (plus -linkall on this library) breaks
+   the runtime -> parallel dependency cycle. *)
+let () =
+  Run.register_pool_impl
+    (fun ~domains ~grain ~stall_ms ~sink ~graph ~kernels ~inputs ~avoidance ->
+      let pool = Pool.create ?domains () in
+      Fun.protect
+        ~finally:(fun () -> Pool.shutdown pool)
+        (fun () ->
+          Pool.await
+            (Pool.submit pool ~grain ?stall_ms ?sink ~graph ~kernels ~inputs
+               ~avoidance ())))

@@ -1,27 +1,35 @@
-(** Shared-memory parallel runtime: a fixed pool of worker domains
-    driving a sharded ready-queue.
+(** Shared-memory parallel runtime: a persistent pool of worker domains
+    driving sharded ready-queues, multiplexing any number of live
+    application instances.
 
     Executes the same model as {!Fstream_runtime.Engine} — min-seq
     firing rule, per-node pending sends on full channels, coalescing
     one-slot dummy mouths, EOS termination — but with node kernels
     running concurrently on OCaml 5 domains. Nodes are lightweight
-    tasks, not domains: the graph is partitioned into [domains]
-    contiguous shards, each with its own lock and ready-queue of
-    runnable nodes maintained from channel occupancy transitions (the
-    parallel analogue of the sequential [Ready] scheduler); workers
-    drain their home shard and steal from the others when it runs dry.
-    There is no limit on graph size.
+    tasks, not domains: each submitted instance's graph is partitioned
+    into [domains] contiguous shards, each with its own lock and
+    ready-queue of runnable nodes maintained from channel occupancy
+    transitions (the parallel analogue of the sequential [Ready]
+    scheduler); workers drain their home shard and steal from the
+    others when it runs dry. There is no limit on graph size.
 
-    Deadlock is detected structurally, by exact quiescence: the run
-    ends when no kernel is in flight and no node is runnable; live
-    nodes remaining at that point are a genuine deadlock of the
-    streaming computation (nodes never block a worker — a send that
-    finds a full channel parks in the node's pending ring and the node
-    leaves the runnable set, so pool-level scheduling cannot wedge).
-    The wall-clock [stall_ms] watchdog of the earlier one-domain-per-
-    node runtime survives only as an opt-in backstop which additionally
-    requires zero in-flight kernels — a kernel that merely computes for
-    longer than the window can no longer be misreported as deadlock.
+    Multi-tenancy ({!Pool}): one pool serves many concurrently
+    submitted instances. Workers rotate between instances under a
+    fair-share quota — at most [quota] consecutive task grants to one
+    instance while another has queued work — so a hot tenant cannot
+    starve the rest (the instance-level analogue of the per-node
+    [grain] bound). Completion is detected per instance by a live-task
+    ticket counter: every queued-or-running task holds a ticket, all
+    wakes come from running tasks of the same instance, so the count
+    dropping to zero is a permanent quiescence — the instance finished
+    or its remaining nodes are genuinely deadlocked (nodes never block
+    a worker: a send that finds a full channel parks in the node's
+    pending ring and the node leaves the runnable set, so pool-level
+    scheduling cannot wedge). The wall-clock [stall_ms] watchdog of the
+    earlier one-domain-per-node runtime survives only as an opt-in
+    backstop which additionally requires zero in-flight kernels — a
+    kernel that merely computes for longer than the window can no
+    longer be misreported as deadlock.
 
     Determinism: kernels whose decisions depend only on their own
     node's firing history make the data computation a Kahn network, so
@@ -34,13 +42,14 @@
     Kernels are invoked for one node by at most one worker at a time
     (consecutive firings may land on different domains, with the
     happens-before edges the scheduler provides), but different nodes'
-    kernels run concurrently: a kernel factory passed to {!run} must
-    give each node its own state (e.g. its own [Random.State.t]).
+    kernels run concurrently: a kernel factory must give each node its
+    own state (e.g. its own [Random.State.t]), and kernel state must
+    not be shared between instances submitted to the same pool.
 
     Grain amplification: when per-message scheduling overhead dominates
     (tiny kernels on deep pipelines — EXPERIMENTS.md §P1's zero-work
     rows), run a fused plan instead of scheduling every node: compile
-    with [Compiler.plan ~fuse:true], wrap the kernel factory with
+    with [Compiler.Options.fuse], wrap the kernel factory with
     {!Fstream_runtime.Fused.make}, and run [fusion.graph] here. A whole
     chain then costs one task per firing, with its internal hops as
     plain function calls. The per-node exclusivity guarantee above
@@ -49,6 +58,70 @@
     time. Measured in bench §FU1. *)
 
 open Fstream_graph
+
+(** {1 Defaults}
+
+    Re-exported from {!Fstream_runtime.Run} — the single source of
+    truth shared with the sequential engine's facade, so callers
+    (serve layer, bench) never hard-code the numbers. *)
+
+val default_grain : int
+(** = {!Fstream_runtime.Run.default_grain}. *)
+
+val default_domains : unit -> int
+(** = {!Fstream_runtime.Run.default_domains}. *)
+
+val default_quota : int
+(** Fair-share bound: consecutive task grants one worker gives a
+    single instance while another instance has queued work. *)
+
+(** A persistent worker pool serving many application instances. *)
+module Pool : sig
+  type t
+
+  type job
+  (** A submitted instance; a handle to {!await} its report. *)
+
+  val create : ?domains:int -> ?quota:int -> unit -> t
+  (** Spawn [domains] worker domains (default {!default_domains}; must
+      be in [1, 126]) that live until {!shutdown}. [quota] (default
+      {!default_quota}, must be ≥ 1) is the fair-share bound described
+      above. *)
+
+  val domains : t -> int
+
+  val submit :
+    t ->
+    ?grain:int ->
+    ?stall_ms:int ->
+    ?sink:Fstream_obs.Sink.t ->
+    graph:Graph.t ->
+    kernels:(Graph.node -> Fstream_runtime.Engine.kernel) ->
+    inputs:int ->
+    avoidance:Fstream_runtime.Engine.avoidance ->
+    unit ->
+    job
+  (** Start an instance of the application on [inputs] external
+      sequence numbers; returns immediately. Argument meanings and
+      validation are exactly {!run}'s. The instance's sources become
+      runnable at once; its tasks interleave with every other live
+      instance's under the fair-share quota.
+
+      @raise Invalid_argument if [grain < 1] or if [avoidance] carries
+      a threshold table computed for a different graph. *)
+
+  val await : job -> Fstream_runtime.Report.t
+  (** Block until the instance reaches permanent quiescence and return
+      its report ({!run}'s contract). Re-raises the instance's kernel
+      (or kernel-validation) exception if one aborted it. [await] may
+      be called at most once per job, from any thread that is not a
+      pool worker. *)
+
+  val shutdown : t -> unit
+  (** Stop and join the worker domains. Call only after every
+      submitted job has been awaited; jobs still live at shutdown are
+      abandoned un-finalized and their [await] never returns. *)
+end
 
 val run :
   ?domains:int ->
@@ -61,25 +134,28 @@ val run :
   avoidance:Fstream_runtime.Engine.avoidance ->
   unit ->
   Fstream_runtime.Report.t
-(** Run the application on [inputs] external sequence numbers with a
-    pool of [domains] worker domains (default: derived from
-    [Domain.recommended_domain_count ()], at least 1, at most 8).
-    [domains = 1] is a valid single-worker execution of the same
-    machinery. The result's [detail] is
-    {!Fstream_runtime.Report.Parallel}: there is no round counter or
-    wedge snapshot in a preemptive execution, and the outcome never
-    reports [Budget_exhausted].
+(** One-shot convenience: a thin wrapper that builds a
+    {!Fstream_runtime.Run.pool} config and calls
+    {!Fstream_runtime.Run.exec} — which lands back here on a private
+    single-instance pool (create, submit, await, shutdown). Run the
+    application on [inputs] external sequence numbers with a pool of
+    [domains] worker domains (default {!default_domains}; [domains =
+    1] is a valid single-worker execution of the same machinery). The
+    result's [detail] is {!Fstream_runtime.Report.Parallel}: there is
+    no round counter or wedge snapshot in a preemptive execution, and
+    the outcome never reports [Budget_exhausted].
 
-    [grain] (default 32) bounds consecutive firings of one node per
-    task execution before it re-queues itself, trading scheduling
-    overhead against fairness.
+    [grain] (default {!default_grain}) bounds consecutive firings of
+    one node per task execution before it re-queues itself, trading
+    scheduling overhead against fairness.
 
     [stall_ms] enables the backstop watchdog: abort and report
-    [Deadlocked] if the push/pop progress counter freezes for a full
-    window {e while no kernel is in flight and nothing is queued}.
+    [Deadlocked] if the instance's push/pop progress counter freezes
+    for a full window {e while none of its kernels is in flight}.
     Default: disabled — the structural quiescence check is the
     detector of record, and the backstop only matters if that check is
-    itself broken.
+    itself broken (an instance merely starved by other tenants keeps a
+    non-empty ready-queue and cannot trip it).
 
     [sink] receives the same typed event vocabulary as the sequential
     engine, minus the scheduler-only events ([Round_started], [Wedge]).
@@ -95,4 +171,4 @@ val run :
     @raise Invalid_argument if [domains] is outside [1, 126], if
     [grain < 1], if [avoidance] carries a threshold table computed for
     a different graph, or if a kernel returns an edge id it does not
-    own. Kernel exceptions propagate after the pool shuts down. *)
+    own. Kernel exceptions propagate after the instance drains. *)

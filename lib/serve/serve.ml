@@ -1,0 +1,226 @@
+open Fstream_graph
+module Lint = Fstream_analysis.Lint
+module Compiler = Fstream_core.Compiler
+module Thresholds = Fstream_core.Thresholds
+module Engine = Fstream_runtime.Engine
+module Report = Fstream_runtime.Report
+module Run = Fstream_runtime.Run
+module Pool = Fstream_parallel.Parallel_engine.Pool
+module App_spec = Fstream_workloads.App_spec
+
+type mode = No_avoidance | Propagation | Non_propagation
+
+let pp_mode ppf = function
+  | No_avoidance -> Format.pp_print_string ppf "none"
+  | Propagation -> Format.pp_print_string ppf "propagation"
+  | Non_propagation -> Format.pp_print_string ppf "non-propagation"
+
+type rejection =
+  | Lint_rejected of Lint.diagnostic list
+  | Analysis_incomplete of string
+  | Plan_rejected of Compiler.error
+
+let pp_rejection ppf = function
+  | Lint_rejected ds ->
+    Format.fprintf ppf "lint rejected the topology:";
+    List.iter
+      (fun (d : Lint.diagnostic) ->
+        Format.fprintf ppf "@\n  %s %a: %s" d.code Lint.pp_severity d.severity
+          d.message)
+      ds
+  | Analysis_incomplete what ->
+    Format.fprintf ppf "analysis incomplete, not admitting unverified \
+                        topology: %s"
+      what
+  | Plan_rejected e -> Format.fprintf ppf "plan error: %a" Compiler.pp_error e
+
+type t = {
+  pool : Pool.t;
+  grain : int;
+  options : Compiler.Options.t;
+  lock : Mutex.t; (* registry, caches, counters *)
+  registry : (int * mode, Engine.avoidance) Hashtbl.t;
+  lint_cache : (int * mode, Lint.report) Hashtbl.t; (* spec-less verdicts *)
+  mutable tenants : int;
+  mutable rejections : int;
+  mutable compiles : int;
+}
+
+type session = {
+  sname : string;
+  graph : Graph.t;
+  savoidance : Engine.avoidance;
+  server : t;
+  slock : Mutex.t;
+  mutable job : Pool.job option;
+  mutable report : Report.t option;
+}
+
+let create ?domains ?quota ?(grain = Run.default_grain)
+    ?(options = Compiler.Options.default) () =
+  {
+    pool = Pool.create ?domains ?quota ();
+    grain;
+    options;
+    lock = Mutex.create ();
+    registry = Hashtbl.create 64;
+    lint_cache = Hashtbl.create 64;
+    tenants = 0;
+    rejections = 0;
+    compiles = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let lint_algorithm = function
+  | Propagation -> Compiler.Propagation
+  | Non_propagation | No_avoidance -> Compiler.Non_propagation
+
+(* Admission step 1: the lint verdict. Spec-less verdicts depend only
+   on what the fingerprint covers (structure + capacities + mode), so
+   they are cached; a spec brings tenant-specific behaviours (rules
+   FS401-FS403) and is always linted fresh. *)
+let lint_verdict t ~fp ~mode ~spec g =
+  let config =
+    { Lint.default_config with algorithm = lint_algorithm mode; spec }
+  in
+  let fresh () = Lint.run ~config g in
+  let report =
+    match spec with
+    | Some _ -> fresh ()
+    | None -> (
+      match locked t (fun () -> Hashtbl.find_opt t.lint_cache (fp, mode)) with
+      | Some r -> r
+      | None ->
+        let r = fresh () in
+        locked t (fun () ->
+            if not (Hashtbl.mem t.lint_cache (fp, mode)) then
+              Hashtbl.add t.lint_cache (fp, mode) r);
+        r)
+  in
+  match report.incomplete with
+  | Some what -> Error (Analysis_incomplete what)
+  | None -> (
+    match
+      List.filter
+        (fun (d : Lint.diagnostic) -> d.severity = Lint.Error)
+        report.diagnostics
+    with
+    | [] -> Ok ()
+    | errors -> Error (Lint_rejected errors))
+
+(* Admission step 2: the shared threshold table. One compile per
+   distinct (fingerprint, mode); every later fingerprint-equal tenant
+   gets the physically same avoidance value. The table stays bound to
+   the first tenant's graph object — Thresholds compatibility is by
+   fingerprint, so the pool accepts it for every structural twin. *)
+let shared_avoidance t ~fp ~mode g =
+  match mode with
+  | No_avoidance -> Ok Engine.No_avoidance
+  | Propagation | Non_propagation -> (
+    match locked t (fun () -> Hashtbl.find_opt t.registry (fp, mode)) with
+    | Some av -> Ok av
+    | None -> (
+      let options = { t.options with Compiler.Options.fuse = false } in
+      match Compiler.compile ~options (lint_algorithm mode) g with
+      | Error e -> Error (Plan_rejected e)
+      | Ok plan ->
+        let av =
+          match mode with
+          | Propagation ->
+            Engine.Propagation
+              (Compiler.propagation_thresholds g plan.Compiler.intervals)
+          | Non_propagation ->
+            Engine.Non_propagation
+              (Compiler.send_thresholds g plan.Compiler.intervals)
+          | No_avoidance -> assert false
+        in
+        Ok
+          (locked t (fun () ->
+               (* a racing admission may have won; keep the first *)
+               match Hashtbl.find_opt t.registry (fp, mode) with
+               | Some prior -> prior
+               | None ->
+                 Hashtbl.add t.registry (fp, mode) av;
+                 t.compiles <- t.compiles + 1;
+                 av))))
+
+let admit t ?name ?spec ~mode g =
+  let fp = Thresholds.graph_fingerprint g in
+  (match spec with
+  | Some (s : App_spec.t)
+    when Thresholds.graph_fingerprint s.graph <> fp ->
+    invalid_arg "Serve.admit: spec describes a different graph"
+  | _ -> ());
+  let verdict =
+    match lint_verdict t ~fp ~mode ~spec g with
+    | Error _ as e -> e
+    | Ok () -> shared_avoidance t ~fp ~mode g
+  in
+  match verdict with
+  | Error r ->
+    locked t (fun () -> t.rejections <- t.rejections + 1);
+    Error r
+  | Ok savoidance ->
+    let sname =
+      locked t (fun () ->
+          let id = t.tenants in
+          t.tenants <- id + 1;
+          match name with
+          | Some n -> n
+          | None -> Printf.sprintf "tenant-%d" id)
+    in
+    Ok
+      {
+        sname;
+        graph = g;
+        savoidance;
+        server = t;
+        slock = Mutex.create ();
+        job = None;
+        report = None;
+      }
+
+let name s = s.sname
+let avoidance s = s.savoidance
+
+let start t ?sink ~kernels ~inputs s =
+  Mutex.lock s.slock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock s.slock)
+    (fun () ->
+      if s.job <> None then
+        invalid_arg (Printf.sprintf "Serve.start: session %s already started"
+                       s.sname);
+      s.job <-
+        Some
+          (Pool.submit t.pool ~grain:t.grain ?sink ~graph:s.graph ~kernels
+             ~inputs ~avoidance:s.savoidance ()))
+
+let await s =
+  Mutex.lock s.slock;
+  let cached = s.report and job = s.job in
+  Mutex.unlock s.slock;
+  match (cached, job) with
+  | Some r, _ -> r
+  | None, None -> invalid_arg "Serve.await: session was never started"
+  | None, Some job ->
+    let r = Pool.await job in
+    Mutex.lock s.slock;
+    s.report <- Some r;
+    Mutex.unlock s.slock;
+    r
+
+let run t ?sink ~kernels ~inputs s =
+  start t ?sink ~kernels ~inputs s;
+  await s
+
+let shutdown t = Pool.shutdown t.pool
+
+type stats = { tenants : int; rejections : int; compiles : int }
+
+let stats t =
+  locked t (fun () ->
+      { tenants = t.tenants; rejections = t.rejections; compiles = t.compiles })

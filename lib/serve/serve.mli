@@ -1,0 +1,144 @@
+(** Multi-tenant serving layer: many live applications, one pool.
+
+    Everything below [lib/serve] runs one topology per process; the
+    serving layer is the resident-daemon shape — a {!t} owns one
+    {!Fstream_parallel.Parallel_engine.Pool} and admits any number of
+    tenant applications onto it. Three things happen at admission that
+    a per-process runtime never needed:
+
+    {ul
+    {- {b Admission control.} Every topology is linted
+       ({!Fstream_analysis.Lint}) before it may run. Error-severity
+       findings reject the tenant with the findings as the reason —
+       the linter's severity contract (lint-clean ⇒ no reachable
+       wedge for checkable graphs) makes this exactly the
+       pre-deployment verification step of the LP-verification line of
+       work, applied at the front door. An analysis that could not
+       finish (cycle-enumeration budget) also rejects: an unverified
+       topology is not admitted on a shared pool.}
+    {- {b Compile-once registry.} Interval tables are a function of
+       topology + capacities, which {!Fstream_core.Thresholds}
+       fingerprints. The registry compiles each distinct
+       (fingerprint, avoidance mode) once and hands every
+       fingerprint-equal tenant the {e physically same} threshold
+       table (the [==] sharing is what the registry test pins down) —
+       at production tenant counts, topologies repeat and compilation
+       is the expensive step.}
+    {- {b Fair-share scheduling.} Sessions multiplex onto the one
+       pool; the pool's per-instance grant quota (the instance-level
+       analogue of the per-node [grain] bound) keeps a hot tenant from
+       starving the rest.}}
+
+    Admission and execution are decoupled: {!admit} returns a
+    {!session}, {!start} launches it (its tasks immediately interleave
+    with every other running session's), {!await} collects its
+    {!Fstream_runtime.Report.t}. All functions are thread-safe except
+    where noted. *)
+
+open Fstream_graph
+module Lint = Fstream_analysis.Lint
+module Compiler = Fstream_core.Compiler
+module Engine = Fstream_runtime.Engine
+module Report = Fstream_runtime.Report
+
+type t
+
+(** Which avoidance wrapper admitted sessions run under. The
+    threshold-table-carrying constructors of {!Engine.avoidance} are
+    inapplicable here — tables are what the registry computes and
+    shares, so tenants name the mode only. *)
+type mode = No_avoidance | Propagation | Non_propagation
+
+val pp_mode : Format.formatter -> mode -> unit
+
+type rejection =
+  | Lint_rejected of Lint.diagnostic list
+      (** the Error-severity findings, in lint report order *)
+  | Analysis_incomplete of string
+      (** lint could not finish (what was skipped); an unverified
+          topology is not admitted *)
+  | Plan_rejected of Compiler.error
+      (** the mode needs a threshold table and compilation failed *)
+
+val pp_rejection : Format.formatter -> rejection -> unit
+
+type session
+
+val create :
+  ?domains:int ->
+  ?quota:int ->
+  ?grain:int ->
+  ?options:Compiler.Options.t ->
+  unit ->
+  t
+(** Start a server: spawns its pool's worker domains.
+    [domains]/[quota] are {!Fstream_parallel.Parallel_engine.Pool.create}'s
+    (defaults included); [grain] (default
+    {!Fstream_runtime.Run.default_grain}) applies to every session;
+    [options] (default {!Compiler.Options.default}) configures the
+    registry's compiles — its [fuse] field is ignored, sessions run
+    the topology as admitted. *)
+
+val admit :
+  t ->
+  ?name:string ->
+  ?spec:Fstream_workloads.App_spec.t ->
+  mode:mode ->
+  Graph.t ->
+  (session, rejection) result
+(** Lint the topology (plus the per-node behaviours when [spec] is
+    given, rules FS401–FS403) and, if admissible, attach the shared
+    threshold table for [mode] — compiling it only if this
+    (fingerprint, mode) pair is new. Lint verdicts for spec-less
+    admissions are cached by fingerprint too. [name] (default
+    ["tenant-N"]) labels the session for reports.
+
+    @raise Invalid_argument if [spec] is given but describes a
+    different graph than the one being admitted. *)
+
+val name : session -> string
+val avoidance : session -> Engine.avoidance
+(** The session's avoidance value. Fingerprint-equal sessions admitted
+    under the same mode share it physically (same [Thresholds.t],
+    compiled once) — [avoidance s1 == avoidance s2]. *)
+
+val start :
+  t ->
+  ?sink:Fstream_obs.Sink.t ->
+  kernels:(Graph.node -> Engine.kernel) ->
+  inputs:int ->
+  session ->
+  unit
+(** Launch the session on the shared pool; returns immediately. The
+    kernel-factory contract is the pool's: per-node, per-session
+    state. @raise Invalid_argument if the session was already
+    started. *)
+
+val await : session -> Report.t
+(** Block until the session's instance quiesces; re-raises its kernel
+    exception if one aborted it. First call per session must not come
+    from a pool worker; subsequent calls return the cached report. *)
+
+val run :
+  t ->
+  ?sink:Fstream_obs.Sink.t ->
+  kernels:(Graph.node -> Engine.kernel) ->
+  inputs:int ->
+  session ->
+  Report.t
+(** [start] then [await]: sequential convenience for one session —
+    concurrency comes from starting many sessions before awaiting
+    any. *)
+
+val shutdown : t -> unit
+(** Shut the pool down. Only after every started session has been
+    awaited. *)
+
+(** Admission-desk counters since {!create}. *)
+type stats = {
+  tenants : int;  (** sessions admitted *)
+  rejections : int;  (** admissions refused *)
+  compiles : int;  (** distinct (fingerprint, mode) tables compiled *)
+}
+
+val stats : t -> stats

@@ -48,7 +48,7 @@ let run_and_check run_fn =
 
 let test_sequential () =
   run_and_check (fun g kernels inputs ->
-      let plan = Result.get_ok (Compiler.plan Compiler.Non_propagation g) in
+      let plan = Result.get_ok (Compiler.compile Compiler.Non_propagation g) in
       let s =
         Engine.run ~graph:g ~kernels ~inputs
           ~avoidance:
@@ -59,7 +59,7 @@ let test_sequential () =
 
 let test_parallel () =
   run_and_check (fun g kernels inputs ->
-      let plan = Result.get_ok (Compiler.plan Compiler.Non_propagation g) in
+      let plan = Result.get_ok (Compiler.compile Compiler.Non_propagation g) in
       let s =
         Fstream_parallel.Parallel_engine.run ~stall_ms:150 ~graph:g ~kernels
           ~inputs
@@ -75,7 +75,7 @@ let test_store_drains () =
   let g = Topo_gen.fig4_left ~cap:2 in
   let collected = ref [] in
   let app = build_app g collected in
-  let plan = Result.get_ok (Compiler.plan Compiler.Non_propagation g) in
+  let plan = Result.get_ok (Compiler.compile Compiler.Non_propagation g) in
   ignore
     (Engine.run ~graph:g ~kernels:(App.to_kernels app) ~inputs:20
        ~avoidance:

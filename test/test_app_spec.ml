@@ -54,7 +54,7 @@ let test_simulates_fig2 () =
     in
     Alcotest.(check bool) "spec reproduces the Fig. 2 wedge" true
       (bare.Report.outcome = Report.Deadlocked);
-    (match Compiler.plan Compiler.Non_propagation g with
+    (match Compiler.compile Compiler.Non_propagation g with
     | Error e -> Alcotest.fail (Compiler.error_to_string e)
     | Ok p ->
       let s =

@@ -2,21 +2,21 @@ open Fstream_core
 open Fstream_workloads
 
 let test_routes () =
-  (match Compiler.plan Compiler.Propagation (Topo_gen.fig3_hexagon ()) with
+  (match Compiler.compile Compiler.Propagation (Topo_gen.fig3_hexagon ()) with
   | Ok { route = Compiler.Cs4_route _; _ } -> ()
   | _ -> Alcotest.fail "hexagon should take the CS4 route");
-  (match Compiler.plan Compiler.Propagation (Topo_gen.fig4_butterfly ~cap:1) with
+  (match Compiler.compile Compiler.Propagation (Topo_gen.fig4_butterfly ~cap:1) with
   | Ok { route = Compiler.General_route { cycles = 7 }; _ } -> ()
   | _ -> Alcotest.fail "butterfly should take the general route");
   match
-    Compiler.plan ~allow_general:false Compiler.Propagation
+    Compiler.compile ~options:{ Compiler.Options.default with allow_general = false } Compiler.Propagation
       (Topo_gen.fig4_butterfly ~cap:1)
   with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "butterfly must be rejected without fallback"
 
 let test_route_pp () =
-  match Compiler.plan Compiler.Propagation (Topo_gen.fig4_left ~cap:1) with
+  match Compiler.compile Compiler.Propagation (Topo_gen.fig4_left ~cap:1) with
   | Ok p ->
     Alcotest.(check string) "route rendering" "CS4 (0 SP blocks, 1 ladder)"
       (Format.asprintf "%a" Compiler.pp_route p.route)
@@ -26,7 +26,7 @@ let test_not_a_dag () =
   let g =
     Fstream_graph.Graph.make ~nodes:3 [ (0, 1, 1); (1, 2, 1); (2, 0, 1) ]
   in
-  match Compiler.plan Compiler.Propagation g with
+  match Compiler.compile Compiler.Propagation g with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "directed cycle must be rejected"
 
@@ -34,19 +34,19 @@ let test_max_cycles_cutoff () =
   let g = Topo_gen.diamond_chain ~bypass:true ~diamonds:12 ~cap:1 () in
   (* the graph is SP so the CS4 route handles it; force the general
      fallback by asking for a non-CS4... instead check plan still works *)
-  match Compiler.plan Compiler.Propagation g with
+  match Compiler.compile Compiler.Propagation g with
   | Ok { route = Compiler.Cs4_route _; _ } -> ()
   | _ -> Alcotest.fail "SP graph must avoid cycle enumeration entirely"
 
 let test_thresholds () =
   let g = Topo_gen.fig3_hexagon () in
-  match Compiler.plan Compiler.Non_propagation g with
+  match Compiler.compile Compiler.Non_propagation g with
   | Error e -> Alcotest.fail (Compiler.error_to_string e)
   | Ok p ->
     Alcotest.(check (array (option int))) "floor-clamped thresholds"
       [| Some 2; Some 2; Some 2; Some 2; Some 2; Some 2 |]
       (Thresholds.to_array (Compiler.send_thresholds g p.intervals));
-    (match Compiler.plan Compiler.Propagation g with
+    (match Compiler.compile Compiler.Propagation g with
     | Error e -> Alcotest.fail (Compiler.error_to_string e)
     | Ok p ->
       Alcotest.(check (array (option int)))
@@ -57,7 +57,7 @@ let test_thresholds () =
 let test_propagation_thresholds_bridges () =
   (* pipeline edges lie on no cycle: no dummies ever *)
   let g = Topo_gen.pipeline ~stages:3 ~cap:1 in
-  match Compiler.plan Compiler.Propagation g with
+  match Compiler.compile Compiler.Propagation g with
   | Error e -> Alcotest.fail (Compiler.error_to_string e)
   | Ok p ->
     Alcotest.(check (array (option int))) "bridge edges get no threshold"
@@ -73,9 +73,9 @@ let prop_nonprop_at_most_prop =
     Tutil.seed_gen (fun seed ->
       let g = Tutil.random_cs4_of_seed seed in
       match
-        ( Compiler.plan Compiler.Non_propagation g,
-          Compiler.plan Compiler.Relay_propagation g,
-          Compiler.plan Compiler.Propagation g )
+        ( Compiler.compile Compiler.Non_propagation g,
+          Compiler.compile Compiler.Relay_propagation g,
+          Compiler.compile Compiler.Propagation g )
       with
       | Ok np, Ok rl, Ok pr ->
         let ok = ref true in
@@ -94,7 +94,7 @@ let prop_finite_iff_on_cycle =
   Tutil.qtest ~count:150 "finite interval iff edge on a cycle" Tutil.seed_gen
     (fun seed ->
       let g = Tutil.random_cs4_of_seed seed in
-      match Compiler.plan Compiler.Non_propagation g with
+      match Compiler.compile Compiler.Non_propagation g with
       | Error _ -> false
       | Ok p ->
         let on_cycle = Array.make (Fstream_graph.Graph.num_edges g) false in

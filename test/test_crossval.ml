@@ -6,7 +6,7 @@
 open Fstream_core
 
 let agree algorithm baseline g =
-  match Compiler.plan ~allow_general:false algorithm g with
+  match Compiler.compile ~options:{ Compiler.Options.default with allow_general = false } algorithm g with
   | Error _ -> false
   | Ok p ->
     let base = baseline g in
@@ -58,7 +58,7 @@ let test_general_fallback_butterfly () =
   (* the butterfly is not CS4: plan takes the exponential route and
      must still equal the direct baseline *)
   let g = Fstream_workloads.Topo_gen.fig4_butterfly ~cap:2 in
-  match Compiler.plan Compiler.Non_propagation g with
+  match Compiler.compile Compiler.Non_propagation g with
   | Ok { route = Compiler.General_route { cycles }; intervals; _ } ->
     Alcotest.(check int) "7 cycles enumerated" 7 cycles;
     Tutil.check_intervals "fallback equals baseline"

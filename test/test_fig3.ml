@@ -33,10 +33,10 @@ let test_fast_sp () =
       (Sp_nonprop.intervals (g ()) tree)
 
 let test_compiler_plan () =
-  (match Compiler.plan Compiler.Propagation (g ()) with
+  (match Compiler.compile Compiler.Propagation (g ()) with
   | Ok p -> Tutil.check_intervals "plan propagation" expected_prop p.intervals
   | Error e -> Alcotest.fail (Compiler.error_to_string e));
-  match Compiler.plan Compiler.Non_propagation (g ()) with
+  match Compiler.compile Compiler.Non_propagation (g ()) with
   | Ok p ->
     Tutil.check_intervals "plan non-propagation" expected_nonprop p.intervals
   | Error e -> Alcotest.fail (Compiler.error_to_string e)

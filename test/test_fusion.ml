@@ -91,7 +91,7 @@ let test_pin_boundary () =
 
 let test_fused_thresholds_rejected_on_original () =
   let g = Topo_gen.pipeline ~stages:8 ~cap:2 in
-  match Compiler.plan ~fuse:true Compiler.Non_propagation g with
+  match Compiler.compile ~options:{ Compiler.Options.default with fuse = true } Compiler.Non_propagation g with
   | Error e -> Alcotest.fail (Compiler.error_to_string e)
   | Ok { Compiler.fused = None; _ } -> Alcotest.fail "no fusion attached"
   | Ok { Compiler.fused = Some { fusion; fused_intervals }; _ } ->
@@ -197,11 +197,11 @@ let prop_derived_equals_recompiled =
     Tutil.seed_gen (fun seed ->
       let g = graph_of_family seed in
       let algorithm = algorithm_of (seed / 7) in
-      match Compiler.plan ~fuse:true algorithm g with
+      match Compiler.compile ~options:{ Compiler.Options.default with fuse = true } algorithm g with
       | Error _ -> false
       | Ok { Compiler.fused = None; _ } -> false
       | Ok { Compiler.fused = Some { fusion; fused_intervals }; _ } -> (
-        match Compiler.plan algorithm fusion.Fusion.graph with
+        match Compiler.compile algorithm fusion.Fusion.graph with
         | Error _ -> false
         | Ok p ->
           Array.length fused_intervals = Array.length p.Compiler.intervals
@@ -243,7 +243,7 @@ let differential_case g seed mode =
     match mode with
     | M_none -> Some (Engine.No_avoidance, Engine.No_avoidance)
     | M_nonprop -> (
-      match Compiler.plan Compiler.Non_propagation g with
+      match Compiler.compile Compiler.Non_propagation g with
       | Error _ -> None
       | Ok p ->
         let fused_intervals = Fusion.derive_intervals fusion p.intervals in
@@ -252,7 +252,7 @@ let differential_case g seed mode =
             Engine.Non_propagation
               (Compiler.send_thresholds fg fused_intervals) ))
     | M_prop -> (
-      match Compiler.plan Compiler.Propagation g with
+      match Compiler.compile Compiler.Propagation g with
       | Error _ -> None
       | Ok p ->
         let fused_intervals = Fusion.derive_intervals fusion p.intervals in
@@ -335,7 +335,7 @@ let test_subnode_attribution () =
         if v = 2 then Filters.periodic ~keep_every:2 outs
         else Filters.passthrough outs)
   in
-  match Compiler.plan ~fuse:true Compiler.Non_propagation g with
+  match Compiler.compile ~options:{ Compiler.Options.default with fuse = true } Compiler.Non_propagation g with
   | Error e -> Alcotest.fail (Compiler.error_to_string e)
   | Ok { Compiler.fused = None; _ } -> Alcotest.fail "no fusion attached"
   | Ok { Compiler.fused = Some { fusion; fused_intervals }; _ } ->
@@ -425,7 +425,7 @@ let prop_verify_plan_tables_iff =
     Tutil.seed_gen (fun seed ->
       let g = tiny_graph_of_seed seed in
       let algorithm = algorithm_of seed in
-      match Compiler.plan ~fuse:true algorithm g with
+      match Compiler.compile ~options:{ Compiler.Options.default with fuse = true } algorithm g with
       | Error _ -> false
       | Ok { Compiler.fused = None; _ } -> false
       | Ok ({ Compiler.fused = Some { fusion; fused_intervals }; _ } as p) ->
@@ -457,7 +457,7 @@ let prop_verify_weakened_tables_iff =
   Tutil.qtest ~count:300 "verify verdict preserved for weakened tables"
     Tutil.seed_gen (fun seed ->
       let g = tiny_graph_of_seed seed in
-      match Compiler.plan ~fuse:true Compiler.Non_propagation g with
+      match Compiler.compile ~options:{ Compiler.Options.default with fuse = true } Compiler.Non_propagation g with
       | Error _ -> false
       | Ok { Compiler.fused = None; _ } -> false
       | Ok ({ Compiler.fused = Some { fusion; fused_intervals }; _ } as p) ->
@@ -487,7 +487,7 @@ let test_verify_chain_diamond_fixture () =
     (wedge_none g = `Deadlocks);
   Alcotest.(check bool) "fused wedges under no avoidance" true
     (wedge_none fg = `Deadlocks);
-  match Compiler.plan ~fuse:true Compiler.Non_propagation g with
+  match Compiler.compile ~options:{ Compiler.Options.default with fuse = true } Compiler.Non_propagation g with
   | Error e -> Alcotest.fail (Compiler.error_to_string e)
   | Ok { Compiler.fused = None; _ } -> Alcotest.fail "no fusion attached"
   | Ok ({ Compiler.fused = Some { fusion = _; fused_intervals }; _ } as p) ->

@@ -128,7 +128,7 @@ let test_fs302 () =
   let foreign = Thresholds.of_array other [| Some 1; Some 1 |] in
   check_fires "foreign table" "FS302" (Lint.run ~config:(cfg foreign) g);
   (* the compiler's own table audits clean *)
-  (match Compiler.plan Compiler.Non_propagation g with
+  (match Compiler.compile Compiler.Non_propagation g with
   | Error _ -> Alcotest.fail "fig2 must plan"
   | Ok p ->
     let good = Compiler.send_thresholds g p.Compiler.intervals in
@@ -265,7 +265,7 @@ let prop_lint_clean_implies_safe =
       let nonprop_ok =
         if not (clean (Lint.run g)) then true
         else
-          match Compiler.plan Compiler.Non_propagation g with
+          match Compiler.compile Compiler.Non_propagation g with
           | Error _ -> false (* clean lint promises a plan *)
           | Ok p ->
             let t = Compiler.send_thresholds g p.Compiler.intervals in
@@ -276,7 +276,7 @@ let prop_lint_clean_implies_safe =
       let prop_ok =
         if not (clean (Lint.run ~config:prop_config g)) then true
         else
-          match Compiler.plan Compiler.Propagation g with
+          match Compiler.compile Compiler.Propagation g with
           | Error _ -> false
           | Ok p ->
             no_wedge g
@@ -291,7 +291,7 @@ let test_fs303_guards_the_contract () =
   let g = Topo_gen.erosion_counterexample () in
   let r = Lint.run ~config:prop_config g in
   Alcotest.(check bool) "erosion instance is not lint-clean" false (clean r);
-  match Compiler.plan Compiler.Propagation g with
+  match Compiler.compile Compiler.Propagation g with
   | Error _ -> Alcotest.fail "erosion instance must plan"
   | Ok p ->
     let t = Compiler.propagation_thresholds g p.Compiler.intervals in
@@ -318,7 +318,7 @@ let test_fs303_multigraph_run_sum () =
   Alcotest.(check bool)
     "and the nonprop audit stays clean" true
     (clean (Lint.run g));
-  match Compiler.plan Compiler.Propagation g with
+  match Compiler.compile Compiler.Propagation g with
   | Error _ -> Alcotest.fail "multigraph instance must plan"
   | Ok p ->
     let t = Compiler.propagation_thresholds g p.Compiler.intervals in

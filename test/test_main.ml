@@ -27,4 +27,5 @@ let () =
       ("sizing", Test_sizing.suite);
       ("lint", Test_lint.suite);
       ("fusion", Test_fusion.suite);
+      ("serve", Test_serve.suite);
     ]

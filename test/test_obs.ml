@@ -24,13 +24,13 @@ let bernoulli_kernels g seed =
 
 let wrappers g =
   let prop =
-    match Compiler.plan Compiler.Propagation g with
+    match Compiler.compile Compiler.Propagation g with
     | Ok p ->
       [ Engine.Propagation (Compiler.propagation_thresholds g p.intervals) ]
     | Error _ -> []
   in
   let nonprop =
-    match Compiler.plan Compiler.Non_propagation g with
+    match Compiler.compile Compiler.Non_propagation g with
     | Ok p -> [ Engine.Non_propagation (Compiler.send_thresholds g p.intervals) ]
     | Error _ -> []
   in
@@ -75,7 +75,7 @@ let prop_conservation =
      originated dummies) *)
   Tutil.qtest ~count:150 "metrics conservation" Tutil.seed_gen (fun seed ->
       let g = Tutil.random_cs4_of_seed seed in
-      match Compiler.plan Compiler.Propagation g with
+      match Compiler.compile Compiler.Propagation g with
       | Error _ -> true (* nothing to check *)
       | Ok p ->
         let avoidance =
@@ -109,7 +109,7 @@ let test_live_sink_equals_replay () =
      the post-hoc fold over the log agree *)
   let g = Topo_gen.fig2_triangle ~cap:2 in
   let avoidance =
-    match Compiler.plan Compiler.Propagation g with
+    match Compiler.compile Compiler.Propagation g with
     | Ok p -> Engine.Propagation (Compiler.propagation_thresholds g p.intervals)
     | Error e -> Alcotest.fail (Compiler.error_to_string e)
   in
@@ -132,7 +132,7 @@ let test_parallel_replay () =
      terminal [Run_finished] *)
   let g = Topo_gen.fig4_left ~cap:2 in
   let avoidance =
-    match Compiler.plan Compiler.Non_propagation g with
+    match Compiler.compile Compiler.Non_propagation g with
     | Ok p -> Engine.Non_propagation (Compiler.send_thresholds g p.intervals)
     | Error e -> Alcotest.fail (Compiler.error_to_string e)
   in

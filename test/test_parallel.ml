@@ -39,7 +39,7 @@ let test_fig2_deadlocks () =
 
 let test_fig2_avoided () =
   let g = Topo_gen.fig2_triangle ~cap:2 in
-  match Compiler.plan Compiler.Non_propagation g with
+  match Compiler.compile Compiler.Non_propagation g with
   | Error e -> Alcotest.fail (Compiler.error_to_string e)
   | Ok p ->
     let s =
@@ -57,7 +57,7 @@ let test_matches_sequential_engine () =
         if v = 1 then Filters.periodic ~keep_every:3 outs
         else Filters.passthrough outs)
   in
-  match Compiler.plan Compiler.Non_propagation g with
+  match Compiler.compile Compiler.Non_propagation g with
   | Error e -> Alcotest.fail (Compiler.error_to_string e)
   | Ok p ->
     let avoidance =
@@ -102,7 +102,7 @@ let test_large_cs4_chain () =
   let rng = Tutil.rng_of 7 in
   let g = Topo_gen.random_cs4 rng ~blocks:120 ~block_edges:22 ~max_cap:4 in
   Alcotest.(check bool) "graph is >= 1000 nodes" true (Graph.num_nodes g >= 1000);
-  match Compiler.plan Compiler.Non_propagation g with
+  match Compiler.compile Compiler.Non_propagation g with
   | Error e -> Alcotest.fail (Compiler.error_to_string e)
   | Ok p ->
     let kernels () =
@@ -270,7 +270,7 @@ let prop_non_propagation_agrees =
   Tutil.qtest ~count:18 "pool = sequential under non-propagation"
     Tutil.seed_gen (fun seed ->
       let g = graph_of_family seed in
-      match Compiler.plan Compiler.Non_propagation g with
+      match Compiler.compile Compiler.Non_propagation g with
       | Error _ -> false
       | Ok p ->
         let avoidance =
@@ -294,7 +294,7 @@ let prop_propagation_agrees =
     "pool = sequential under propagation (paper-pattern filtering)"
     Tutil.seed_gen (fun seed ->
       let g = graph_of_family seed in
-      match Compiler.plan Compiler.Propagation g with
+      match Compiler.compile Compiler.Propagation g with
       | Error _ -> true (* family outside the wrapper's domain: skip *)
       | Ok p ->
         let avoidance =
@@ -319,7 +319,7 @@ let test_big_ladder_differential () =
   let rng = Tutil.rng_of 7 in
   let g = Topo_gen.random_ladder rng ~rungs:130 ~segment_edges:5 ~max_cap:4 in
   Alcotest.(check bool) "graph is >= 512 nodes" true (Graph.num_nodes g >= 512);
-  match Compiler.plan Compiler.Non_propagation g with
+  match Compiler.compile Compiler.Non_propagation g with
   | Error e -> Alcotest.fail (Compiler.error_to_string e)
   | Ok p ->
     let avoidance =
@@ -357,7 +357,7 @@ let prop_avoidance_sound_in_parallel =
       in
       Graph.num_nodes g > 20
       ||
-      match Compiler.plan Compiler.Non_propagation g with
+      match Compiler.compile Compiler.Non_propagation g with
       | Error _ -> false
       | Ok p ->
         let kseed = Random.State.int rng 1_000_000 in

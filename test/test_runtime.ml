@@ -40,7 +40,7 @@ let test_fig2_deadlock () =
 
 let test_fig2_avoided () =
   let g = Topo_gen.fig2_triangle ~cap:2 in
-  (match Compiler.plan Compiler.Propagation g with
+  (match Compiler.compile Compiler.Propagation g with
   | Ok p ->
     let s =
       run_fig2 (Engine.Propagation (Compiler.propagation_thresholds g p.intervals))
@@ -50,7 +50,7 @@ let test_fig2_avoided () =
     Alcotest.(check int) "all data delivered to sink" 25 s.sink_data;
     Alcotest.(check bool) "some dummies were needed" true (s.dummy_messages > 0)
   | Error e -> Alcotest.fail (Compiler.error_to_string e));
-  match Compiler.plan Compiler.Non_propagation g with
+  match Compiler.compile Compiler.Non_propagation g with
   | Ok p ->
     let s =
       run_fig2 (Engine.Non_propagation (Compiler.send_thresholds g p.intervals))
@@ -99,7 +99,7 @@ let test_determinism () =
         if v = 0 then Filters.route_one rng outs else Filters.passthrough outs)
   in
   let thresholds =
-    match Compiler.plan Compiler.Non_propagation g with
+    match Compiler.compile Compiler.Non_propagation g with
     | Ok p -> Compiler.send_thresholds g p.intervals
     | Error e -> Alcotest.fail (Compiler.error_to_string e)
   in
@@ -127,7 +127,7 @@ let test_route_one_conservation () =
         if v = 0 then Filters.route_one rng outs else Filters.passthrough outs)
   in
   let thresholds =
-    match Compiler.plan Compiler.Non_propagation g with
+    match Compiler.compile Compiler.Non_propagation g with
     | Ok p -> Compiler.send_thresholds g p.intervals
     | Error e -> Alcotest.fail (Compiler.error_to_string e)
   in

@@ -19,13 +19,13 @@ let bernoulli_kernels g seed =
 let wrappers g =
   let none = Some Engine.No_avoidance in
   let prop =
-    match Compiler.plan Compiler.Propagation g with
+    match Compiler.compile Compiler.Propagation g with
     | Ok p ->
       Some (Engine.Propagation (Compiler.propagation_thresholds g p.intervals))
     | Error _ -> None
   in
   let nonprop =
-    match Compiler.plan Compiler.Non_propagation g with
+    match Compiler.compile Compiler.Non_propagation g with
     | Ok p -> Some (Engine.Non_propagation (Compiler.send_thresholds g p.intervals))
     | Error _ -> None
   in
@@ -140,7 +140,7 @@ let test_fig1 () =
         if v = 0 then Filters.route_one rng outs else Filters.passthrough outs)
   in
   let thresholds =
-    match Compiler.plan Compiler.Non_propagation g with
+    match Compiler.compile Compiler.Non_propagation g with
     | Ok p -> Compiler.send_thresholds g p.intervals
     | Error e -> Alcotest.fail (Compiler.error_to_string e)
   in
@@ -162,7 +162,7 @@ let test_fig2 () =
   Alcotest.(check bool) "fig2 deadlocks bare" true (s.Report.outcome = Report.Deadlocked);
   Alcotest.(check bool) "wedge captured" true (Report.wedge s <> None);
   (* protected: both complete with the same dummy traffic *)
-  match Compiler.plan Compiler.Propagation g with
+  match Compiler.compile Compiler.Propagation g with
   | Ok p ->
     let s =
       check_identical "fig2 propagation" ~kernels_of ~inputs:25 g
@@ -239,7 +239,7 @@ let test_dummy_accounting () =
   let rng = Random.State.make [| 31337; 6 |] in
   let g = Topo_gen.random_cs4 rng ~blocks:3 ~block_edges:6 ~max_cap:3 in
   let avoidance =
-    match Compiler.plan Compiler.Propagation g with
+    match Compiler.compile Compiler.Propagation g with
     | Ok p -> Engine.Propagation (Compiler.propagation_thresholds g p.intervals)
     | Error e -> Alcotest.fail (Compiler.error_to_string e)
   in

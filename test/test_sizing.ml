@@ -16,8 +16,8 @@ let prop_homogeneity =
       List.for_all
         (fun algo ->
           match
-            ( Compiler.plan ~allow_general:false algo g,
-              Compiler.plan ~allow_general:false algo g' )
+            ( Compiler.compile ~options:{ Compiler.Options.default with allow_general = false } algo g,
+              Compiler.compile ~options:{ Compiler.Options.default with allow_general = false } algo g' )
           with
           | Ok p, Ok p' ->
             Array.for_all Fun.id
@@ -57,7 +57,7 @@ let prop_sizing_achieves_target =
       | Error _ -> false
       | Ok c -> (
         let g' = Sizing.scale_caps g c in
-        match Compiler.plan ~allow_general:false Compiler.Non_propagation g' with
+        match Compiler.compile ~options:{ Compiler.Options.default with allow_general = false } Compiler.Non_propagation g' with
         | Error _ -> false
         | Ok p ->
           Array.for_all
@@ -76,7 +76,7 @@ let prop_sizing_minimal =
       | Ok 1 -> true
       | Ok c -> (
         let g' = Sizing.scale_caps g (c - 1) in
-        match Compiler.plan ~allow_general:false Compiler.Non_propagation g' with
+        match Compiler.compile ~options:{ Compiler.Options.default with allow_general = false } Compiler.Non_propagation g' with
         | Error _ -> false
         | Ok p ->
           Array.exists

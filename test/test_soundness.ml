@@ -31,7 +31,7 @@ let prop_nonprop_sound =
   Tutil.qtest ~count:120 "non-propagation: sound under arbitrary filtering"
     Tutil.seed_gen (fun seed ->
       let g = Tutil.random_cs4_of_seed seed in
-      match Compiler.plan Compiler.Non_propagation g with
+      match Compiler.compile Compiler.Non_propagation g with
       | Error _ -> false
       | Ok p ->
         completes g (adversarial g seed)
@@ -42,7 +42,7 @@ let prop_propagation_sound_on_paper_pattern =
     "propagation: sound when filtering sits at sources and relays"
     Tutil.seed_gen (fun seed ->
       let g = Tutil.random_cs4_of_seed seed in
-      match Compiler.plan Compiler.Propagation g with
+      match Compiler.compile Compiler.Propagation g with
       | Error _ -> false
       | Ok p ->
         completes g (source_and_relay g seed)
@@ -53,7 +53,7 @@ let prop_hybrid_sound =
     "forwarding wrapper with run-sum thresholds: sound under arbitrary filtering"
     Tutil.seed_gen (fun seed ->
       let g = Tutil.random_cs4_of_seed seed in
-      match Compiler.plan Compiler.Non_propagation g with
+      match Compiler.compile Compiler.Non_propagation g with
       | Error _ -> false
       | Ok p ->
         completes g (adversarial g seed)
@@ -65,7 +65,7 @@ let prop_all_data_delivered =
   Tutil.qtest ~count:80 "avoidance does not lose or duplicate data"
     Tutil.seed_gen (fun seed ->
       let g = Tutil.random_cs4_of_seed seed in
-      match Compiler.plan Compiler.Non_propagation g with
+      match Compiler.compile Compiler.Non_propagation g with
       | Error _ -> false
       | Ok p ->
         let thresholds = Compiler.send_thresholds g p.intervals in

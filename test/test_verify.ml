@@ -9,12 +9,12 @@ open Fstream_workloads
 open Fstream_verify
 
 let nonprop_avoidance g =
-  match Compiler.plan Compiler.Non_propagation g with
+  match Compiler.compile Compiler.Non_propagation g with
   | Ok p -> Engine.Non_propagation (Compiler.send_thresholds g p.intervals)
   | Error e -> Alcotest.fail (Compiler.error_to_string e)
 
 let prop_avoidance g =
-  match Compiler.plan Compiler.Propagation g with
+  match Compiler.compile Compiler.Propagation g with
   | Ok p -> Engine.Propagation (Compiler.propagation_thresholds g p.intervals)
   | Error e -> Alcotest.fail (Compiler.error_to_string e)
 
