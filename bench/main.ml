@@ -420,46 +420,69 @@ let c6 () =
   row "  S1 random CS4 workloads, both schedulers end to end:@.";
   let trials = if !quick then 40 else 200 in
   let inputs = 80 in
-  let run_all scheduler =
-    let rng = Random.State.make [| 31337 |] in
-    let outcomes = ref [] and elapsed = ref 0. and msgs = ref 0 in
-    for _ = 1 to trials do
-      let g =
-        Topo_gen.random_cs4 rng
-          ~blocks:(1 + Random.State.int rng 3)
-          ~block_edges:(2 + Random.State.int rng 8)
-          ~max_cap:3
+  (* one instance stream, both schedulers timed on each instance in
+     alternating order: an all-of-one-then-the-other ordering lets the
+     second pass run with warmed caches and biases the ratio by a few
+     percent, which matters now that both schedulers execute the same
+     loop on graphs this small (see [Engine.run ?dense_below]) *)
+  let rng = Random.State.make [| 31337 |] in
+  let ro = ref [] and so = ref [] in
+  let rt = ref 0. and st_ = ref 0. and rm = ref 0 in
+  for trial = 1 to trials do
+    let g =
+      Topo_gen.random_cs4 rng
+        ~blocks:(1 + Random.State.int rng 3)
+        ~block_edges:(2 + Random.State.int rng 8)
+        ~max_cap:3
+    in
+    let seed = Random.State.int rng 1_000_000 in
+    let kernels () =
+      let krng = Random.State.make [| seed |] in
+      Filters.for_graph g (fun _ outs -> Filters.bernoulli krng ~keep:0.6 outs)
+    in
+    match Compiler.compile Compiler.Non_propagation g with
+    | Error _ -> ()
+    | Ok p ->
+      let avoidance =
+        Engine.Non_propagation (Compiler.send_thresholds g p.intervals)
       in
-      let seed = Random.State.int rng 1_000_000 in
-      let kernels =
-        let krng = Random.State.make [| seed |] in
-        Filters.for_graph g (fun _ outs ->
-            Filters.bernoulli krng ~keep:0.6 outs)
+      let exec scheduler () =
+        Engine.run ~scheduler ~graph:g ~kernels:(kernels ()) ~inputs ~avoidance
+          ()
       in
-      match Compiler.compile Compiler.Non_propagation g with
-      | Error _ -> ()
-      | Ok p ->
-        let avoidance =
-          Engine.Non_propagation (Compiler.send_thresholds g p.intervals)
-        in
-        let t, (s : Report.t) =
-          time_once (fun () ->
-              Engine.run ~scheduler ~graph:g ~kernels ~inputs ~avoidance ())
-        in
+      (* best-of-3 per scheduler per instance: single runs here are
+         ~100us, where one GC pause or timer-tick swings the trial by
+         10%+; the min damps that, alternation damps the rest *)
+      let timed scheduler =
+        let _, (s : Report.t) = time_once (exec scheduler) in
+        (time_best (exec scheduler), s)
+      in
+      let record elapsed outcomes (t, (s : Report.t)) =
         elapsed := !elapsed +. t;
-        msgs := !msgs + s.data_messages + s.dummy_messages;
         outcomes :=
-          ( s.outcome,
+          ( s.Report.outcome,
             Report.rounds s,
-            s.data_messages,
-            s.dummy_messages,
-            s.sink_data )
-          :: !outcomes
-    done;
-    (!outcomes, !elapsed, !msgs)
-  in
-  let ro, rt, rm = run_all Engine.Ready in
-  let so, st_, _ = run_all Engine.Sweep in
+            s.Report.data_messages,
+            s.Report.dummy_messages,
+            s.Report.sink_data )
+          :: !outcomes;
+        s
+      in
+      let s_ready =
+        if trial land 1 = 0 then begin
+          let s = record rt ro (timed Engine.Ready) in
+          ignore (record st_ so (timed Engine.Sweep));
+          s
+        end
+        else begin
+          ignore (record st_ so (timed Engine.Sweep));
+          record rt ro (timed Engine.Ready)
+        end
+      in
+      rm := !rm + s_ready.Report.data_messages + s_ready.Report.dummy_messages
+  done;
+  let ro, rt, rm = (!ro, !rt, !rm) in
+  let so, st_ = (!so, !st_) in
   row "  %-10s %12s %14s@." "scheduler" "total" "ns/message";
   row "  %-10s %a %14.1f@." "ready" pp_ns rt (rt /. float (max 1 rm));
   row "  %-10s %a %14.1f@." "sweep" pp_ns st_ (st_ /. float (max 1 rm));
@@ -1385,6 +1408,177 @@ let micro () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* LP1. Polynomial LP interval backend vs the exact cycle route.        *)
+
+let lp1 () =
+  section "LP1" "LP interval backend vs exact cycle enumeration";
+  let compile_with backend g =
+    Compiler.compile
+      ~options:{ Compiler.Options.default with backend }
+      Compiler.Non_propagation g
+  in
+  let cycles_of = function
+    | Ok { Compiler.route = Compiler.General_route { cycles }; _ } ->
+      string_of_int cycles
+    | Ok { Compiler.route = Compiler.Cs4_route _; _ } -> "cs4"
+    | _ -> "-"
+  in
+  (* scaling: stacked dense bipartite layers; the undirected simple
+     cycle count grows ~12x per layer, the LP row count linearly *)
+  row "  layered_dense width 3, caps 2 — exact route vs LP backend:@.";
+  row "  %6s %6s %10s %12s %12s %10s@." "layers" "edges" "cycles" "exact"
+    "lp" "speedup";
+  let both_sizes = if !quick then [ 2; 3; 4 ] else [ 2; 3; 4; 5 ] in
+  let cliff = ref 0. in
+  List.iter
+    (fun layers ->
+      let g = Topo_gen.layered_dense ~layers ~width:3 ~cap:2 in
+      let t_exact, pe = time_once (fun () -> compile_with Compiler.Exact g) in
+      let t_lp, pl = time_once (fun () -> compile_with Compiler.Lp g) in
+      (match (pe, pl) with
+      | Ok pe, Ok pl ->
+        (* LP finite wherever exact is finite: same avoidance reach *)
+        Array.iteri
+          (fun i v ->
+            if Interval.is_finite v then
+              assert (Interval.is_finite pl.Compiler.intervals.(i)))
+          pe.Compiler.intervals
+      | _ -> assert false);
+      cliff := t_exact /. t_lp;
+      row "  %6d %6d %10s %a %a %9.1fx@." layers (Graph.num_edges g)
+        (cycles_of pe) pp_ns t_exact pp_ns t_lp (t_exact /. t_lp);
+      headline "LP1"
+        (Printf.sprintf "lp_compile_ns_layers_%d" layers)
+        t_lp)
+    both_sizes;
+  headline "LP1" "exact_over_lp_at_cliff" !cliff;
+  (* beyond the exact horizon: 7 layers carries ~28M simple cycles,
+     past the default 10M budget, so the exact route's only possible
+     answer is Cycle_budget_exceeded (exit 14 at the CLI) — measured
+     here at a reduced budget so the bench stays snappy; the LP row
+     count stays linear in the edge count *)
+  let giveup_budget = if !quick then 1_000 else 20_000 in
+  List.iter
+    (fun layers ->
+      let g = Topo_gen.layered_dense ~layers ~width:3 ~cap:2 in
+      let t_give, r =
+        time_once (fun () ->
+            Compiler.compile
+              ~options:
+                { Compiler.Options.default with max_cycles = giveup_budget }
+              Compiler.Non_propagation g)
+      in
+      let gave_up =
+        match r with
+        | Error (Compiler.Cycle_budget_exceeded _) -> true
+        | _ -> false
+      in
+      let t_lp, rl = time_once (fun () -> compile_with Compiler.Lp g) in
+      let rows =
+        match rl with
+        | Ok { Compiler.route = Compiler.Lp_route { rows; _ }; _ } -> rows
+        | _ -> 0
+      in
+      row
+        "  %6d %6d: exact gave up at %d cycles in %a (%s); lp %a (%d rows)@."
+        layers (Graph.num_edges g) giveup_budget pp_ns t_give
+        (ok gave_up) pp_ns t_lp rows;
+      if layers = 7 then begin
+        headline "LP1" "lp_compile_ns_giant" t_lp;
+        headline "LP1" "giant_exact_giveup_ns" t_give
+      end)
+    (if !quick then [ 7 ] else [ 6; 7 ]);
+  (* tightness: how much interval the polynomial certificate gives up
+     against the exact table, on instances the exact route can finish *)
+  let rng = Random.State.make [| 4242 |] in
+  let tight_instances =
+    [
+      ("fig4_butterfly", Topo_gen.fig4_butterfly ~cap:2);
+      ("layered 2x3", Topo_gen.layered_dense ~layers:2 ~width:3 ~cap:2);
+      ("layered 3x3", Topo_gen.layered_dense ~layers:3 ~width:3 ~cap:2);
+      ("random 2x3 a", Topo_gen.random_dense rng ~layers:2 ~width:3 ~max_cap:3);
+      ("random 2x3 b", Topo_gen.random_dense rng ~layers:2 ~width:3 ~max_cap:3);
+    ]
+  in
+  let ratios = ref [] and cap_ratios = ref [] in
+  row "  tightness on exact-solvable instances (threshold ratios):@.";
+  List.iter
+    (fun (name, g) ->
+      match (compile_with Compiler.Exact g, compile_with Compiler.Lp g) with
+      | Ok pe, Ok pl ->
+        let rs = ref [] in
+        Array.iteri
+          (fun i v ->
+            match
+              (Interval.threshold v, Interval.threshold pl.Compiler.intervals.(i))
+            with
+            | Some ke, Some kl -> rs := (float ke /. float kl) :: !rs
+            | _ -> ())
+          pe.Compiler.intervals;
+        let mean l = List.fold_left ( +. ) 0. l /. float (max 1 (List.length l)) in
+        let m = mean !rs in
+        ratios := m :: !ratios;
+        (* buffer overhead: capacities the LP sizing pass needs to
+           certify the exact table, vs the capacities the instance has *)
+        let thresholds = Array.map Interval.threshold pe.Compiler.intervals in
+        let caps = Lp.min_buffers g ~thresholds in
+        let sum a = Array.fold_left ( + ) 0 a in
+        let orig =
+          Array.init (Graph.num_edges g) (fun i -> (Graph.edge g i).Graph.cap)
+        in
+        let cr = float (sum caps) /. float (max 1 (sum orig)) in
+        cap_ratios := cr :: !cap_ratios;
+        row "  %-14s mean exact/lp threshold %5.2f   min_buffers/orig %5.2f@."
+          name m cr
+      | _ -> row "  %-14s compile failed@." name)
+    tight_instances;
+  let mean l = List.fold_left ( +. ) 0. l /. float (max 1 (List.length l)) in
+  headline "LP1" "mean_tightness_exact_over_lp" (mean !ratios);
+  headline "LP1" "mean_min_buffers_cap_ratio" (mean !cap_ratios);
+  (* the conservative table must still be wedge-free: exhaustive check
+     over all filtering choices on small instances, all three wrappers *)
+  let verify_instances =
+    [
+      ("fig4_butterfly", Topo_gen.fig4_butterfly ~cap:2);
+      ("layered 2x2", Topo_gen.layered_dense ~layers:2 ~width:2 ~cap:2);
+      ("random 1x2", Topo_gen.random_dense rng ~layers:1 ~width:2 ~max_cap:2);
+    ]
+  in
+  let all_safe = ref true in
+  List.iter
+    (fun (name, g) ->
+      match compile_with Compiler.Lp g with
+      | Ok p ->
+        List.iter
+          (fun (mode, av) ->
+            let r =
+              Verify.check ~max_states:20_000 ~graph:g ~avoidance:av ~inputs:3
+                ()
+            in
+            let safe =
+              match r with Verify.Deadlocks _ -> false | _ -> true
+            in
+            if not safe then all_safe := false;
+            row "  %-14s %-16s %s@." name mode
+              (ok safe))
+          [
+            ( "non-propagation",
+              Engine.Non_propagation
+                (Compiler.send_thresholds g p.Compiler.intervals) );
+            ( "propagation",
+              Engine.Propagation
+                (Compiler.propagation_thresholds g p.Compiler.intervals) );
+            ( "relay",
+              Engine.Propagation
+                (Compiler.send_thresholds g p.Compiler.intervals) );
+          ]
+      | Error _ ->
+        all_safe := false;
+        row "  %-14s LP compile failed@." name)
+    verify_instances;
+  headline "LP1" "verify_wedge_free" (if !all_safe then 1.0 else 0.0)
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -1401,6 +1595,7 @@ let sections =
     ("C5", c5);
     ("C6", c6);
     ("C7", c7);
+    ("LP1", lp1);
     ("O1", o1);
     ("V1", v1);
     ("V2", v2);

@@ -31,6 +31,11 @@ let demos =
     ("fig5", fun ~seed:_ -> Topo_gen.fig5_ladder ~cap:2);
     ("wide-ladder", fun ~seed:_ -> Topo_gen.wide_ladder ~rungs:6 ~cap:2);
     ("pipeline", fun ~seed:_ -> Topo_gen.pipeline ~stages:8 ~cap:2);
+    (* dense stacked bipartite layers: ~28M undirected simple cycles,
+       past the exact fallback's default 10M budget (exit 14), while
+       --backend lp compiles it in milliseconds *)
+    ( "layered-dense",
+      fun ~seed:_ -> Topo_gen.layered_dense ~layers:7 ~width:3 ~cap:2 );
     (* 97 nodes: above the old parallel runtime's 64-node cap *)
     ("deep-pipeline", fun ~seed:_ -> Topo_gen.pipeline ~stages:96 ~cap:2);
     ( "random-cs4",
@@ -215,19 +220,39 @@ let max_cycles_arg =
           "Budget for the general fallback's simple-cycle enumeration \
            (default 10 million).")
 
+let backend_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("exact", Compiler.Exact);
+             ("lp", Compiler.Lp);
+             ("auto", Compiler.Auto);
+           ])
+        Compiler.Exact
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:
+          "Interval machinery: $(b,exact) (the paper's constructions, \
+           exponential on general DAGs), $(b,lp) (polynomial sufficient \
+           intervals from one simplex program per biconnected component, any \
+           DAG), or $(b,auto) (exact until the cycle budget blows, then \
+           LP).")
+
 (* The compiler-configuration flag group, as a [Compiler.Options.t]
-   transformer (shared by intervals and fuse, which add their own
-   fields on top). *)
+   transformer (shared by intervals, fuse, simulate, verify and serve,
+   which add their own fields on top). *)
 let compile_options_term =
-  let combine no_general max_cycles (base : Compiler.Options.t) =
+  let combine no_general max_cycles backend (base : Compiler.Options.t) =
     {
       base with
       Compiler.Options.allow_general = not no_general;
       max_cycles =
         Option.value max_cycles ~default:base.Compiler.Options.max_cycles;
+      backend;
     }
   in
-  Term.(const combine $ no_general_arg $ max_cycles_arg)
+  Term.(const combine $ no_general_arg $ max_cycles_arg $ backend_arg)
 
 let intervals_cmd =
   let run src algorithm options =
@@ -284,16 +309,16 @@ let avoidance_arg =
 
 (* Compile the threshold table a wrapper choice needs (shared by
    simulate and verify). *)
-let resolve_avoidance choice g =
+let resolve_avoidance ?(options = Compiler.Options.default) choice g =
   match choice with
   | A_none -> Ok Engine.No_avoidance
   | A_prop -> (
-    match Compiler.compile Compiler.Propagation g with
+    match Compiler.compile ~options Compiler.Propagation g with
     | Ok p ->
       Ok (Engine.Propagation (Compiler.propagation_thresholds g p.intervals))
     | Error e -> Error e)
   | A_nonprop -> (
-    match Compiler.compile Compiler.Non_propagation g with
+    match Compiler.compile ~options Compiler.Non_propagation g with
     | Ok p ->
       Ok (Engine.Non_propagation (Compiler.send_thresholds g p.intervals))
     | Error e -> Error e)
@@ -440,7 +465,7 @@ let spec_filter_class (spec : App_spec.t) =
       | None -> spec.App_spec.default)
 
 let simulate_cmd =
-  let run src avoidance inputs keep engine trace_out metrics fuse =
+  let run src avoidance inputs keep engine trace_out metrics fuse options =
     match load_app src with
     | Error e ->
       Format.eprintf "error: %s@." e;
@@ -473,7 +498,8 @@ let simulate_cmd =
             match
               Compiler.compile
                 ~options:
-                  { Compiler.Options.default with fuse = true; filter_class }
+                  (options
+                     { Compiler.Options.default with fuse = true; filter_class })
                 Compiler.Propagation g
             with
             | Ok { Compiler.fused = Some { fusion; fused_intervals }; _ } ->
@@ -487,7 +513,8 @@ let simulate_cmd =
             match
               Compiler.compile
                 ~options:
-                  { Compiler.Options.default with fuse = true; filter_class }
+                  (options
+                     { Compiler.Options.default with fuse = true; filter_class })
                 Compiler.Non_propagation g
             with
             | Ok { Compiler.fused = Some { fusion; fused_intervals }; _ } ->
@@ -499,7 +526,10 @@ let simulate_cmd =
             | Error e -> Error e)
         end
         else
-          Result.map (fun av -> (g, kernels, av)) (resolve_avoidance avoidance g)
+          Result.map
+            (fun av -> (g, kernels, av))
+            (resolve_avoidance ~options:(options Compiler.Options.default)
+               avoidance g)
       in
       match setup with
       | Error e -> plan_error e
@@ -553,7 +583,8 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc)
     Term.(
       const run $ source_term $ avoidance_arg $ inputs_arg $ keep_arg
-      $ engine_term $ trace_out_arg $ metrics_arg $ fuse_flag_arg)
+      $ engine_term $ trace_out_arg $ metrics_arg $ fuse_flag_arg
+      $ compile_options_term)
 
 (* ------------------------------------------------------------------ *)
 (* fuse                                                                 *)
@@ -619,13 +650,16 @@ let fuse_cmd =
 (* verify                                                               *)
 
 let verify_cmd =
-  let run src avoidance inputs max_states strategy =
+  let run src avoidance inputs max_states strategy options =
     match load_source src with
     | Error e ->
       Format.eprintf "error: %s@." e;
       1
     | Ok g -> (
-      match resolve_avoidance avoidance g with
+      match
+        resolve_avoidance ~options:(options Compiler.Options.default) avoidance
+          g
+      with
       | Error e -> plan_error e
       | Ok avoidance -> (
         let r = Verify.check ~max_states ~strategy ~graph:g ~avoidance ~inputs () in
@@ -659,7 +693,8 @@ let verify_cmd =
   in
   Cmd.v (Cmd.info "verify" ~doc)
     Term.(
-      const run $ source_term $ avoidance_arg $ inputs $ max_states $ strategy)
+      const run $ source_term $ avoidance_arg $ inputs $ max_states $ strategy
+      $ compile_options_term)
 
 (* ------------------------------------------------------------------ *)
 (* repair                                                               *)
@@ -705,7 +740,7 @@ let repair_cmd =
 let lint_cmd =
   let module Lint = Fstream_analysis.Lint in
   let module Render = Fstream_analysis.Render in
-  let run src algorithm max_cycles format fail_on fix out color =
+  let run src algorithm max_cycles backend format fail_on fix out color =
     (* files may carry per-node behaviours (App_spec): lint them too *)
     match load_app src with
     | Error e ->
@@ -716,6 +751,7 @@ let lint_cmd =
         {
           Lint.default_config with
           algorithm;
+          backend;
           spec;
           max_cycles =
             Option.value max_cycles
@@ -808,8 +844,8 @@ let lint_cmd =
   in
   Cmd.v (Cmd.info "lint" ~doc)
     Term.(
-      const run $ source_term $ algorithm_arg $ max_cycles_arg $ format_arg
-      $ fail_on_arg $ fix_arg $ out_arg $ color_arg)
+      const run $ source_term $ algorithm_arg $ max_cycles_arg $ backend_arg
+      $ format_arg $ fail_on_arg $ fix_arg $ out_arg $ color_arg)
 
 (* ------------------------------------------------------------------ *)
 (* size                                                                 *)
@@ -876,7 +912,7 @@ let dot_cmd =
    above; the worst tenant wins. *)
 let serve_cmd =
   let module Serve = Fstream_serve.Serve in
-  let run dir demo_tenants mode inputs seed domains quota grain =
+  let run dir demo_tenants mode inputs seed domains quota grain options =
     let sources =
       match (dir, demo_tenants) with
       | Some _, _ :: _ ->
@@ -940,7 +976,10 @@ let serve_cmd =
                         App_spec.Bernoulli 0.7 } )))
           sources
       in
-      let t = Serve.create ?domains ?quota ~grain () in
+      let t =
+        Serve.create ?domains ?quota ~grain
+          ~options:(options Compiler.Options.default) ()
+      in
       let sessions =
         List.filter_map
           (fun (name, (spec : App_spec.t)) ->
@@ -1029,7 +1068,8 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ dir_arg $ demo_tenants_arg $ mode_arg $ inputs_arg
-      $ seed_arg $ domains_arg $ quota_arg $ grain_arg)
+      $ seed_arg $ domains_arg $ quota_arg $ grain_arg
+      $ compile_options_term)
 
 (* ------------------------------------------------------------------ *)
 

@@ -95,6 +95,11 @@ let rules =
       default_severity = Info;
     };
     {
+      id = "FS305";
+      title = "LP run-sum audit: threshold demand exceeds a branch buffer";
+      default_severity = Warning;
+    };
+    {
       id = "FS401";
       title = "spec behaviour binds an unknown node or channel";
       default_severity = Error;
@@ -115,6 +120,7 @@ let rule id = List.find_opt (fun r -> r.id = id) rules
 
 type config = {
   algorithm : Compiler.algorithm;
+  backend : Compiler.backend;
   max_cycles : int;
   audit_thresholds : Thresholds.t option;
   spec : App_spec.t option;
@@ -123,6 +129,7 @@ type config = {
 let default_config =
   {
     algorithm = Compiler.Non_propagation;
+    backend = Compiler.Exact;
     max_cycles = 200_000;
     audit_thresholds = None;
     spec = None;
@@ -276,7 +283,11 @@ let make_ctx cfg g =
       Some
         (Compiler.compile
            ~options:
-             { Compiler.Options.default with max_cycles = cfg.max_cycles }
+             {
+               Compiler.Options.default with
+               max_cycles = cfg.max_cycles;
+               backend = cfg.backend;
+             }
            cfg.algorithm g)
   else None
   in
@@ -454,14 +465,33 @@ let rule_fs201 ctx =
       | Some c -> Channels (cycle_channel_ids c)
       | None -> Nodes [ block_source; block_sink ]
     in
-    [
+    (* under the LP backend a non-CS4 topology is first-class: the
+       polynomial simplex encoding replaces the exponential fallback,
+       so the finding informs (conservative table) instead of failing
+       admission *)
+    let d =
       diag ~witness ?fixit "FS201" loc
         (Printf.sprintf
            "not CS4: block %d..%d is neither SP nor an SP-ladder (%s); \
             interval computation falls back to the exponential general \
             route"
-           block_source block_sink reason);
-    ]
+           block_source block_sink reason)
+    in
+    (match ctx.cfg.backend with
+    | Compiler.Lp ->
+      [
+        {
+          d with
+          severity = Warning;
+          message =
+            Printf.sprintf
+              "not CS4: block %d..%d is neither SP nor an SP-ladder (%s); \
+               the LP backend computes a conservative interval table in \
+               polynomial time"
+              block_source block_sink reason;
+        };
+      ]
+    | Compiler.Exact | Compiler.Auto -> [ d ])
   | _ -> []
 
 let rule_fs202 ctx =
@@ -736,6 +766,43 @@ let rule_fs304 ctx =
       end)
   |> List.rev
 
+(* FS305: the LP backend's run-sum audit of a supplied threshold
+   table. The discipline is sufficient, not necessary, so a violation
+   is a Warning: the table may still be safe, but it no longer carries
+   the polynomial certificate the LP backend relies on. Gated on
+   [backend = Lp] so the default lint output (and the cram suite) is
+   byte-identical to the exact route. *)
+let rule_fs305 ctx =
+  match (ctx.cfg.backend, ctx.cfg.audit_thresholds) with
+  | Compiler.Lp, Some t when Thresholds.compatible t ctx.g && ctx.dag -> (
+    let thresholds =
+      Array.init (Graph.num_edges ctx.g) (fun id -> Thresholds.get t id)
+    in
+    match Lp.audit ctx.g ~thresholds with
+    | Ok () -> []
+    | Stdlib.Error w ->
+      [
+        diag
+          ~witness:
+            [
+              Printf.sprintf
+                "branch node %d: worst chain demand %d > out-buffer slack %d"
+                w.Lp.wnode w.Lp.wdemand w.Lp.wsupply;
+              Printf.sprintf "demand chain: %s"
+                (String.concat " -> "
+                   (List.map
+                      (fun (e : Graph.edge) -> chan_string ctx.g e.Graph.id)
+                      w.Lp.wedges));
+            ]
+          "FS305" (Node w.Lp.wnode)
+          (Printf.sprintf
+             "the supplied thresholds break the LP run-sum discipline at \
+              branch node %d: a run out of it may legally lag %d sequence \
+              numbers while its smallest out-buffer frees only %d"
+             w.Lp.wnode w.Lp.wdemand w.Lp.wsupply);
+      ])
+  | _ -> []
+
 (* ------------------------------------------------------------------ *)
 (* FS4xx: application specs                                             *)
 
@@ -879,6 +946,7 @@ let run ?(config = default_config) g =
         rule_fs302 ctx;
         rule_fs303 ctx;
         rule_fs304 ctx;
+        rule_fs305 ctx;
         rule_fs401 ctx;
         rule_fs402 ctx;
         rule_fs403 ctx;

@@ -75,6 +75,9 @@ val rule : string -> rule option
 type config = {
   algorithm : Fstream_core.Compiler.algorithm;
       (** the plan being audited (default [Non_propagation]) *)
+  backend : Fstream_core.Compiler.backend;
+      (** interval machinery for the audited plan (default [Exact]);
+          [Lp] additionally arms the FS305 run-sum audit *)
   max_cycles : int;
       (** budget for cycle enumeration (default 200_000) *)
   audit_thresholds : Fstream_core.Thresholds.t option;

@@ -3,9 +3,12 @@ open Fstream_ladder
 
 type algorithm = Propagation | Non_propagation | Relay_propagation
 
+type backend = Exact | Lp | Auto
+
 type route =
   | Cs4_route of Cs4.t
   | General_route of { cycles : int }
+  | Lp_route of { components : int; rows : int }
 
 type fused = {
   fusion : Fusion.t;
@@ -58,6 +61,11 @@ let pp_route ppf = function
       (if ladders = 1 then "" else "s")
   | General_route { cycles } ->
     Format.fprintf ppf "general DAG fallback (%d cycles enumerated)" cycles
+  | Lp_route { components; rows } ->
+    Format.fprintf ppf
+      "LP backend (%d cyclic component%s, %d simplex rows)" components
+      (if components = 1 then "" else "s")
+      rows
 
 let run_cs4 algorithm g (cls : Cs4.t) =
   let ivals = Array.make (Graph.num_edges g) Interval.inf in
@@ -92,10 +100,23 @@ let run_general algorithm ?max_cycles g =
     fused = None;
   }
 
+(* The LP table bounds the run sums themselves, so one table serves all
+   three avoidance algorithms; [algorithm] is recorded for the
+   threshold-derivation step downstream. *)
+let run_lp algorithm g =
+  let intervals, (stats : Lp.stats) = Lp.intervals g in
+  {
+    algorithm;
+    intervals;
+    route = Lp_route { components = stats.components; rows = stats.rows };
+    fused = None;
+  }
+
 module Options = struct
   type t = {
     allow_general : bool;
     max_cycles : int;
+    backend : backend;
     fuse : bool;
     pin : (Graph.node -> bool) option;
     filter_class : (Graph.node -> int) option;
@@ -105,6 +126,7 @@ module Options = struct
     {
       allow_general = true;
       max_cycles = 10_000_000;
+      backend = Exact;
       fuse = false;
       pin = None;
       filter_class = None;
@@ -125,42 +147,48 @@ let compile ?(options = Options.default) algorithm g =
   if not (Topo.is_dag g) then Error Not_a_dag
   else if not (Topo.connected g) then Error Disconnected
   else
-    match Cs4.classify g with
-    | Ok cls ->
-      Ok
-        (attach_fusion
-           {
-             algorithm;
-             intervals = run_cs4 algorithm g cls;
-             route = Cs4_route cls;
-             fused = None;
-           })
-    | Error failure ->
-      if options.Options.allow_general then
-        try
-          Ok
-            (attach_fusion
-               (run_general algorithm ~max_cycles:options.Options.max_cycles g))
-        with Failure _ -> Error (Cycle_budget_exceeded options.Options.max_cycles)
-      else
-        Error
-          (match failure with
-          | Cs4.Not_two_terminal -> Not_two_terminal
-          | Cs4.Bad_block _ -> Non_cs4_rejected failure)
-
-let plan ?(allow_general = true) ?max_cycles ?(fuse = false) ?pin ?filter_class
-    algorithm g =
-  compile
-    ~options:
-      {
-        Options.allow_general;
-        max_cycles =
-          Option.value max_cycles ~default:Options.default.Options.max_cycles;
-        fuse;
-        pin;
-        filter_class;
-      }
-    algorithm g
+    match options.Options.backend with
+    | Lp -> Ok (attach_fusion (run_lp algorithm g))
+    | (Exact | Auto) as backend -> (
+      match Cs4.classify g with
+      | Ok cls ->
+        Ok
+          (attach_fusion
+             {
+               algorithm;
+               intervals = run_cs4 algorithm g cls;
+               route = Cs4_route cls;
+               fused = None;
+             })
+      | Error failure -> (
+        match backend with
+        | Auto when not options.Options.allow_general ->
+          (* exact would reject outright; the LP accepts any DAG *)
+          Ok (attach_fusion (run_lp algorithm g))
+        | Auto -> (
+          try
+            Ok
+              (attach_fusion
+                 (run_general algorithm ~max_cycles:options.Options.max_cycles
+                    g))
+          with Failure _ ->
+            (* the budget the exact route gives up at is exactly where
+               the polynomial backend takes over *)
+            Ok (attach_fusion (run_lp algorithm g)))
+        | Exact | Lp ->
+          if options.Options.allow_general then
+            try
+              Ok
+                (attach_fusion
+                   (run_general algorithm
+                      ~max_cycles:options.Options.max_cycles g))
+            with Failure _ ->
+              Error (Cycle_budget_exceeded options.Options.max_cycles)
+          else
+            Error
+              (match failure with
+              | Cs4.Not_two_terminal -> Not_two_terminal
+              | Cs4.Bad_block _ -> Non_cs4_rejected failure)))
 
 let send_thresholds g intervals =
   Thresholds.of_array g (Array.map Interval.threshold intervals)

@@ -26,11 +26,29 @@ type algorithm =
           bounded by its opposing run's buffer length (no hop
           division) *)
 
+(** Which interval machinery computes the table. *)
+type backend =
+  | Exact  (** the paper's constructions: CS4 dispatch, exponential
+               general fallback — today's behaviour, and the default *)
+  | Lp
+      (** the polynomial {!Lp} backend on every topology: sufficient,
+          conservative intervals from one simplex program per
+          biconnected component; accepts any connected DAG (no
+          two-terminal requirement, no cycle enumeration) *)
+  | Auto
+      (** exact wherever it is polynomial or affordable — CS4 graphs,
+          then the general fallback under [max_cycles] — and the LP
+          where the exact route would give up: a blown cycle budget or
+          (with [allow_general = false]) a non-CS4 topology *)
+
 type route =
   | Cs4_route of Cs4.t  (** polynomial path, with the decomposition *)
   | General_route of { cycles : int }
       (** exponential fallback; [cycles] is how many undirected simple
           cycles were enumerated *)
+  | Lp_route of { components : int; rows : int }
+      (** polynomial LP backend; [components] biconnected components
+          carried cycles, [rows] total simplex rows solved *)
 
 type fused = {
   fusion : Fusion.t;
@@ -65,8 +83,7 @@ val pp_error : Format.formatter -> error -> unit
 
 val error_to_string : error -> string
 
-(** Compilation options, replacing [plan]'s historically growing
-    optional-argument list. Build a value by record update on
+(** Compilation options. Build a value by record update on
     {!Options.default}:
     [{ Compiler.Options.default with fuse = true }]. *)
 module Options : sig
@@ -78,7 +95,11 @@ module Options : sig
     max_cycles : int;
         (** bound on the general fallback's undirected-simple-cycle
             enumeration (default 10 million); exceeding it yields
-            [Cycle_budget_exceeded] *)
+            [Cycle_budget_exceeded] under [backend = Exact] and hands
+            over to the LP under [backend = Auto] *)
+    backend : backend;
+        (** which interval machinery runs (default {!Exact}, the
+            historical behaviour); see {!backend} *)
     fuse : bool;
         (** additionally run the {!Fusion} pass on any successfully
             compiled topology — including the general-fallback route —
@@ -104,20 +125,6 @@ val compile :
     be built against [fusion.graph] and [fused_intervals]; the
     {!Thresholds.t} graph fingerprint then rejects any attempt to run a
     fused table on the original topology, and vice versa. *)
-
-val plan :
-  ?allow_general:bool ->
-  ?max_cycles:int ->
-  ?fuse:bool ->
-  ?pin:(Graph.node -> bool) ->
-  ?filter_class:(Graph.node -> int) ->
-  algorithm ->
-  Graph.t ->
-  (plan, error) result
-[@@deprecated "use Compiler.compile with Compiler.Options instead"]
-(** Labelled-argument wrapper around {!compile}, kept for source
-    compatibility. Each argument maps to the {!Options.t} field of the
-    same name. *)
 
 val send_thresholds : Graph.t -> Interval.t array -> Thresholds.t
 (** Integer gap thresholds for the runtime wrappers, bound to the graph

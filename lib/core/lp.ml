@@ -1,0 +1,514 @@
+open Fstream_graph
+module R = Rational
+
+(* ------------------------------------------------------------------ *)
+(* Dense two-phase primal simplex over exact rationals.
+
+   Bland's smallest-index rule everywhere (entering column and
+   leaving-row ties), so cycling is impossible and termination needs
+   no perturbation. The tableau is dense: the programs this module
+   builds have a few hundred rows at the bench's largest sizes, where
+   a revised/sparse implementation would be complexity without
+   payoff. *)
+module Simplex = struct
+  type outcome =
+    | Optimal of {
+        objective : R.t;
+        primal : R.t array;
+        dual : R.t array;
+      }
+    | Unbounded
+    | Infeasible of { farkas : R.t array }
+
+  let maximize ~objective ~rows =
+    let n = Array.length objective in
+    let m = Array.length rows in
+    Array.iter
+      (fun (a, _) ->
+        if Array.length a <> n then
+          invalid_arg "Lp.Simplex.maximize: coefficient row length")
+      rows;
+    (* Rows with a negative right-hand side are negated (so the RHS is
+       positive) and given an artificial variable; phase 1 drives the
+       artificials to zero or proves the program empty. Columns:
+       [0, n) structural, [n, n + m) slack, [n + m, ...) artificial. *)
+    let negated = Array.map (fun (_, b) -> R.sign b < 0) rows in
+    let nart = Array.fold_left (fun k v -> if v then k + 1 else k) 0 negated in
+    let ncols = n + m + nart in
+    let art_index = Array.make m (-1) in
+    let next_art = ref (n + m) in
+    Array.iteri
+      (fun i v ->
+        if v then begin
+          art_index.(i) <- !next_art;
+          incr next_art
+        end)
+      negated;
+    let tab =
+      Array.init m (fun i ->
+          let a, b = rows.(i) in
+          let row = Array.make (ncols + 1) R.zero in
+          let s = if negated.(i) then R.minus_one else R.one in
+          for j = 0 to n - 1 do
+            row.(j) <- R.mul s a.(j)
+          done;
+          row.(n + i) <- s;
+          if negated.(i) then row.(art_index.(i)) <- R.one;
+          row.(ncols) <- R.mul s b;
+          row)
+    in
+    let basis = Array.init m (fun i -> if negated.(i) then art_index.(i) else n + i) in
+    let live = Array.make m true in
+    (* the objective row holds reduced costs; its RHS slot holds -z so
+       the ordinary row update maintains it *)
+    let pivot obj ~pr ~pc =
+      let prow = tab.(pr) in
+      let d = prow.(pc) in
+      for j = 0 to ncols do
+        prow.(j) <- R.div prow.(j) d
+      done;
+      let elim row =
+        let f = row.(pc) in
+        if not (R.is_zero f) then
+          for j = 0 to ncols do
+            row.(j) <- R.sub row.(j) (R.mul f prow.(j))
+          done
+      in
+      Array.iteri (fun i row -> if live.(i) && i <> pr then elim row) tab;
+      elim obj;
+      basis.(pr) <- pc
+    in
+    let run obj ~max_col =
+      let rec loop () =
+        let pc = ref (-1) in
+        (try
+           for j = 0 to max_col - 1 do
+             if R.sign obj.(j) > 0 then begin
+               pc := j;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        if !pc < 0 then `Optimal
+        else begin
+          let pc = !pc in
+          let pr = ref (-1) in
+          for i = 0 to m - 1 do
+            if live.(i) && R.sign tab.(i).(pc) > 0 then
+              if !pr < 0 then pr := i
+              else begin
+                let cur = R.div tab.(!pr).(ncols) tab.(!pr).(pc) in
+                let cand = R.div tab.(i).(ncols) tab.(i).(pc) in
+                let c = R.compare cand cur in
+                if c < 0 || (c = 0 && basis.(i) < basis.(!pr)) then pr := i
+              end
+          done;
+          if !pr < 0 then `Unbounded
+          else begin
+            pivot obj ~pr:!pr ~pc;
+            loop ()
+          end
+        end
+      in
+      loop ()
+    in
+    let infeasible obj1 =
+      (* Farkas multipliers from the phase-1 reduced costs: the
+         multiplier of original row i sits on its initial basis
+         column, adjusted for the row's sign flip. *)
+      let farkas =
+        Array.init m (fun i ->
+            if negated.(i) then R.add R.one obj1.(art_index.(i))
+            else R.neg obj1.(n + i))
+      in
+      Infeasible { farkas }
+    in
+    let phase1_verdict =
+      if nart = 0 then `Feasible
+      else begin
+        let obj1 = Array.make (ncols + 1) R.zero in
+        for j = n + m to ncols - 1 do
+          obj1.(j) <- R.minus_one
+        done;
+        (* price out the basic artificials (cost -1 each) *)
+        Array.iteri
+          (fun i row ->
+            if negated.(i) then
+              for j = 0 to ncols do
+                obj1.(j) <- R.add obj1.(j) row.(j)
+              done)
+          tab;
+        match run obj1 ~max_col:ncols with
+        | `Unbounded -> assert false (* phase-1 objective is <= 0 *)
+        | `Optimal ->
+          if R.sign obj1.(ncols) > 0 then `Infeasible (infeasible obj1)
+          else begin
+            (* drive leftover zero-level artificials out of the basis;
+               an all-zero row (over real columns) is redundant *)
+            for i = 0 to m - 1 do
+              if live.(i) && basis.(i) >= n + m then begin
+                let j = ref (-1) in
+                (try
+                   for c = 0 to n + m - 1 do
+                     if R.sign tab.(i).(c) <> 0 then begin
+                       j := c;
+                       raise Exit
+                     end
+                   done
+                 with Exit -> ());
+                if !j >= 0 then pivot obj1 ~pr:i ~pc:!j
+                else live.(i) <- false
+              end
+            done;
+            `Feasible
+          end
+      end
+    in
+    match phase1_verdict with
+    | `Infeasible r -> r
+    | `Feasible -> (
+      let obj2 = Array.make (ncols + 1) R.zero in
+      for j = 0 to n - 1 do
+        obj2.(j) <- objective.(j)
+      done;
+      Array.iteri
+        (fun i row ->
+          if live.(i) && basis.(i) < n then begin
+            let cb = objective.(basis.(i)) in
+            if R.sign cb <> 0 then
+              for j = 0 to ncols do
+                obj2.(j) <- R.sub obj2.(j) (R.mul cb row.(j))
+              done
+          end)
+        tab;
+      match run obj2 ~max_col:(n + m) with
+      | `Unbounded -> Unbounded
+      | `Optimal ->
+        let primal = Array.make n R.zero in
+        Array.iteri
+          (fun i b -> if live.(i) && b < n then primal.(b) <- tab.(i).(ncols))
+          basis;
+        let dual =
+          Array.init m (fun i ->
+              if negated.(i) then obj2.(art_index.(i))
+              else R.neg obj2.(n + i))
+        in
+        Optimal { objective = R.neg obj2.(ncols); primal; dual })
+end
+
+(* ------------------------------------------------------------------ *)
+(* The deadlock-avoidance encoding (see the interface comment for the
+   constraint system and the conservativeness argument). *)
+
+type stats = { components : int; rows : int }
+
+(* Per-component bookkeeping shared by the three entry points: local
+   contiguous indices for the component's edges and nodes, and the
+   branching nodes (two or more outgoing component edges) with the
+   minimum outgoing capacity the run-sum discipline compares against. *)
+type component = {
+  cedges : Graph.edge array;
+  cnodes : int array; (* component nodes, ascending *)
+  node_slot : (int, int) Hashtbl.t; (* node -> local index *)
+  branches : (int * int) list; (* (node, min outgoing cap in component) *)
+}
+
+let component_of_edges edges =
+  let cedges = Array.of_list edges in
+  let node_set = Hashtbl.create 16 in
+  Array.iter
+    (fun (e : Graph.edge) ->
+      Hashtbl.replace node_set e.src ();
+      Hashtbl.replace node_set e.dst ())
+    cedges;
+  let cnodes =
+    Hashtbl.fold (fun v () acc -> v :: acc) node_set []
+    |> List.sort Stdlib.compare |> Array.of_list
+  in
+  let node_slot = Hashtbl.create 16 in
+  Array.iteri (fun i v -> Hashtbl.add node_slot v i) cnodes;
+  let out_count = Hashtbl.create 16 and out_min = Hashtbl.create 16 in
+  Array.iter
+    (fun (e : Graph.edge) ->
+      let k =
+        match Hashtbl.find_opt out_count e.src with Some k -> k | None -> 0
+      in
+      Hashtbl.replace out_count e.src (k + 1);
+      let m =
+        match Hashtbl.find_opt out_min e.src with
+        | Some m -> Stdlib.min m e.cap
+        | None -> e.cap
+      in
+      Hashtbl.replace out_min e.src m)
+    cedges;
+  let branches =
+    Array.to_list cnodes
+    |> List.filter_map (fun v ->
+           match Hashtbl.find_opt out_count v with
+           | Some k when k >= 2 -> Some (v, Hashtbl.find out_min v)
+           | _ -> None)
+  in
+  { cedges; cnodes; node_slot; branches }
+
+let cycle_components g =
+  Articulation.biconnected_components g
+  |> List.filter (fun edges -> match edges with [] | [ _ ] -> false | _ -> true)
+  |> List.map component_of_edges
+
+let require_dag name g =
+  if not (Topo.is_dag g) then invalid_arg (name ^ ": the graph has a directed cycle")
+
+let require_table name g thresholds =
+  if Array.length thresholds <> Graph.num_edges g then
+    invalid_arg (name ^ ": threshold table length mismatch")
+
+(* --- the interval LP ---------------------------------------------- *)
+
+let intervals g =
+  require_dag "Lp.intervals" g;
+  let ivals = Array.make (Graph.num_edges g) Interval.inf in
+  let comps = cycle_components g in
+  let total_rows = ref 0 in
+  List.iter
+    (fun c ->
+      let me = Array.length c.cedges and nv = Array.length c.cnodes in
+      let nvars = me + nv in
+      let dvar v = me + Hashtbl.find c.node_slot v in
+      let rows = ref [] in
+      let add_row a b = rows := (a, b) :: !rows in
+      (* chain rows: x_e + D_dst - D_src <= 0 *)
+      Array.iteri
+        (fun k (e : Graph.edge) ->
+          let a = Array.make nvars R.zero in
+          a.(k) <- R.one;
+          a.(dvar e.dst) <- R.add a.(dvar e.dst) R.one;
+          a.(dvar e.src) <- R.sub a.(dvar e.src) R.one;
+          add_row a R.zero)
+        c.cedges;
+      (* branch rows: D_s <= min outgoing cap - 1 *)
+      List.iter
+        (fun (s, min_cap) ->
+          let a = Array.make nvars R.zero in
+          a.(dvar s) <- R.one;
+          add_row a (R.of_int (min_cap - 1)))
+        c.branches;
+      (* one aggregate box row keeps the objective bounded *)
+      let total_cap =
+        Array.fold_left (fun acc (e : Graph.edge) -> acc + e.cap) 0 c.cedges
+      in
+      let box = Array.make nvars R.zero in
+      Array.iteri (fun k _ -> box.(k) <- R.one) c.cedges;
+      add_row box (R.of_int total_cap);
+      let rows = Array.of_list (List.rev !rows) in
+      total_rows := !total_rows + Array.length rows;
+      let objective = Array.make nvars R.zero in
+      Array.iteri (fun k _ -> objective.(k) <- R.one) c.cedges;
+      match Simplex.maximize ~objective ~rows with
+      | Simplex.Optimal { primal; _ } ->
+        Array.iteri
+          (fun k (e : Graph.edge) ->
+            let iv = R.add R.one primal.(k) in
+            ivals.(e.id) <-
+              (match R.to_int_pair iv with
+              | Some (num, den) when num > 0 -> Interval.ratio num den
+              | _ -> Interval.of_int (Stdlib.max 1 (R.floor iv))))
+          c.cedges
+      | Simplex.Unbounded -> assert false (* the box row bounds sum x *)
+      | Simplex.Infeasible _ -> assert false (* x = 0, D = 0 is feasible *))
+    comps;
+  (ivals, { components = List.length comps; rows = !total_rows })
+
+(* --- dimensioning: minimal capacities for a given table ----------- *)
+
+(* Demand a node can push down component paths: max over outgoing
+   finite-threshold component edges of (t - 1) + demand (dst). A [None]
+   threshold never forces a dummy, so it does not extend a chain. *)
+let component_demands c thresholds =
+  let nv = Array.length c.cnodes in
+  let demand = Array.make nv 0 in
+  let out = Array.make nv [] in
+  Array.iter
+    (fun (e : Graph.edge) ->
+      let s = Hashtbl.find c.node_slot e.src in
+      out.(s) <- e :: out.(s))
+    c.cedges;
+  let memo = Array.make nv (-1) in
+  let rec go v =
+    if memo.(v) >= 0 then memo.(v)
+    else begin
+      (* the component graph is a sub-DAG: recursion terminates *)
+      memo.(v) <- 0;
+      let best = ref 0 in
+      List.iter
+        (fun (e : Graph.edge) ->
+          match thresholds.(e.id) with
+          | None -> ()
+          | Some t ->
+            let d = t - 1 + go (Hashtbl.find c.node_slot e.dst) in
+            if d > !best then best := d)
+        out.(v);
+      memo.(v) <- !best;
+      !best
+    end
+  in
+  Array.iteri (fun v _ -> demand.(v) <- go v) c.cnodes;
+  demand
+
+let min_buffers g ~thresholds =
+  require_dag "Lp.min_buffers" g;
+  require_table "Lp.min_buffers" g thresholds;
+  let caps = Array.make (Graph.num_edges g) 1 in
+  List.iter
+    (fun c ->
+      let me = Array.length c.cedges and nv = Array.length c.cnodes in
+      (* variables: y_e = cap_e - 1 per component edge, then D_v *)
+      let nvars = me + nv in
+      let dvar v = me + Hashtbl.find c.node_slot v in
+      let rows = ref [] in
+      let add_row a b = rows := (a, b) :: !rows in
+      Array.iteri
+        (fun _k (e : Graph.edge) ->
+          match thresholds.(e.id) with
+          | None -> ()
+          | Some t ->
+            (* D_dst - D_src <= -(t - 1) *)
+            let a = Array.make nvars R.zero in
+            a.(dvar e.dst) <- R.add a.(dvar e.dst) R.one;
+            a.(dvar e.src) <- R.sub a.(dvar e.src) R.one;
+            add_row a (R.of_int (1 - t)))
+        c.cedges;
+      let branch_nodes =
+        List.map fst c.branches |> List.sort_uniq Stdlib.compare
+      in
+      Array.iteri
+        (fun k (e : Graph.edge) ->
+          if List.mem e.src branch_nodes then begin
+            (* D_src - y_e <= 0 *)
+            let a = Array.make nvars R.zero in
+            a.(dvar e.src) <- R.one;
+            a.(k) <- R.minus_one;
+            add_row a R.zero
+          end)
+        c.cedges;
+      let rows = Array.of_list (List.rev !rows) in
+      let objective = Array.make nvars R.zero in
+      Array.iteri (fun k _ -> objective.(k) <- R.minus_one) c.cedges;
+      match Simplex.maximize ~objective ~rows with
+      | Simplex.Optimal { primal; _ } ->
+        Array.iteri
+          (fun k (e : Graph.edge) -> caps.(e.id) <- 1 + R.ceil primal.(k))
+          c.cedges
+      | Simplex.Unbounded -> assert false (* objective is -sum y <= 0 *)
+      | Simplex.Infeasible _ -> assert false (* y large enough always fits *))
+    (cycle_components g);
+  caps
+
+(* --- auditing a supplied table ------------------------------------ *)
+
+type witness = {
+  wnode : Graph.node;
+  wedges : Graph.edge list;
+  wdemand : int;
+  wsupply : int;
+}
+
+let pp_witness ppf w =
+  Format.fprintf ppf
+    "node %d: demand chain %a carries %d dummy slot%s but the cheapest \
+     opposing channel supplies only %d"
+    w.wnode
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " -> ")
+       (fun ppf (e : Graph.edge) -> Format.fprintf ppf "e%d" e.id))
+    w.wedges w.wdemand
+    (if w.wdemand = 1 then "" else "s")
+    w.wsupply
+
+(* Reconstruct the violating demand chain by DP argmax from the
+   overloaded branch node. Infeasibility of the audit program is
+   exactly "some branch node's demand exceeds its cheapest outgoing
+   capacity minus one", so this always finds a chain; the Farkas
+   certificate tells us which branch node to start from. *)
+let witness_from c thresholds s supply =
+  let slot v = Hashtbl.find c.node_slot v in
+  let demand = component_demands c thresholds in
+  let rec chain v =
+    if demand.(slot v) = 0 then []
+    else
+      let best = ref None in
+      Array.iter
+        (fun (e : Graph.edge) ->
+          if e.src = v then
+            match thresholds.(e.id) with
+            | None -> ()
+            | Some t ->
+              let d = t - 1 + demand.(slot e.dst) in
+              if d = demand.(slot v) && !best = None then best := Some e)
+        c.cedges;
+      match !best with
+      | None -> []
+      | Some e -> e :: chain e.dst
+  in
+  { wnode = s; wedges = chain s; wdemand = demand.(slot s); wsupply = supply }
+
+let audit g ~thresholds =
+  require_dag "Lp.audit" g;
+  require_table "Lp.audit" g thresholds;
+  let rec first_violation = function
+    | [] -> Ok ()
+    | c :: rest -> (
+      let nv = Array.length c.cnodes in
+      let dvar v = Hashtbl.find c.node_slot v in
+      let rows = ref [] and tags = ref [] in
+      let add_row tag a b =
+        rows := (a, b) :: !rows;
+        tags := tag :: !tags
+      in
+      Array.iter
+        (fun (e : Graph.edge) ->
+          match thresholds.(e.id) with
+          | None -> ()
+          | Some t ->
+            let a = Array.make nv R.zero in
+            a.(dvar e.dst) <- R.add a.(dvar e.dst) R.one;
+            a.(dvar e.src) <- R.sub a.(dvar e.src) R.one;
+            add_row `Chain a (R.of_int (1 - t)))
+        c.cedges;
+      List.iter
+        (fun (s, min_cap) ->
+          let a = Array.make nv R.zero in
+          a.(dvar s) <- R.one;
+          add_row (`Branch (s, min_cap - 1)) a (R.of_int (min_cap - 1)))
+        c.branches;
+      let rows = Array.of_list (List.rev !rows) in
+      let tags = Array.of_list (List.rev !tags) in
+      let objective = Array.make nv R.zero in
+      match Simplex.maximize ~objective ~rows with
+      | Simplex.Optimal _ -> first_violation rest
+      | Simplex.Unbounded -> assert false (* zero objective *)
+      | Simplex.Infeasible { farkas } ->
+        (* the certificate's positive branch row names the overloaded
+           node; decode it into a concrete chain *)
+        let branch = ref None in
+        Array.iteri
+          (fun i y ->
+            if R.sign y > 0 && !branch = None then
+              match tags.(i) with
+              | `Branch (s, supply) -> branch := Some (s, supply)
+              | `Chain -> ())
+          farkas;
+        let s, supply =
+          match !branch with
+          | Some sv -> sv
+          | None ->
+            (* degenerate certificate: fall back to scanning branches *)
+            let demand = component_demands c thresholds in
+            List.find
+              (fun (s, min_cap) ->
+                demand.(Hashtbl.find c.node_slot s) > min_cap - 1)
+              c.branches
+            |> fun (s, min_cap) -> (s, min_cap - 1)
+        in
+        Error (witness_from c thresholds s supply))
+  in
+  first_violation (cycle_components g)

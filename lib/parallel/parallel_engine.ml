@@ -114,6 +114,15 @@ type shard = {
   queue : int array; (* ready ring, deduplicated via [sched] *)
   mutable q_head : int;
   mutable q_len : int;
+  (* pad the record past 64 bytes (header + 8 fields = 72) so two
+     shards never share a cache line: [q_head]/[q_len] are written
+     under [lock] by whichever worker holds the shard, and false
+     sharing between adjacent shards' counters showed up as pool
+     jitter on the scaling bench (§P1) *)
+  _pad0 : int;
+  _pad1 : int;
+  _pad2 : int;
+  _pad3 : int;
 }
 
 (* Same packed per-edge layout as the sequential engine (stride 8, one
@@ -398,6 +407,10 @@ module Pool = struct
             queue = Array.make (max shard_size.(i) 1) 0;
             q_head = 0;
             q_len = 0;
+            _pad0 = 0;
+            _pad1 = 0;
+            _pad2 = 0;
+            _pad3 = 0;
           })
     in
     let iid = Atomic.fetch_and_add t.next_iid 1 in

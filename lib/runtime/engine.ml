@@ -54,8 +54,8 @@ let f_bstamp = 4 (* flush_id stamp: push refused this flush *)
 let f_owner = 5 (* source node of the edge *)
 let f_dst = 6 (* destination node of the edge *)
 
-let run ?(scheduler = Ready) ?(batch = 1) ?max_rounds ?deadlock_dump ?sink
-    ~graph:g ~kernels ~inputs ~avoidance () =
+let run ?(scheduler = Ready) ?(dense_below = 512) ?(batch = 1) ?max_rounds
+    ?deadlock_dump ?sink ~graph:g ~kernels ~inputs ~avoidance () =
   if batch < 1 then invalid_arg "Engine.run: batch < 1";
   let sink =
     match sink with
@@ -146,8 +146,14 @@ let run ?(scheduler = Ready) ?(batch = 1) ?max_rounds ?deadlock_dump ?sink
      Per-node scheduler state packs into one int: the topological rank
      in the low bits, membership flags for the current and next round
      in two high bits — one cache line touched per wake instead of
-     three. *)
-  let ready = scheduler = Ready in
+     three.
+
+     Below [dense_below] nodes the worklist's heap and wake traffic
+     costs more than the sweep's full pass over a graph that fits in
+     cache (bench §C6's random-CS4 regression), so [Ready] executes
+     the sweep loop there; the transition sequence — hence the report
+     — is identical either way. *)
+  let ready = scheduler = Ready && n >= dense_below in
   let cur_bit = 1 lsl 62 and next_bit = 1 lsl 61 in
   let rank_mask = next_bit - 1 in
   let rank_flags = Array.make n 0 in
@@ -566,9 +572,8 @@ let run ?(scheduler = Ready) ?(batch = 1) ?max_rounds ?deadlock_dump ?sink
     !progress
   in
   let ready_round =
-    match scheduler with
-    | Sweep -> sweep_round
-    | Ready ->
+    if not ready then sweep_round
+    else
       (* Runnable again next round with no external event needed: only
          then does the node re-arm itself. Blocked nodes (non-empty
          pending, or a dummy slot waiting out a full channel) are woken

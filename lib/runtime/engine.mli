@@ -68,6 +68,7 @@ type scheduler =
 
 val run :
   ?scheduler:scheduler ->
+  ?dense_below:int ->
   ?batch:int ->
   ?max_rounds:int ->
   ?deadlock_dump:Format.formatter ->
@@ -85,6 +86,16 @@ val run :
     [scheduler] (default {!Ready}) maintains the runnable set.
     [max_rounds] defaults to a generous bound; an execution that
     exceeds it reports [Budget_exhausted].
+
+    [dense_below] (default 512): below this many nodes, [Ready] runs
+    the sweep loop instead of maintaining the worklist — on graphs
+    that fit in cache the wake bookkeeping costs more than visiting
+    everything (bench §C6). The executed transition sequence, and so
+    the report, is identical; only the observability stream differs,
+    because the sweep visits nodes the worklist never wakes and so
+    emits [Event.Blocked] on their blocking episodes. Pass
+    [~dense_below:0] to force the worklist at every size (the
+    differential suite does).
 
     [batch] (default 1) lets a visited node fire up to that many times
     in a row while it stays runnable (each firing's sends all landed

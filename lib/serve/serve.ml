@@ -84,7 +84,12 @@ let lint_algorithm = function
    FS401-FS403) and is always linted fresh. *)
 let lint_verdict t ~fp ~mode ~spec g =
   let config =
-    { Lint.default_config with algorithm = lint_algorithm mode; spec }
+    {
+      Lint.default_config with
+      algorithm = lint_algorithm mode;
+      backend = t.options.Compiler.Options.backend;
+      spec;
+    }
   in
   let fresh () = Lint.run ~config g in
   let report =

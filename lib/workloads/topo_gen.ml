@@ -288,3 +288,55 @@ let wide_ladder ~rungs ~cap =
     else edge b rights.(i) lefts.(i) cap
   done;
   finish b
+
+let layered_dense ~layers ~width ~cap =
+  if layers < 1 then invalid_arg "layered_dense: layers < 1";
+  if width < 1 then invalid_arg "layered_dense: width < 1";
+  if cap < 1 then invalid_arg "layered_dense: cap < 1";
+  let b = builder 2 in
+  let layer () = Array.init width (fun _ -> fresh b) in
+  let prev = ref (layer ()) in
+  Array.iter (fun v -> edge b 0 v cap) !prev;
+  for _ = 2 to layers do
+    let next = layer () in
+    Array.iter (fun u -> Array.iter (fun v -> edge b u v cap) next) !prev;
+    prev := next
+  done;
+  Array.iter (fun u -> edge b u 1 cap) !prev;
+  finish b
+
+let random_dense rng ~layers ~width ~max_cap =
+  if layers < 1 then invalid_arg "random_dense: layers < 1";
+  if width < 1 then invalid_arg "random_dense: width < 1";
+  if max_cap < 1 then invalid_arg "random_dense: max_cap < 1";
+  let cap () = 1 + Random.State.int rng max_cap in
+  let b = builder 2 in
+  let layer () = Array.init width (fun _ -> fresh b) in
+  let prev = ref (layer ()) in
+  Array.iter (fun v -> edge b 0 v (cap ())) !prev;
+  for _ = 2 to layers do
+    let next = layer () in
+    (* random bipartite block, pruned but never disconnecting: every
+       left node keeps >= 1 out-edge, every right node >= 1 in-edge *)
+    let keep =
+      Array.init width (fun _ ->
+          Array.init width (fun _ -> Random.State.bool rng))
+    in
+    Array.iteri
+      (fun i row ->
+        if not (Array.exists Fun.id row) then
+          row.(Random.State.int rng width) <- true;
+        ignore i)
+      keep;
+    for j = 0 to width - 1 do
+      if not (Array.exists (fun row -> row.(j)) keep) then
+        keep.(Random.State.int rng width).(j) <- true
+    done;
+    Array.iteri
+      (fun i u ->
+        Array.iteri (fun j v -> if keep.(i).(j) then edge b u v (cap ())) next)
+      !prev;
+    prev := next
+  done;
+  Array.iter (fun u -> edge b u 1 (cap ())) !prev;
+  finish b

@@ -99,3 +99,18 @@ val nested_parallel : depth:int -> cap:int -> Graph.t
 val wide_ladder : rungs:int -> cap:int -> Graph.t
 (** Minimal ladder skeleton with [rungs] alternating-direction
     cross-links and unit constituents — the ladder scaling family. *)
+
+val layered_dense : layers:int -> width:int -> cap:int -> Graph.t
+(** Source, [layers] layers of [width] nodes with a complete bipartite
+    block between consecutive layers, sink. The undirected simple
+    cycle count grows super-exponentially in [layers * width] — the
+    family on which the exact general fallback hits its cycle budget
+    and the LP backend keeps compiling (experiment LP1). Not CS4 for
+    [width >= 2, layers >= 2]. *)
+
+val random_dense :
+  Random.State.t -> layers:int -> width:int -> max_cap:int -> Graph.t
+(** Randomized [layered_dense]: each bipartite block keeps a random
+    subset of its edges (never disconnecting — every node keeps an
+    in- and an out-edge), capacities drawn from [1 .. max_cap]. The
+    qcheck family for LP-table safety on general DAGs. *)

@@ -100,7 +100,7 @@ result per finding with logical locations:
   $ streamcheck lint --demo butterfly --format sarif | grep -c '"$schema": "https://json.schemastore.org/sarif-2.1.0.json"'
   1
   $ streamcheck lint --demo butterfly --format sarif | grep -c '"id":"FS'
-  14
+  15
   $ streamcheck lint --demo butterfly --format sarif | grep -o '"ruleId":"[A-Z0-9]*"'
   "ruleId":"FS201"
   "ruleId":"FS202"

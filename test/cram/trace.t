@@ -34,6 +34,6 @@ On a deadlocking run the metrics include the wedge round, and the exit
 code still reports the outcome:
 
   $ streamcheck simulate --demo fig2 --inputs 50 --keep 0.6 --seed 3 --avoidance none --metrics 2>/dev/null | tail -3
-  totals: 24 data, 0 dummies over 3 channels
+  blocked visits: n0:1
   first wedge: round 13
-  13 rounds, 90 events
+  13 rounds, 91 events

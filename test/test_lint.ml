@@ -155,6 +155,65 @@ let test_fs304 () =
   let even = Graph.make ~nodes:2 [ (0, 1, 2); (0, 1, 2) ] in
   check_silent "symmetric pair" "FS304" (Lint.run even)
 
+(* FS305 is armed only under [backend = Lp]: the run-sum audit of a
+   supplied table, with the Farkas-decoded demand chain as witness
+   (the same fixture test_lp.ml checks at the Lp.audit level). *)
+let test_fs305 () =
+  let g = Topo_gen.fig2_triangle ~cap:3 in
+  let overloaded = Thresholds.of_array g [| Some 4; Some 4; Some 1 |] in
+  let cfg backend t =
+    { Lint.default_config with Lint.backend; audit_thresholds = Some t }
+  in
+  let r = Lint.run ~config:(cfg Compiler.Lp overloaded) g in
+  check_fires "overloaded table under lp" "FS305" r;
+  let d = find "FS305" r in
+  Alcotest.(check bool)
+    "FS305 is a Warning, not an Error" true
+    (d.Lint.severity = Lint.Warning);
+  Alcotest.(check bool) "carries the demand chain" true (d.Lint.witness <> []);
+  check_silent "same table, default backend" "FS305"
+    (Lint.run ~config:(cfg Compiler.Exact overloaded) g);
+  (* the LP backend's own table audits clean *)
+  (match
+     Compiler.compile Compiler.Non_propagation
+       ~options:{ Compiler.Options.default with backend = Compiler.Lp }
+       g
+   with
+  | Error _ -> Alcotest.fail "fig2 must compile under lp"
+  | Ok p ->
+    let own = Compiler.send_thresholds g p.Compiler.intervals in
+    check_silent "LP's own table" "FS305"
+      (Lint.run ~config:(cfg Compiler.Lp own) g));
+  check_silent "no table supplied" "FS305"
+    (Lint.run
+       ~config:{ Lint.default_config with Lint.backend = Compiler.Lp }
+       g)
+
+(* under [backend = Lp] a non-CS4 topology is first-class, so FS201
+   downgrades to Warning and the report carries no Errors *)
+let test_fs201_lp_downgrade () =
+  let g = Topo_gen.fig4_butterfly ~cap:2 in
+  let r =
+    Lint.run ~config:{ Lint.default_config with Lint.backend = Compiler.Lp } g
+  in
+  check_fires "butterfly still reported" "FS201" r;
+  Alcotest.(check bool)
+    "downgraded to Warning" true
+    ((find "FS201" r).Lint.severity = Lint.Warning);
+  Alcotest.(check int) "no Errors under lp" 0 (errors r);
+  (* Exact and Auto keep the Error verdict *)
+  Alcotest.(check bool)
+    "Error under exact" true
+    ((find "FS201" (Lint.run g)).Lint.severity = Lint.Error);
+  Alcotest.(check bool)
+    "Error under auto" true
+    ((find "FS201"
+        (Lint.run
+           ~config:{ Lint.default_config with Lint.backend = Compiler.Auto }
+           g))
+       .Lint.severity
+    = Lint.Error)
+
 (* ------------------------------------------------------------------ *)
 (* FS4xx: application specs *)
 
@@ -346,6 +405,9 @@ let suite =
     Alcotest.test_case "FS302 threshold audit" `Quick test_fs302;
     Alcotest.test_case "FS303 budget erosion" `Quick test_fs303;
     Alcotest.test_case "FS304 parallel asymmetry" `Quick test_fs304;
+    Alcotest.test_case "FS305 LP run-sum audit" `Quick test_fs305;
+    Alcotest.test_case "FS201 downgrade under lp" `Quick
+      test_fs201_lp_downgrade;
     Alcotest.test_case "FS401 unknown bindings" `Quick test_fs401;
     Alcotest.test_case "FS402 filter at split" `Quick test_fs402;
     Alcotest.test_case "FS403 duplicate directives" `Quick test_fs403;

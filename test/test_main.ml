@@ -26,6 +26,7 @@ let () =
       ("app_spec", Test_app_spec.suite);
       ("sizing", Test_sizing.suite);
       ("lint", Test_lint.suite);
+      ("lp", Test_lp.suite);
       ("fusion", Test_fusion.suite);
       ("serve", Test_serve.suite);
     ]

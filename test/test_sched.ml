@@ -3,7 +3,11 @@
    (outcome, rounds, message counts, per-edge dummy counts, wedge
    snapshot) on randomized workloads and on the paper's figure
    topologies, under all three avoidance modes. This is the oracle that
-   licenses making [Ready] the default. *)
+   licenses making [Ready] the default.
+
+   Every [Ready] run passes [~dense_below:0]: the production default
+   routes small graphs to the sweep loop (bench §C6), which would make
+   these differential checks vacuous at test sizes. *)
 
 open Fstream_core
 open Fstream_runtime
@@ -33,7 +37,8 @@ let wrappers g =
 
 let same_stats ?batch g ~kernels_of ~inputs avoidance =
   let run scheduler =
-    Engine.run ?batch ~scheduler ~graph:g ~kernels:(kernels_of ()) ~inputs
+    Engine.run ?batch ~scheduler ~dense_below:0 ~graph:g
+      ~kernels:(kernels_of ()) ~inputs
       ~avoidance ()
   in
   run Engine.Ready = run Engine.Sweep
@@ -114,7 +119,8 @@ let prop_batch_invariance =
    workloads, checked field by field for a readable failure. *)
 let check_identical name ~kernels_of ~inputs g avoidance =
   let run scheduler =
-    Engine.run ~scheduler ~graph:g ~kernels:(kernels_of ()) ~inputs ~avoidance ()
+    Engine.run ~scheduler ~dense_below:0 ~graph:g ~kernels:(kernels_of ())
+      ~inputs ~avoidance ()
   in
   let r = run Engine.Ready and s = run Engine.Sweep in
   Alcotest.(check bool)
@@ -207,7 +213,8 @@ let test_budget_parity () =
     Filters.for_graph g (fun _ outs -> Filters.passthrough outs)
   in
   let run scheduler =
-    Engine.run ~scheduler ~max_rounds:7 ~graph:g ~kernels:(kernels_of ())
+    Engine.run ~scheduler ~dense_below:0 ~max_rounds:7 ~graph:g
+      ~kernels:(kernels_of ())
       ~inputs:100 ~avoidance:Engine.No_avoidance ()
   in
   let r = run Engine.Ready and s = run Engine.Sweep in
@@ -246,7 +253,8 @@ let test_dummy_accounting () =
   let traced scheduler =
     let ring = Fstream_obs.Ring.create () in
     let s =
-      Engine.run ~scheduler ~sink:(Fstream_obs.Ring.sink ring) ~graph:g
+      Engine.run ~scheduler ~dense_below:0 ~sink:(Fstream_obs.Ring.sink ring)
+        ~graph:g
         ~kernels:(bernoulli_kernels g 424242) ~inputs:80 ~avoidance ()
     in
     Alcotest.(check int) "complete event log" 0 (Fstream_obs.Ring.dropped ring);
