@@ -1579,6 +1579,117 @@ let lp1 () =
   headline "LP1" "verify_wedge_free" (if !all_safe then 1.0 else 0.0)
 
 (* ------------------------------------------------------------------ *)
+(* RC1. Hot reconfiguration: incremental recompile vs full compile.    *)
+
+let rc1 () =
+  section "RC1" "hot reconfiguration: incremental recompile vs full";
+  (* latency: a one-edge resize on growing CS4 chains. A full compile
+     re-derives every serial block; the incremental recompile splices
+     every clean block and recomputes only the edited one, so its
+     latency tracks the block size, not the graph size. The cache is
+     re-primed before every timed trial — a recompile consumes the
+     previous epoch's snapshot. *)
+  let rng = Random.State.make [| 90125 |] in
+  let sizes = if !quick then [ 4; 16 ] else [ 4; 8; 16; 32; 64 ] in
+  row "  random CS4 chain, resize one edge: full recompile vs incremental@.";
+  row "  %6s %6s %12s %12s %8s %9s@." "blocks" "edges" "full" "incr" "spliced"
+    "speedup";
+  let t_incr_first = ref 0. and t_incr_last = ref 0. in
+  let speedup_last = ref 0. in
+  List.iter
+    (fun blocks ->
+      let g = Topo_gen.random_cs4 rng ~blocks ~block_edges:6 ~max_cap:5 in
+      let e0 = Graph.edge g 0 in
+      match Edit.apply g [ Edit.Resize { edge = 0; cap = e0.Graph.cap + 1 } ]
+      with
+      | Error _ -> row "  edit failed@."
+      | Ok delta -> (
+        let cache = Compiler.cache_create () in
+        let prime () =
+          match
+            Compiler.compile_cached cache Compiler.Non_propagation g
+          with
+          | Ok _ -> ()
+          | Error _ -> assert false
+        in
+        prime ();
+        let t_full =
+          time_best (fun () ->
+              Compiler.compile Compiler.Non_propagation delta.Edit.graph)
+        in
+        let best = ref infinity and spliced = ref 0 in
+        for _ = 1 to 3 do
+          prime ();
+          let t, r =
+            time_once (fun () ->
+                Compiler.recompile cache Compiler.Non_propagation delta)
+          in
+          (match r with
+          | Ok (_, stats) -> spliced := stats.Compiler.spliced_edges
+          | Error _ -> assert false);
+          if t < !best then best := t
+        done;
+        match
+          Compiler.compile_cached cache Compiler.Non_propagation g
+        with
+        | Error _ -> assert false
+        | Ok (p, _) ->
+          (* incremental == full on the exact route, every size *)
+          (match Compiler.compile Compiler.Non_propagation delta.Edit.graph
+           with
+          | Ok pf ->
+            ignore p;
+            (match Compiler.recompile cache Compiler.Non_propagation delta
+             with
+            | Ok (pi, _) ->
+              Array.iteri
+                (fun i v -> assert (Interval.equal v pi.Compiler.intervals.(i)))
+                pf.Compiler.intervals
+            | Error _ -> assert false)
+          | Error _ -> assert false);
+          if !t_incr_first = 0. then t_incr_first := !best;
+          t_incr_last := !best;
+          speedup_last := t_full /. !best;
+          row "  %6d %6d %a %a %8d %8.1fx@." blocks (Graph.num_edges g)
+            pp_ns t_full pp_ns !best !spliced (t_full /. !best);
+          headline "RC1"
+            (Printf.sprintf "incr_recompile_ns_blocks_%d" blocks)
+            !best))
+    sizes;
+  headline "RC1" "incremental_over_full" !speedup_last;
+  (* sublinearity: graph size grew [last/first] sizes-fold; the
+     incremental latency must grow by much less *)
+  let size_growth =
+    float (List.nth sizes (List.length sizes - 1)) /. float (List.hd sizes)
+  in
+  let incr_growth = !t_incr_last /. max 1. !t_incr_first in
+  row "  graph grew %.0fx, incremental latency grew %.1fx (%s)@." size_growth
+    incr_growth
+    (ok (incr_growth < size_growth));
+  headline "RC1" "size_growth" size_growth;
+  headline "RC1" "incremental_latency_growth" incr_growth;
+  (* warm-started simplex: resize one edge of layered-dense and
+     re-solve from the previous optimal basis vs cold *)
+  let layers = if !quick then 4 else 6 in
+  let g = Topo_gen.layered_dense ~layers ~width:3 ~cap:2 in
+  let _, base, st = Lp.resolve g in
+  (match Edit.apply g [ Edit.Resize { edge = 0; cap = 3 } ] with
+  | Error _ -> row "  edit failed@."
+  | Ok d ->
+    let _, w, _ =
+      Lp.resolve ~warm:st ~edge_map:d.Edit.edge_map ~node_map:d.Edit.node_map
+        ~dirty:d.Edit.dirty d.Edit.graph
+    in
+    let _, c, _ = Lp.resolve d.Edit.graph in
+    row
+      "  layered %dx3 resize e0: base %d pivots; warm re-solve %d vs cold %d \
+       (%s)@."
+      layers base.Lp.rpivots w.Lp.rpivots c.Lp.rpivots
+      (ok (w.Lp.rpivots < c.Lp.rpivots));
+    headline "RC1" "warm_pivots" (float w.Lp.rpivots);
+    headline "RC1" "cold_pivots" (float c.Lp.rpivots))
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -1596,6 +1707,7 @@ let sections =
     ("C6", c6);
     ("C7", c7);
     ("LP1", lp1);
+    ("RC1", rc1);
     ("O1", o1);
     ("V1", v1);
     ("V2", v2);

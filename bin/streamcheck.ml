@@ -74,9 +74,10 @@ let load_graph ~seed file demo =
      20-24    lint band: 20 Error findings, 21 warnings under
               --fail-on warning, 22 fix failed, 23 analysis
               incomplete, 24 spec load error
-     30-32    serve band: 30 tenant rejected at admission, 31 an
-              admitted tenant did not complete, 32 tenant spec load
-              error; worst wins (32 > 30 > 31 > 0) *)
+     30-32    serve band: 30 tenant rejected (at admission, or a
+              --reconfigure script refused: lint, plan, or edit
+              error), 31 an admitted tenant did not complete, 32
+              tenant spec load error; worst wins (32 > 30 > 31 > 0) *)
 
 (* Typed compiler errors get their own exit-code band so scripts (and
    the cram tests) can tell rejection modes apart without parsing
@@ -912,7 +913,8 @@ let dot_cmd =
    above; the worst tenant wins. *)
 let serve_cmd =
   let module Serve = Fstream_serve.Serve in
-  let run dir demo_tenants mode inputs seed domains quota grain options =
+  let run dir demo_tenants mode inputs seed domains quota grain reconfig
+      options =
     let sources =
       match (dir, demo_tenants) with
       | Some _, _ :: _ ->
@@ -997,18 +999,84 @@ let serve_cmd =
         (fun (s, spec) ->
           Serve.start t ~kernels:(App_spec.kernels spec ~seed) ~inputs s)
         sessions;
-      List.iter
-        (fun (s, _) ->
-          let r = Serve.await s in
-          if r.Report.outcome <> Report.Completed then run_failed := true;
-          Format.printf "%-16s %a  data=%d sink=%d dummy=%d@." (Serve.name s)
-            Report.pp_outcome r.Report.outcome r.Report.data_messages
-            r.Report.sink_data r.Report.dummy_messages)
-        sessions;
+      let await_round () =
+        List.iter
+          (fun (s, _) ->
+            let r = Serve.await s in
+            if r.Report.outcome <> Report.Completed then run_failed := true;
+            Format.printf "%-16s %a  data=%d sink=%d dummy=%d@."
+              (Serve.name s) Report.pp_outcome r.Report.outcome
+              r.Report.data_messages r.Report.sink_data
+              r.Report.dummy_messages)
+          sessions
+      in
+      await_round ();
+      (* hot reconfiguration round: apply each "tenant: ops" script to
+         its (drained) session, then rerun every session on its
+         current epoch — reconfigured tenants under their edited
+         topology and incrementally recomputed table *)
+      if reconfig <> [] then begin
+        List.iter
+          (fun line ->
+            let fail fmt =
+              rejected := true;
+              Format.printf fmt
+            in
+            match String.index_opt line ':' with
+            | None ->
+              fail "reconfigure: missing \"tenant:\" prefix in %S@." line
+            | Some i -> (
+              let tname = String.trim (String.sub line 0 i) in
+              let script =
+                String.sub line (i + 1) (String.length line - i - 1)
+              in
+              match
+                List.find_opt (fun (s, _) -> Serve.name s = tname) sessions
+              with
+              | None -> fail "reconfigure: no running tenant %S@." tname
+              | Some (s, _) -> (
+                match Edit.parse_ops script with
+                | Error e ->
+                  fail "%-16s reconfigure parse error: %s@." tname e
+                | Ok ops -> (
+                  match Serve.reconfigure t s ops with
+                  | Error r ->
+                    fail "%-16s reconfigure rejected: %a@." tname
+                      Serve.pp_rejection r
+                  | Ok stats ->
+                    Format.printf "%-16s reconfigured epoch=%d%s@." tname
+                      (Serve.epoch s)
+                      (match stats with
+                      | None -> " (registry hit)"
+                      | Some st ->
+                        Printf.sprintf " spliced=%d recomputed=%d%s"
+                          st.Compiler.spliced_edges
+                          st.Compiler.recomputed_edges
+                          (match st.Compiler.lp_stats with
+                          | None -> ""
+                          | Some lp ->
+                            Printf.sprintf
+                              " lp:spliced=%d warm=%d cold=%d pivots=%d"
+                              lp.Lp.rspliced lp.Lp.rwarm lp.Lp.rcold
+                              lp.Lp.rpivots))))))
+          reconfig;
+        List.iter
+          (fun (s, spec) ->
+            let spec = { spec with App_spec.graph = Serve.graph s } in
+            Serve.start t ~kernels:(App_spec.kernels spec ~seed) ~inputs s)
+          sessions;
+        await_round ()
+      end;
       Serve.shutdown t;
       let st = Serve.stats t in
-      Format.printf "tenants=%d rejected=%d compiles=%d@." st.Serve.tenants
-        st.Serve.rejections st.Serve.compiles;
+      if reconfig = [] then
+        Format.printf "tenants=%d rejected=%d compiles=%d@." st.Serve.tenants
+          st.Serve.rejections st.Serve.compiles
+      else
+        Format.printf
+          "tenants=%d rejected=%d compiles=%d recompiles=%d warm_pivots=%d@."
+          st.Serve.tenants st.Serve.rejections st.Serve.compiles
+          st.Serve.recompiles st.Serve.warm_pivots;
       if !load_failed then 32
       else if !rejected then 30
       else if !run_failed then 31
@@ -1061,14 +1129,29 @@ let serve_cmd =
             "Fair-share bound: consecutive task grants a worker gives one \
              tenant while another has queued work.")
   in
+  let reconfigure_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "reconfigure" ] ~docv:"TENANT: OPS"
+          ~doc:
+            "After the first round completes, apply an edit script to a \
+             tenant and rerun every tenant (repeatable). OPS is a \
+             $(b,;)-separated list of $(b,resize E CAP), $(b,add-edge SRC \
+             DST CAP), $(b,remove-edge E), $(b,add-stage E CIN COUT), \
+             $(b,remove-stage N [CAP]). The edited topology passes the \
+             same lint bar as admission; its threshold table is \
+             recomputed incrementally (clean blocks splice, LP \
+             components warm-start) and swapped at the run boundary.")
+  in
   let doc =
     "Serve many tenant applications on one shared worker pool, with lint \
-     admission control and a compile-once threshold registry."
+     admission control, a compile-once threshold registry, and hot \
+     reconfiguration of live tenants."
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ dir_arg $ demo_tenants_arg $ mode_arg $ inputs_arg
-      $ seed_arg $ domains_arg $ quota_arg $ grain_arg
+      $ seed_arg $ domains_arg $ quota_arg $ grain_arg $ reconfigure_arg
       $ compile_options_term)
 
 (* ------------------------------------------------------------------ *)

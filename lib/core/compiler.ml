@@ -9,6 +9,7 @@ type route =
   | Cs4_route of Cs4.t
   | General_route of { cycles : int }
   | Lp_route of { components : int; rows : int }
+  | Min_route of { exact : route; lp : route }
 
 type fused = {
   fusion : Fusion.t;
@@ -45,7 +46,7 @@ let pp_error ppf = function
 
 let error_to_string e = Format.asprintf "%a" pp_error e
 
-let pp_route ppf = function
+let rec pp_route ppf = function
   | Cs4_route cls ->
     let sp, ladders =
       List.fold_left
@@ -66,6 +67,8 @@ let pp_route ppf = function
       "LP backend (%d cyclic component%s, %d simplex rows)" components
       (if components = 1 then "" else "s")
       rows
+  | Min_route { exact; lp } ->
+    Format.fprintf ppf "edge-wise min of %a and %a" pp_route exact pp_route lp
 
 let run_cs4 algorithm g (cls : Cs4.t) =
   let ivals = Array.make (Graph.num_edges g) Interval.inf in
@@ -112,6 +115,23 @@ let run_lp algorithm g =
     fused = None;
   }
 
+(* Safety is downward-closed in the interval table (smaller intervals
+   send dummies sooner), so the edge-wise minimum of two safe tables is
+   safe — the sound way to combine the exact and LP tables when the
+   Auto backend can afford both. Neither table dominates the other
+   (bench §LP1 measures tightness ratios on both sides of 1), so the
+   min is the one table no single backend run can contradict. *)
+let min_combine exact_plan lp_plan =
+  {
+    algorithm = exact_plan.algorithm;
+    intervals =
+      Array.mapi
+        (fun i v -> Interval.min v lp_plan.intervals.(i))
+        exact_plan.intervals;
+    route = Min_route { exact = exact_plan.route; lp = lp_plan.route };
+    fused = None;
+  }
+
 module Options = struct
   type t = {
     allow_general : bool;
@@ -152,14 +172,19 @@ let compile ?(options = Options.default) algorithm g =
     | (Exact | Auto) as backend -> (
       match Cs4.classify g with
       | Ok cls ->
+        let exact_plan =
+          {
+            algorithm;
+            intervals = run_cs4 algorithm g cls;
+            route = Cs4_route cls;
+            fused = None;
+          }
+        in
         Ok
           (attach_fusion
-             {
-               algorithm;
-               intervals = run_cs4 algorithm g cls;
-               route = Cs4_route cls;
-               fused = None;
-             })
+             (match backend with
+             | Auto -> min_combine exact_plan (run_lp algorithm g)
+             | Exact | Lp -> exact_plan))
       | Error failure -> (
         match backend with
         | Auto when not options.Options.allow_general ->
@@ -169,8 +194,10 @@ let compile ?(options = Options.default) algorithm g =
           try
             Ok
               (attach_fusion
-                 (run_general algorithm ~max_cycles:options.Options.max_cycles
-                    g))
+                 (min_combine
+                    (run_general algorithm
+                       ~max_cycles:options.Options.max_cycles g)
+                    (run_lp algorithm g)))
           with Failure _ ->
             (* the budget the exact route gives up at is exactly where
                the polynomial backend takes over *)
@@ -195,6 +222,449 @@ let send_thresholds g intervals =
 
 let sdf_thresholds g =
   Thresholds.of_array g (Array.make (Graph.num_edges g) (Some 1))
+
+(* ---------------- incremental recompilation ----------------------- *)
+
+module Sp_tree = Fstream_spdag.Sp_tree
+
+type recompile_stats = {
+  spliced_edges : int;
+  recomputed_edges : int;
+  lp_stats : Lp.resolve_stats option;
+}
+
+(* The exact-route residue of one epoch: the interned classification
+   (so the next epoch's trees share untouched subtrees physically), the
+   exact table of this epoch (what clean blocks splice and stable-id
+   pre-copies read), and the memo recorded while computing it. The memo
+   is strictly per-epoch — see [Sp_incremental]. *)
+type exact_snap = {
+  scls : Cs4.t;
+  stable : Interval.t array;
+  smemo : Sp_incremental.memo;
+}
+
+type snapshot = {
+  sfp : int;
+  salgo : algorithm;
+  sbackend : backend;
+  sexact : exact_snap option;
+  slp : Lp.state option;
+  splan : plan;
+}
+
+type cache = {
+  builder : Sp_tree.Builder.t;
+  clock : Mutex.t;
+  mutable snap : snapshot option;
+}
+
+let cache_create () =
+  {
+    builder = Sp_tree.Builder.create ();
+    clock = Mutex.create ();
+    snap = None;
+  }
+
+let cache_plan cache =
+  Mutex.lock cache.clock;
+  let p = Option.map (fun s -> s.splan) cache.snap in
+  Mutex.unlock cache.clock;
+  p
+
+let algo_of = function
+  | Propagation -> Sp_incremental.Prop
+  | Non_propagation -> Sp_incremental.Nonprop
+  | Relay_propagation -> Sp_incremental.Relay
+
+let block_edges = function
+  | Cs4.Sp_block t -> Sp_tree.edges t
+  | Cs4.Ladder_block l -> Ladder.edges l
+
+let intern_cls builder (cls : Cs4.t) =
+  {
+    cls with
+    Cs4.blocks =
+      List.map
+        (fun (s, d, b) ->
+          match b with
+          | Cs4.Sp_block t ->
+            (s, d, Cs4.Sp_block (Sp_tree.Builder.intern builder t))
+          | Cs4.Ladder_block _ -> (s, d, b))
+        cls.Cs4.blocks;
+  }
+
+(* The incremental CS4 table. Per serial block of the new
+   classification, cheapest sound route first:
+
+   - {e clean} (every edge non-dirty with a surviving origin, and the
+     origin set is exactly one previous block's edge set): the block's
+     subgraph is the previous block's up to id translation, and block
+     values are block-local, so the previous values splice across —
+     no interval arithmetic at all;
+   - dirty SP block with {e stable ids} (every surviving base edge
+     kept its id): pre-copy the block's surviving values at their
+     identical positions, then run the memoized update — subtrees
+     physically shared with the previous tree and reached under an
+     unchanged context skip wholesale. Stability matters: under
+     shifted ids a renumbered edge's leaf record can coincide with a
+     different previous edge's record (parallel twins), and a memo hit
+     would then vouch for array positions the pre-copy never filled;
+   - dirty SP block with shifted ids: memoized update against an empty
+     previous memo — a full recompute of the block that still records
+     this epoch's memo for the next one;
+   - dirty ladder block: the classic ladder sweep (the fresh table
+     starts at [Inf], exactly the state the sweep expects). *)
+let run_cs4_incremental builder algorithm g (cls : Cs4.t) ~prev =
+  let cls = intern_cls builder cls in
+  let n = Graph.num_edges g in
+  let ivals = Array.make n Interval.inf in
+  let next = Sp_incremental.memo_create () in
+  let empty_memo = Sp_incremental.memo_create () in
+  let spliced = ref 0 and recomputed = ref 0 in
+  let origin, is_dirty, old_vals, old_blocks, ids_stable, prev_memo =
+    match prev with
+    | None ->
+      ( (fun _ -> None),
+        (fun _ -> true),
+        [||],
+        Hashtbl.create 1,
+        false,
+        empty_memo )
+    | Some ((delta : Edit.delta), (pe : exact_snap)) ->
+      let rev = Hashtbl.create 64 in
+      Array.iteri
+        (fun o -> function
+          | Some nid -> Hashtbl.replace rev nid o
+          | None -> ())
+        delta.Edit.edge_map;
+      let old_blocks = Hashtbl.create 16 in
+      List.iter
+        (fun (_, _, b) ->
+          let ids =
+            List.map (fun (e : Graph.edge) -> e.id) (block_edges b)
+            |> List.sort Stdlib.compare
+          in
+          Hashtbl.replace old_blocks ids ())
+        pe.scls.Cs4.blocks;
+      (* stable = every base edge survives at its own id. This is
+         deliberately stricter than "no survivor moved": a removal (or
+         an in-place Add_stage replacement) makes it possible for a
+         later op to recreate a record the previous epoch's memo still
+         has entries for, and a memo hit would then vouch for a
+         position the pre-copy below never filled. With all base ids
+         intact, appended edges have ids the previous epoch never
+         used, so their records cannot alias any previous-epoch memo
+         entry. *)
+      let stable = ref true in
+      Array.iteri
+        (fun o -> function
+          | Some nid when nid = o -> ()
+          | _ -> stable := false)
+        delta.Edit.edge_map;
+      ( Hashtbl.find_opt rev,
+        (fun e -> delta.Edit.dirty.(e)),
+        pe.stable,
+        old_blocks,
+        !stable,
+        pe.smemo )
+  in
+  (* the record at a stable id is unchanged iff its capacity is (under
+     stable ids an in-place dirty edge can only come from [Resize] —
+     the replacing ops break stability — so endpoints never moved) *)
+  let unchanged_record =
+    match prev with
+    | None -> fun _ -> false
+    | Some ((delta : Edit.delta), _) ->
+      let base = delta.Edit.base in
+      fun (e : Graph.edge) ->
+        e.id < Graph.num_edges base && (Graph.edge base e.id).cap = e.cap
+  in
+  List.iter
+    (fun (_, _, b) ->
+      let edges = block_edges b in
+      let nedges = List.length edges in
+      let clean =
+        prev <> None
+        && List.for_all
+             (fun (e : Graph.edge) ->
+               (not (is_dirty e.id)) && origin e.id <> None)
+             edges
+        &&
+        let ids =
+          List.filter_map (fun (e : Graph.edge) -> origin e.id) edges
+          |> List.sort Stdlib.compare
+        in
+        Hashtbl.mem old_blocks ids
+      in
+      if clean then begin
+        List.iter
+          (fun (e : Graph.edge) ->
+            ivals.(e.id) <- old_vals.(Option.get (origin e.id)))
+          edges;
+        spliced := !spliced + nedges
+      end
+      else
+        match b with
+        | Cs4.Sp_block tree ->
+          let prev_m = if ids_stable then prev_memo else empty_memo in
+          (* pre-copy every survivor whose record is unchanged — not
+             merely every non-dirty survivor: a [Resize] back to the
+             current capacity is marked dirty by the edit layer yet
+             leaves the record (and so the hash-consed leaf, and so any
+             memo hit over it) identical, and a skipped subtree vouches
+             for exactly the unchanged-record positions beneath it *)
+          if ids_stable then
+            List.iter
+              (fun (e : Graph.edge) ->
+                if
+                  e.id < Array.length old_vals
+                  && origin e.id = Some e.id
+                  && unchanged_record e
+                then ivals.(e.id) <- old_vals.(e.id))
+              edges;
+          let r, s =
+            Sp_incremental.update (algo_of algorithm) ~prev:prev_m ~next
+              ivals tree
+          in
+          recomputed := !recomputed + r;
+          spliced := !spliced + s
+        | Cs4.Ladder_block lad ->
+          (match algorithm with
+          | Propagation -> Ladder_prop.update ivals lad
+          | Non_propagation -> Ladder_nonprop.update ivals lad
+          | Relay_propagation -> Ladder_nonprop.update_relay ivals lad);
+          recomputed := !recomputed + nedges)
+    cls.Cs4.blocks;
+  (ivals, cls, next, !spliced, !recomputed)
+
+(* Every edge and node kept its own id: the script only changed
+   capacities, so the edited graph's topology — and therefore its
+   classification — is the base graph's. *)
+let structure_preserving (d : Edit.delta) g =
+  let ident m =
+    let ok = ref true in
+    Array.iteri
+      (fun i -> function Some j when j = i -> () | _ -> ok := false)
+      m;
+    !ok
+  in
+  Array.length d.Edit.edge_map = Graph.num_edges g
+  && Array.length d.Edit.node_map = Graph.num_nodes g
+  && ident d.Edit.edge_map
+  && ident d.Edit.node_map
+
+(* The structure-preserving fast path: reuse the previous epoch's
+   decomposition wholesale instead of re-classifying the graph —
+   untouched blocks splice their values, blocks containing a resized
+   edge are [refresh]ed (leaf substitution through the hash-consing
+   builder, so subtrees with unchanged records keep their uid and the
+   memo still hits) and recomputed. This is what makes a single-edge
+   reconfigure sublinear in the graph size: no recognition pass, no
+   per-block origin bookkeeping, work proportional to the edited block
+   plus one table copy. *)
+let run_cs4_fast builder algorithm g ~(delta : Edit.delta) ~(pe : exact_snap) =
+  let n = Graph.num_edges g in
+  let ivals = Array.make n Interval.inf in
+  let next = Sp_incremental.memo_create () in
+  let spliced = ref 0 and recomputed = ref 0 in
+  let base = delta.Edit.base in
+  let blocks =
+    List.map
+      (fun (bs, bt, b) ->
+        let edges = block_edges b in
+        if
+          List.for_all
+            (fun (e : Graph.edge) -> not delta.Edit.dirty.(e.id))
+            edges
+        then begin
+          List.iter
+            (fun (e : Graph.edge) -> ivals.(e.id) <- pe.stable.(e.id))
+            edges;
+          spliced := !spliced + List.length edges;
+          (bs, bt, b)
+        end
+        else
+          match b with
+          | Cs4.Sp_block tree ->
+            let tree = Sp_tree.Builder.refresh builder g tree in
+            (* unchanged records pre-copy, exactly as in the slow path:
+               a memo hit vouches for the positions beneath it *)
+            Sp_tree.iter_edges tree (fun e ->
+                if (Graph.edge base e.id).cap = e.cap then
+                  ivals.(e.id) <- pe.stable.(e.id));
+            let r, s =
+              Sp_incremental.update (algo_of algorithm) ~prev:pe.smemo ~next
+                ivals tree
+            in
+            recomputed := !recomputed + r;
+            spliced := !spliced + s;
+            (bs, bt, Cs4.Sp_block tree)
+          | Cs4.Ladder_block lad ->
+            let lad = Ladder.refresh builder g lad in
+            (match algorithm with
+            | Propagation -> Ladder_prop.update ivals lad
+            | Non_propagation -> Ladder_nonprop.update ivals lad
+            | Relay_propagation -> Ladder_nonprop.update_relay ivals lad);
+            recomputed := !recomputed + List.length edges;
+            (bs, bt, Cs4.Ladder_block lad))
+      pe.scls.Cs4.blocks
+  in
+  let cls = { pe.scls with Cs4.blocks } in
+  (ivals, cls, next, !spliced, !recomputed)
+
+(* One epoch's compile through the cache; caller holds [clock]. *)
+let compile_locked cache options algorithm ~(delta : Edit.delta option) g =
+  let fp = Thresholds.graph_fingerprint g in
+  let backend = options.Options.backend in
+  (* the previous epoch is usable only when it describes exactly the
+     graph the edit script was applied to, under the same algorithm
+     and backend — anything else is a fresh compile through the same
+     builder (subtree sharing still helps, value reuse does not) *)
+  let prev =
+    match (delta, cache.snap) with
+    | Some d, Some snap
+      when snap.sfp = Thresholds.graph_fingerprint d.Edit.base
+           && snap.salgo = algorithm && snap.sbackend = backend ->
+      Some (d, snap)
+    | _ -> None
+  in
+  let prev_exact =
+    Option.bind prev (fun (d, s) ->
+        Option.map (fun pe -> (d, pe)) s.sexact)
+  in
+  let run_lp_inc () =
+    let warm = Option.bind prev (fun (_, s) -> s.slp) in
+    let edge_map, node_map, dirty =
+      match prev with
+      | Some (d, _) ->
+        (Some d.Edit.edge_map, Some d.Edit.node_map, Some d.Edit.dirty)
+      | None -> (None, None, None)
+    in
+    let intervals, st, state =
+      Lp.resolve ?warm ?edge_map ?node_map ?dirty g
+    in
+    ( {
+        algorithm;
+        intervals;
+        route =
+          Lp_route { components = st.Lp.rcomponents; rows = st.Lp.rrows };
+        fused = None;
+      },
+      st,
+      state )
+  in
+  let store sexact slp plan =
+    cache.snap <-
+      Some { sfp = fp; salgo = algorithm; sbackend = backend; sexact; slp;
+             splan = plan }
+  in
+  (* a structure-preserving edit of a previously classified graph
+     cannot change DAG-ness, connectivity or the classification: skip
+     all three and reuse the previous decomposition *)
+  let fast_prev =
+    match prev_exact with
+    | Some (d, _) when structure_preserving d g -> prev_exact
+    | _ -> None
+  in
+  if Option.is_none fast_prev && not (Topo.is_dag g) then Error Not_a_dag
+  else if Option.is_none fast_prev && not (Topo.connected g) then
+    Error Disconnected
+  else
+    match backend with
+    | Lp ->
+      let plan, st, state = run_lp_inc () in
+      store None (Some state) plan;
+      Ok (plan, { spliced_edges = 0; recomputed_edges = 0;
+                  lp_stats = Some st })
+    | (Exact | Auto) as backend -> (
+      let finish (ivals, cls, memo, spliced_edges, recomputed_edges) =
+        let exact_plan =
+          { algorithm; intervals = ivals; route = Cs4_route cls;
+            fused = None }
+        in
+        let pe = { scls = cls; stable = ivals; smemo = memo } in
+        match backend with
+        | Auto ->
+          let lp_plan, st, state = run_lp_inc () in
+          let plan = min_combine exact_plan lp_plan in
+          store (Some pe) (Some state) plan;
+          Ok (plan, { spliced_edges; recomputed_edges; lp_stats = Some st })
+        | Exact | Lp ->
+          store (Some pe) None exact_plan;
+          Ok (exact_plan,
+              { spliced_edges; recomputed_edges; lp_stats = None })
+      in
+      match fast_prev with
+      | Some (d, pe) ->
+        finish (run_cs4_fast cache.builder algorithm g ~delta:d ~pe)
+      | None -> (
+      match Cs4.classify g with
+      | Ok cls ->
+        finish
+          (run_cs4_incremental cache.builder algorithm g cls
+             ~prev:prev_exact)
+      | Error failure -> (
+        match backend with
+        | Auto when not options.Options.allow_general ->
+          let plan, st, state = run_lp_inc () in
+          store None (Some state) plan;
+          Ok (plan, { spliced_edges = 0; recomputed_edges = 0;
+                      lp_stats = Some st })
+        | Auto -> (
+          match
+            try
+              Some
+                (run_general algorithm
+                   ~max_cycles:options.Options.max_cycles g)
+            with Failure _ -> None
+          with
+          | Some general_plan ->
+            let lp_plan, st, state = run_lp_inc () in
+            let plan = min_combine general_plan lp_plan in
+            store None (Some state) plan;
+            Ok (plan,
+                { spliced_edges = 0;
+                  recomputed_edges = Graph.num_edges g;
+                  lp_stats = Some st })
+          | None ->
+            let plan, st, state = run_lp_inc () in
+            store None (Some state) plan;
+            Ok (plan, { spliced_edges = 0; recomputed_edges = 0;
+                        lp_stats = Some st }))
+        | Exact | Lp ->
+          if options.Options.allow_general then
+            try
+              let plan =
+                run_general algorithm ~max_cycles:options.Options.max_cycles
+                  g
+              in
+              store None None plan;
+              Ok (plan,
+                  { spliced_edges = 0;
+                    recomputed_edges = Graph.num_edges g;
+                    lp_stats = None })
+            with Failure _ ->
+              Error (Cycle_budget_exceeded options.Options.max_cycles)
+          else
+            Error
+              (match failure with
+              | Cs4.Not_two_terminal -> Not_two_terminal
+              | Cs4.Bad_block _ -> Non_cs4_rejected failure))))
+
+let with_clock cache f =
+  Mutex.lock cache.clock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock cache.clock) f
+
+let compile_cached ?(options = Options.default) cache algorithm g =
+  with_clock cache (fun () ->
+      compile_locked cache options algorithm ~delta:None g)
+
+let recompile ?(options = Options.default) cache algorithm
+    (delta : Edit.delta) =
+  with_clock cache (fun () ->
+      compile_locked cache options algorithm ~delta:(Some delta)
+        delta.Edit.graph)
 
 let propagation_thresholds g intervals =
   let on_cycle = Array.make (Graph.num_edges g) false in

@@ -49,6 +49,15 @@ type route =
   | Lp_route of { components : int; rows : int }
       (** polynomial LP backend; [components] biconnected components
           carried cycles, [rows] total simplex rows solved *)
+  | Min_route of { exact : route; lp : route }
+      (** the {!Auto} backend when both tables were affordable: the
+          plan's intervals are the edge-wise minimum of the exact and
+          LP tables. Safety is downward-closed in the table (smaller
+          intervals send dummies sooner; threshold 1 everywhere is the
+          trivially safe SDF strawman), so the min of two safe tables
+          is safe — and since neither table dominates the other
+          (bench §LP1), the min is the one table consistent with
+          both certificates. *)
 
 type fused = {
   fusion : Fusion.t;
@@ -125,6 +134,66 @@ val compile :
     be built against [fusion.graph] and [fused_intervals]; the
     {!Thresholds.t} graph fingerprint then rejects any attempt to run a
     fused table on the original topology, and vice versa. *)
+
+(** {2 Incremental recompilation}
+
+    A {!cache} carries one tenant's compile residue from epoch to
+    epoch: the hash-consing {!Fstream_spdag.Sp_tree.Builder} (so the
+    decomposition trees of successive epochs share untouched subtrees
+    physically), the previous epoch's exact table and per-epoch memo,
+    and the previous LP solver state. {!recompile} consumes an
+    {!Fstream_graph.Edit.delta} and recomputes only what the edit
+    touched: serial blocks whose edges all survive unedited splice the
+    previous values without any interval arithmetic; edited SP blocks
+    with stable edge ids skip memoized subtrees reached under an
+    unchanged context; cyclic LP components re-solve warm from the
+    previous optimal basis ({!Lp.resolve}). The result is bit-for-bit
+    the table a full recompile of the edited graph would produce on
+    the exact route, and objective-equal on the LP route (the simplex
+    optimum need not be vertex-unique) — both property-checked in
+    [test/test_reconfigure.ml]. *)
+
+type cache
+
+val cache_create : unit -> cache
+(** A fresh, empty compile cache. Thread-safe: all operations on one
+    cache serialize on an internal lock. *)
+
+val cache_plan : cache -> plan option
+(** The most recent epoch's plan, if any compile succeeded. *)
+
+type recompile_stats = {
+  spliced_edges : int;
+      (** exact-route edges whose values were copied from the previous
+          epoch (clean-block splices plus memo-skipped subtrees) *)
+  recomputed_edges : int;
+      (** exact-route edges recomputed by interval arithmetic *)
+  lp_stats : Lp.resolve_stats option;
+      (** present when the LP participated ([Lp] or [Auto] backend) *)
+}
+
+val compile_cached :
+  ?options:Options.t ->
+  cache ->
+  algorithm ->
+  Graph.t ->
+  (plan * recompile_stats, error) result
+(** Compile fresh through the cache, recording the epoch residue that
+    a later {!recompile} reuses. Equivalent to {!compile} on the same
+    arguments except that [options.fuse] is ignored (reconfiguration
+    serves unfused plans; fuse explicitly via {!compile}). *)
+
+val recompile :
+  ?options:Options.t ->
+  cache ->
+  algorithm ->
+  Fstream_graph.Edit.delta ->
+  (plan * recompile_stats, error) result
+(** Compile [delta.graph] incrementally against the cache's previous
+    epoch. Falls back to a fresh compile (still recording the new
+    epoch) whenever the previous epoch is unusable — no prior compile,
+    or it was for a different graph than [delta.base], algorithm, or
+    backend. *)
 
 val send_thresholds : Graph.t -> Interval.t array -> Thresholds.t
 (** Integer gap thresholds for the runtime wrappers, bound to the graph

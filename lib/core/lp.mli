@@ -66,12 +66,73 @@ module Simplex : sig
       x >= 0]. Negative right-hand sides are allowed (phase 1 runs
       automatically). Every coefficient array must have length
       [Array.length objective]. *)
+
+  val solve_nonneg :
+    ?hint:int array ->
+    objective:Rational.t array ->
+    rows:(Rational.t array * Rational.t) array ->
+    unit ->
+    (Rational.t array * int array * int * bool) option
+  (** Warm-startable variant for programs whose right-hand sides are
+      all non-negative (every interval program is: chain rows have
+      [b = 0], branch rows [min_cap - 1 >= 0], the box row a capacity
+      sum) — the slack basis is always primal-feasible, so no phase 1
+      ever runs and the cold path replays {!maximize}'s phase 2
+      pivot-for-pivot. [hint] is a proposed basic column per row
+      ([-1] = keep the row's slack): the tableau is crashed onto it,
+      then repaired by primal simplex if primal-feasible, by Bland
+      dual simplex if dual-feasible, and otherwise re-solved cold from
+      the slack basis. Returns
+      [Some (primal, basis, pivots, used_warm)] — [pivots] counts
+      every pivot made, {e including} those of a failed warm attempt
+      that fell back cold — or [None] if the program is unbounded.
+      @raise Invalid_argument on a length mismatch or a negative
+      right-hand side. *)
 end
 
 type stats = {
   components : int;  (** biconnected components with at least 2 edges *)
   rows : int;  (** total simplex rows across all component programs *)
 }
+
+type state
+(** Opaque per-component solver state — the optimum's interval values
+    and final simplex basis, keyed by the graph's edge and node ids —
+    carried from one {!resolve} call to the next for warm starts. *)
+
+type resolve_stats = {
+  rcomponents : int;  (** components solved or spliced this call *)
+  rrows : int;  (** total rows, counting spliced components' programs *)
+  rspliced : int;  (** components copied verbatim, zero pivots *)
+  rwarm : int;  (** components re-solved from a translated basis *)
+  rcold : int;  (** components solved from scratch (incl. fallbacks) *)
+  rpivots : int;  (** simplex pivots, cumulative incl. failed warms *)
+}
+
+val resolve :
+  ?warm:state ->
+  ?edge_map:int option array ->
+  ?node_map:int option array ->
+  ?dirty:bool array ->
+  Graph.t ->
+  Interval.t array * resolve_stats * state
+(** [resolve ?warm ?edge_map ?node_map ?dirty g] computes the same
+    table as {!intervals} and additionally returns reusable solver
+    state. With [warm] (the state of a previous solve of the graph
+    this one was edited from), [edge_map] / [node_map] (old id ->
+    surviving new id, as in {!Fstream_graph.Edit.delta}) and [dirty]
+    (new edge ids whose records changed), each biconnected component
+    of [g] is handled by the cheapest sound route: a component whose
+    edges all survive unedited from exactly one old component is
+    {e spliced} — previous optimum copied, no simplex at all; any
+    other component with an identifiable ancestor is re-solved
+    {e warm} from the ancestor's translated basis (falling back to a
+    cold solve if the crash is neither primal- nor dual-feasible);
+    components with no ancestor solve cold. Splicing is exact, not
+    approximate: the component's program is syntactically identical
+    to the old one's, so its optimum is the old optimum. Omitting all
+    optional arguments is exactly {!intervals}.
+    @raise Invalid_argument if [g] has a directed cycle. *)
 
 val intervals : Graph.t -> Interval.t array * stats
 (** The backend entry point: a safe-interval table for any connected

@@ -1,0 +1,50 @@
+(** Memoized SP interval updates for incremental recompilation.
+
+    The per-edge interval value computed by {!Sp_prop.update} /
+    {!Sp_nonprop.update} / {!Sp_nonprop.update_relay} is a pure
+    function of the edge's leaf record and of a small {e context}
+    accumulated on the path from the SP block's root down to the leaf:
+
+    - propagation: a single interval — the tightest sibling-[L] bound
+      seen so far ([Series] passes it to its first child and resets
+      the second to [Inf]; [Parallel] meets it with the sibling's
+      [L]);
+    - non-propagation / relay: a list of [(l, extra)] pairs, one per
+      enclosing [Parallel] (the sibling branch's [L] and the hop
+      excess accumulated across [Series] nodes below that parallel);
+      the leaf value is the min of [ratio l (extra + 1)] (relay:
+      [of_int l]) over the list.
+
+    Visiting each leaf exactly once with its context assigns the same
+    value the classic updates accumulate over many visits — that
+    equivalence is property-checked bit-for-bit by the differential
+    suite in [test/test_reconfigure.ml].
+
+    Because the value is a function of (subtree, context) alone, a
+    subtree shared with the previous compile (same
+    {!Fstream_spdag.Sp_tree.uid}, via a persisted
+    {!Fstream_spdag.Sp_tree.Builder}) reached under the same context
+    can be skipped wholesale — provided the caller pre-loaded the
+    previous table's values for the subtree's edges at their (stable)
+    ids. The memo is strictly per-epoch: entries recorded while
+    computing table [N] justify skips only while computing table
+    [N+1] from a pre-copy of table [N]; anything older may disagree
+    with what the array holds. *)
+
+open Fstream_spdag
+
+type memo
+
+val memo_create : unit -> memo
+
+type algo = Prop | Nonprop | Relay
+
+val update :
+  algo -> prev:memo -> next:memo -> Interval.t array -> Sp_tree.t -> int * int
+(** [update algo ~prev ~next ivals tree] assigns the interval of every
+    leaf under [tree] into [ivals], skipping any subtree whose
+    [(uid, context)] is in [prev] (its edges' values must already be
+    in [ivals], see above), and records every subtree visited or
+    skipped into [next]. Returns [(recomputed, skipped)] leaf counts.
+    With [prev] empty this is a straight re-derivation of the classic
+    update that additionally populates [next]. *)

@@ -1,6 +1,6 @@
 open Fstream_graph
 
-type t = { fp : int; table : int option array }
+type t = { fp : int; table : int option array; ep : int }
 
 (* A 62-bit polynomial rolling hash: collisions are astronomically
    unlikely for distinct topologies, and any collision only weakens an
@@ -23,7 +23,10 @@ let of_array g table =
       | Some k when k < 1 -> invalid_arg "Thresholds.of_array: threshold < 1"
       | _ -> ())
     table;
-  { fp = graph_fingerprint g; table = Array.copy table }
+  { fp = graph_fingerprint g; table = Array.copy table; ep = 0 }
+
+let epoch t = t.ep
+let with_epoch t ep = { t with ep }
 
 let get t i =
   if i < 0 || i >= Array.length t.table then

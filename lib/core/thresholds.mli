@@ -56,4 +56,15 @@ val graph_fingerprint : Graph.t -> int
 
 val fingerprint : t -> int
 
+val epoch : t -> int
+(** Reconfiguration epoch tag, [0] for a freshly built table. Purely
+    observational — the serving layer stamps each reconfigured
+    tenant's table with its epoch so reports and tests can tell which
+    generation of the topology a session ran under; no engine
+    behaviour depends on it. *)
+
+val with_epoch : t -> int -> t
+(** The same table tagged with a different epoch (shares the
+    underlying array). *)
+
 val pp : Format.formatter -> t -> unit

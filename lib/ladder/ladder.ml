@@ -209,6 +209,15 @@ let constituents t =
 let edges t =
   List.concat_map (fun (_, tree) -> Sp_tree.edges tree) (constituents t)
 
+let refresh bld g t =
+  let sp tree = Sp_tree.Builder.refresh bld g tree in
+  {
+    t with
+    left_segments = Array.map sp t.left_segments;
+    right_segments = Array.map sp t.right_segments;
+    rungs = Array.map (fun r -> { r with cross = sp r.cross }) t.rungs;
+  }
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>ladder: source %d, sink %d, %d rungs" t.source
     t.sink (num_rungs t);

@@ -42,6 +42,8 @@ let pool ?domains ?(grain = default_grain) ?stall_ms ?sink ~avoidance () =
     deadlock_dump = None;
   }
 
+let with_avoidance config avoidance = { config with avoidance }
+
 type pool_impl =
   domains:int option ->
   grain:int ->

@@ -91,6 +91,11 @@ val pool :
 (** Pool config; [grain] defaults to {!default_grain}, [stall_ms] to
     {!default_stall_ms}, [domains] to automatic. *)
 
+val with_avoidance : config -> Engine.avoidance -> config
+(** The same config under a different avoidance value — the
+    re-execution idiom after a hot reconfiguration swaps a session's
+    threshold table: keep the engine choice, swap the table. *)
+
 val exec :
   config ->
   graph:Graph.t ->

@@ -19,6 +19,7 @@ type rejection =
   | Lint_rejected of Lint.diagnostic list
   | Analysis_incomplete of string
   | Plan_rejected of Compiler.error
+  | Edit_rejected of string
 
 let pp_rejection ppf = function
   | Lint_rejected ds ->
@@ -33,26 +34,51 @@ let pp_rejection ppf = function
                         topology: %s"
       what
   | Plan_rejected e -> Format.fprintf ppf "plan error: %a" Compiler.pp_error e
+  | Edit_rejected msg -> Format.fprintf ppf "edit script rejected: %s" msg
+
+(* One registry generation: the shared avoidance value, the compile
+   cache whose current epoch produced it (what a reconfigure resolves
+   incrementally against), and the generation number tables are
+   stamped with. *)
+type entry = {
+  av : Engine.avoidance;
+  cache : Compiler.cache;
+  eepoch : int;
+}
 
 type t = {
   pool : Pool.t;
   grain : int;
   options : Compiler.Options.t;
   lock : Mutex.t; (* registry, caches, counters *)
-  registry : (int * mode, Engine.avoidance) Hashtbl.t;
-  lint_cache : (int * mode, Lint.report) Hashtbl.t; (* spec-less verdicts *)
+  (* Both caches key on the backend as well as (fingerprint, mode):
+     the verdict depends on it (FS201 is a Warning under [Lp], an
+     Error otherwise) and so does the table (the backends compute
+     different intervals) — a per-tenant backend override or an
+     epoch-scoped option change must never be served another
+     backend's cached result. *)
+  registry : (int * mode * Compiler.backend, entry) Hashtbl.t;
+  lint_cache : (int * mode * Compiler.backend, Lint.report) Hashtbl.t;
+      (* spec-less verdicts *)
   mutable tenants : int;
   mutable rejections : int;
   mutable compiles : int;
+  mutable recompiles : int;
+  mutable warm_pivots : int;
 }
 
 type session = {
   sname : string;
-  graph : Graph.t;
-  savoidance : Engine.avoidance;
+  smode : mode;
+  sbackend : Compiler.backend;
   server : t;
   slock : Mutex.t;
+  scond : Condition.t;
+  mutable graph : Graph.t;
+  mutable savoidance : Engine.avoidance;
+  mutable sepoch : int;
   mutable job : Pool.job option;
+  mutable awaiting : bool; (* a thread is inside Pool.await for [job] *)
   mutable report : Report.t option;
 }
 
@@ -68,6 +94,8 @@ let create ?domains ?quota ?(grain = Run.default_grain)
     tenants = 0;
     rejections = 0;
     compiles = 0;
+    recompiles = 0;
+    warm_pivots = 0;
   }
 
 let locked t f =
@@ -79,15 +107,15 @@ let lint_algorithm = function
   | Non_propagation | No_avoidance -> Compiler.Non_propagation
 
 (* Admission step 1: the lint verdict. Spec-less verdicts depend only
-   on what the fingerprint covers (structure + capacities + mode), so
-   they are cached; a spec brings tenant-specific behaviours (rules
-   FS401-FS403) and is always linted fresh. *)
-let lint_verdict t ~fp ~mode ~spec g =
+   on what the cache key covers (structure + capacities + mode +
+   backend), so they are cached; a spec brings tenant-specific
+   behaviours (rules FS401-FS403) and is always linted fresh. *)
+let lint_verdict t ~fp ~mode ~backend ~spec g =
   let config =
     {
       Lint.default_config with
       algorithm = lint_algorithm mode;
-      backend = t.options.Compiler.Options.backend;
+      backend;
       spec;
     }
   in
@@ -96,13 +124,15 @@ let lint_verdict t ~fp ~mode ~spec g =
     match spec with
     | Some _ -> fresh ()
     | None -> (
-      match locked t (fun () -> Hashtbl.find_opt t.lint_cache (fp, mode)) with
+      match
+        locked t (fun () -> Hashtbl.find_opt t.lint_cache (fp, mode, backend))
+      with
       | Some r -> r
       | None ->
         let r = fresh () in
         locked t (fun () ->
-            if not (Hashtbl.mem t.lint_cache (fp, mode)) then
-              Hashtbl.add t.lint_cache (fp, mode) r);
+            if not (Hashtbl.mem t.lint_cache (fp, mode, backend)) then
+              Hashtbl.add t.lint_cache (fp, mode, backend) r);
         r)
   in
   match report.incomplete with
@@ -116,43 +146,59 @@ let lint_verdict t ~fp ~mode ~spec g =
     | [] -> Ok ()
     | errors -> Error (Lint_rejected errors))
 
+let avoidance_of_plan ~epoch mode g (plan : Compiler.plan) =
+  let stamp th = Thresholds.with_epoch th epoch in
+  match mode with
+  | No_avoidance -> Engine.No_avoidance
+  | Propagation ->
+    Engine.Propagation
+      (stamp (Compiler.propagation_thresholds g plan.Compiler.intervals))
+  | Non_propagation ->
+    Engine.Non_propagation
+      (stamp (Compiler.send_thresholds g plan.Compiler.intervals))
+
 (* Admission step 2: the shared threshold table. One compile per
-   distinct (fingerprint, mode); every later fingerprint-equal tenant
+   distinct (fingerprint, mode, backend); every later key-equal tenant
    gets the physically same avoidance value. The table stays bound to
    the first tenant's graph object — Thresholds compatibility is by
    fingerprint, so the pool accepts it for every structural twin. *)
-let shared_avoidance t ~fp ~mode g =
+let shared_entry t ~fp ~mode ~backend g =
   match mode with
-  | No_avoidance -> Ok Engine.No_avoidance
+  | No_avoidance -> Ok None
   | Propagation | Non_propagation -> (
-    match locked t (fun () -> Hashtbl.find_opt t.registry (fp, mode)) with
-    | Some av -> Ok av
+    match
+      locked t (fun () -> Hashtbl.find_opt t.registry (fp, mode, backend))
+    with
+    | Some e -> Ok (Some e)
     | None -> (
-      let options = { t.options with Compiler.Options.fuse = false } in
-      match Compiler.compile ~options (lint_algorithm mode) g with
+      let options =
+        { t.options with Compiler.Options.fuse = false; backend }
+      in
+      let cache = Compiler.cache_create () in
+      match
+        Compiler.compile_cached ~options cache (lint_algorithm mode) g
+      with
       | Error e -> Error (Plan_rejected e)
-      | Ok plan ->
-        let av =
-          match mode with
-          | Propagation ->
-            Engine.Propagation
-              (Compiler.propagation_thresholds g plan.Compiler.intervals)
-          | Non_propagation ->
-            Engine.Non_propagation
-              (Compiler.send_thresholds g plan.Compiler.intervals)
-          | No_avoidance -> assert false
-        in
+      | Ok (plan, _) ->
+        let av = avoidance_of_plan ~epoch:0 mode g plan in
+        let entry = { av; cache; eepoch = 0 } in
         Ok
-          (locked t (fun () ->
-               (* a racing admission may have won; keep the first *)
-               match Hashtbl.find_opt t.registry (fp, mode) with
-               | Some prior -> prior
-               | None ->
-                 Hashtbl.add t.registry (fp, mode) av;
-                 t.compiles <- t.compiles + 1;
-                 av))))
+          (Some
+             (locked t (fun () ->
+                  (* a racing admission may have won; keep the first *)
+                  match Hashtbl.find_opt t.registry (fp, mode, backend) with
+                  | Some prior -> prior
+                  | None ->
+                    Hashtbl.add t.registry (fp, mode, backend) entry;
+                    t.compiles <- t.compiles + 1;
+                    entry)))))
 
-let admit t ?name ?spec ~mode g =
+let admit t ?name ?spec ?backend ~mode g =
+  let backend =
+    match backend with
+    | Some b -> b
+    | None -> t.options.Compiler.Options.backend
+  in
   let fp = Thresholds.graph_fingerprint g in
   (match spec with
   | Some (s : App_spec.t)
@@ -160,15 +206,15 @@ let admit t ?name ?spec ~mode g =
     invalid_arg "Serve.admit: spec describes a different graph"
   | _ -> ());
   let verdict =
-    match lint_verdict t ~fp ~mode ~spec g with
+    match lint_verdict t ~fp ~mode ~backend ~spec g with
     | Error _ as e -> e
-    | Ok () -> shared_avoidance t ~fp ~mode g
+    | Ok () -> shared_entry t ~fp ~mode ~backend g
   in
   match verdict with
   | Error r ->
     locked t (fun () -> t.rejections <- t.rejections + 1);
     Error r
-  | Ok savoidance ->
+  | Ok entry ->
     let sname =
       locked t (fun () ->
           let id = t.tenants in
@@ -180,52 +226,202 @@ let admit t ?name ?spec ~mode g =
     Ok
       {
         sname;
-        graph = g;
-        savoidance;
+        smode = mode;
+        sbackend = backend;
         server = t;
         slock = Mutex.create ();
+        scond = Condition.create ();
+        graph = g;
+        savoidance =
+          (match entry with
+          | Some e -> e.av
+          | None -> Engine.No_avoidance);
+        sepoch = 0;
         job = None;
+        awaiting = false;
         report = None;
       }
 
 let name s = s.sname
 let avoidance s = s.savoidance
+let epoch s = s.sepoch
+
+let graph s =
+  Mutex.lock s.slock;
+  let g = s.graph in
+  Mutex.unlock s.slock;
+  g
 
 let start t ?sink ~kernels ~inputs s =
   Mutex.lock s.slock;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock s.slock)
     (fun () ->
-      if s.job <> None then
+      if s.job <> None && s.report = None then
         invalid_arg (Printf.sprintf "Serve.start: session %s already started"
                        s.sname);
+      (* a collected report means the previous run reached its boundary;
+         starting again launches the session's current epoch afresh *)
+      s.report <- None;
       s.job <-
         Some
           (Pool.submit t.pool ~grain:t.grain ?sink ~graph:s.graph ~kernels
              ~inputs ~avoidance:s.savoidance ()))
 
-let await s =
+(* Join the session's in-flight run, calling [Pool.await] exactly once
+   per job no matter how many threads need the boundary (user [await]s
+   racing a [reconfigure] drain): the first claims the join with
+   [awaiting]; the rest sleep on the condition until the report lands. *)
+let collect s =
   Mutex.lock s.slock;
-  let cached = s.report and job = s.job in
-  Mutex.unlock s.slock;
-  match (cached, job) with
-  | Some r, _ -> r
-  | None, None -> invalid_arg "Serve.await: session was never started"
-  | None, Some job ->
-    let r = Pool.await job in
-    Mutex.lock s.slock;
-    s.report <- Some r;
-    Mutex.unlock s.slock;
-    r
+  let rec loop () =
+    match s.report with
+    | Some r ->
+      Mutex.unlock s.slock;
+      r
+    | None -> (
+      match s.job with
+      | None ->
+        Mutex.unlock s.slock;
+        invalid_arg "Serve.await: session was never started"
+      | Some job ->
+        if s.awaiting then begin
+          Condition.wait s.scond s.slock;
+          loop ()
+        end
+        else begin
+          s.awaiting <- true;
+          Mutex.unlock s.slock;
+          (match Pool.await job with
+          | r ->
+            Mutex.lock s.slock;
+            s.report <- Some r;
+            s.awaiting <- false;
+            Condition.broadcast s.scond
+          | exception e ->
+            Mutex.lock s.slock;
+            (* the job is dead and may not be awaited again *)
+            s.job <- None;
+            s.awaiting <- false;
+            Condition.broadcast s.scond;
+            Mutex.unlock s.slock;
+            raise e);
+          loop ()
+        end)
+  in
+  loop ()
+
+let await s = collect s
 
 let run t ?sink ~kernels ~inputs s =
   start t ?sink ~kernels ~inputs s;
   await s
 
+(* Hot reconfiguration: apply the edit script to the session's current
+   topology, re-admit the result (same lint bar as the front door),
+   resolve its table — registry hit, or incremental recompile against
+   the session's current registry entry's cache — and only then drain
+   the session to its run boundary and swap graph + table atomically.
+   All the expensive work happens before the drain, so the window in
+   which the session is unavailable is the tail of its own run. *)
+let reconfigure t s ops =
+  let reject r =
+    locked t (fun () -> t.rejections <- t.rejections + 1);
+    Error r
+  in
+  Mutex.lock s.slock;
+  let base = s.graph in
+  Mutex.unlock s.slock;
+  match Edit.apply base ops with
+  | Error msg -> reject (Edit_rejected msg)
+  | Ok delta -> (
+    let g = delta.Edit.graph in
+    let fp = Thresholds.graph_fingerprint g in
+    let mode = s.smode and backend = s.sbackend in
+    match lint_verdict t ~fp ~mode ~backend ~spec:None g with
+    | Error r -> reject r
+    | Ok () -> (
+      let resolved =
+        match mode with
+        | No_avoidance -> Ok (Engine.No_avoidance, None)
+        | Propagation | Non_propagation -> (
+          match
+            locked t (fun () ->
+                Hashtbl.find_opt t.registry (fp, mode, backend))
+          with
+          | Some e -> Ok (e.av, None)
+          | None -> (
+            (* the session's current entry carries the cache whose
+               epoch is [delta.base] — recompile incrementally *)
+            let old_fp = Thresholds.graph_fingerprint base in
+            let cache, old_epoch =
+              match
+                locked t (fun () ->
+                    Hashtbl.find_opt t.registry (old_fp, mode, backend))
+              with
+              | Some e -> (e.cache, e.eepoch)
+              | None -> (Compiler.cache_create (), 0)
+            in
+            let options =
+              { t.options with Compiler.Options.fuse = false; backend }
+            in
+            match
+              Compiler.recompile ~options cache (lint_algorithm mode) delta
+            with
+            | Error e -> Error (Plan_rejected e)
+            | Ok (plan, stats) ->
+              let eepoch = old_epoch + 1 in
+              let av = avoidance_of_plan ~epoch:eepoch mode g plan in
+              let entry = { av; cache; eepoch } in
+              let entry =
+                locked t (fun () ->
+                    match
+                      Hashtbl.find_opt t.registry (fp, mode, backend)
+                    with
+                    | Some prior -> prior
+                    | None ->
+                      Hashtbl.add t.registry (fp, mode, backend) entry;
+                      t.recompiles <- t.recompiles + 1;
+                      (match stats.Compiler.lp_stats with
+                      | Some lp ->
+                        t.warm_pivots <- t.warm_pivots + lp.Fstream_core.Lp.rpivots
+                      | None -> ());
+                      entry)
+              in
+              Ok (entry.av, Some stats)))
+      in
+      match resolved with
+      | Error r -> reject r
+      | Ok (av, stats) ->
+        (* drain to the run boundary: a started, uncollected session is
+           joined here (its report stays cached for the user's await) *)
+        Mutex.lock s.slock;
+        let need_drain = s.job <> None && s.report = None in
+        Mutex.unlock s.slock;
+        if need_drain then ignore (collect s);
+        Mutex.lock s.slock;
+        s.graph <- g;
+        s.savoidance <- av;
+        s.sepoch <- s.sepoch + 1;
+        Mutex.unlock s.slock;
+        Ok stats))
+
 let shutdown t = Pool.shutdown t.pool
 
-type stats = { tenants : int; rejections : int; compiles : int }
+type stats = {
+  tenants : int;
+  rejections : int;
+  compiles : int;
+  recompiles : int;
+  warm_pivots : int;
+}
 
 let stats t =
   locked t (fun () ->
-      { tenants = t.tenants; rejections = t.rejections; compiles = t.compiles })
+      {
+        tenants = t.tenants;
+        rejections = t.rejections;
+        compiles = t.compiles;
+        recompiles = t.recompiles;
+        warm_pivots = t.warm_pivots;
+      })

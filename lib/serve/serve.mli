@@ -17,17 +17,29 @@
        finish (cycle-enumeration budget) also rejects: an unverified
        topology is not admitted on a shared pool.}
     {- {b Compile-once registry.} Interval tables are a function of
-       topology + capacities, which {!Fstream_core.Thresholds}
-       fingerprints. The registry compiles each distinct
-       (fingerprint, avoidance mode) once and hands every
-       fingerprint-equal tenant the {e physically same} threshold
-       table (the [==] sharing is what the registry test pins down) —
-       at production tenant counts, topologies repeat and compilation
-       is the expensive step.}
+       topology + capacities + backend, which
+       {!Fstream_core.Thresholds} fingerprints cover together with the
+       admission key. The registry compiles each distinct
+       (fingerprint, avoidance mode, backend) once and hands every
+       key-equal tenant the {e physically same} threshold table (the
+       [==] sharing is what the registry test pins down) — at
+       production tenant counts, topologies repeat and compilation is
+       the expensive step.}
     {- {b Fair-share scheduling.} Sessions multiplex onto the one
        pool; the pool's per-instance grant quota (the instance-level
        analogue of the per-node [grain] bound) keeps a hot tenant from
        starving the rest.}}
+
+    Admitted sessions are additionally {e reconfigurable}: an
+    {!Fstream_graph.Edit} script applied through {!reconfigure}
+    re-lints the edited topology, recomputes its threshold table
+    {e incrementally} against the session's current compile cache
+    (clean serial blocks splice, memoized SP subtrees skip, LP
+    components warm-start — {!Fstream_core.Compiler.recompile}),
+    drains the session to its run boundary and swaps graph + table
+    atomically as a new epoch. A session whose report has been
+    collected may be {!start}ed again, so a tenant alternates runs and
+    reconfigurations indefinitely.
 
     Admission and execution are decoupled: {!admit} returns a
     {!session}, {!start} launches it (its tasks immediately interleave
@@ -59,6 +71,9 @@ type rejection =
           topology is not admitted *)
   | Plan_rejected of Compiler.error
       (** the mode needs a threshold table and compilation failed *)
+  | Edit_rejected of string
+      (** a {!reconfigure} script was invalid for the session's
+          current topology (id out of range, capacity < 1, …) *)
 
 val pp_rejection : Format.formatter -> rejection -> unit
 
@@ -83,24 +98,42 @@ val admit :
   t ->
   ?name:string ->
   ?spec:Fstream_workloads.App_spec.t ->
+  ?backend:Compiler.backend ->
   mode:mode ->
   Graph.t ->
   (session, rejection) result
 (** Lint the topology (plus the per-node behaviours when [spec] is
     given, rules FS401–FS403) and, if admissible, attach the shared
     threshold table for [mode] — compiling it only if this
-    (fingerprint, mode) pair is new. Lint verdicts for spec-less
-    admissions are cached by fingerprint too. [name] (default
-    ["tenant-N"]) labels the session for reports.
+    (fingerprint, mode, backend) triple is new. Lint verdicts for
+    spec-less admissions are cached under the same triple — the
+    verdict depends on the backend (FS201 is a Warning under [Lp], an
+    Error otherwise), so a per-tenant [backend] override (default: the
+    server options') must never see another backend's verdict or
+    table. [name] (default ["tenant-N"]) labels the session for
+    reports.
 
     @raise Invalid_argument if [spec] is given but describes a
     different graph than the one being admitted. *)
 
 val name : session -> string
+
 val avoidance : session -> Engine.avoidance
-(** The session's avoidance value. Fingerprint-equal sessions admitted
-    under the same mode share it physically (same [Thresholds.t],
-    compiled once) — [avoidance s1 == avoidance s2]. *)
+(** The session's current avoidance value. Key-equal sessions admitted
+    under the same (fingerprint, mode, backend) share it physically
+    (same [Thresholds.t], compiled once) — [avoidance s1 == avoidance
+    s2]. After a {!reconfigure} the session carries its new epoch's
+    value. *)
+
+val epoch : session -> int
+(** How many successful {!reconfigure}s this session has absorbed;
+    [0] as admitted. The session's threshold table is stamped with its
+    registry generation ({!Fstream_core.Thresholds.epoch}). *)
+
+val graph : session -> Graph.t
+(** The session's current topology — the admitted graph until a
+    {!reconfigure} succeeds, the edited graph afterwards. Kernel
+    factories for a restarted session must be built against this. *)
 
 val start :
   t ->
@@ -111,13 +144,17 @@ val start :
   unit
 (** Launch the session on the shared pool; returns immediately. The
     kernel-factory contract is the pool's: per-node, per-session
-    state. @raise Invalid_argument if the session was already
-    started. *)
+    state. A session whose previous run's report has been collected
+    (by {!await} or a {!reconfigure} drain) may be started again — it
+    runs its current epoch's topology and table.
+    @raise Invalid_argument if the session is already running. *)
 
 val await : session -> Report.t
 (** Block until the session's instance quiesces; re-raises its kernel
-    exception if one aborted it. First call per session must not come
-    from a pool worker; subsequent calls return the cached report. *)
+    exception if one aborted it. Safe to call from several threads
+    (the pool join happens exactly once); subsequent calls return the
+    cached report until the next {!start}. Must not be called from a
+    pool worker. *)
 
 val run :
   t ->
@@ -130,6 +167,29 @@ val run :
     concurrency comes from starting many sessions before awaiting
     any. *)
 
+val reconfigure :
+  t ->
+  session ->
+  Edit.op list ->
+  (Compiler.recompile_stats option, rejection) result
+(** Apply the edit script to the session's current topology and move
+    the session to the resulting epoch. The edited topology passes the
+    same admission bar as a fresh tenant (lint by (fingerprint, mode,
+    backend), Error findings reject and leave the session untouched on
+    its current epoch). Its table is resolved in order of preference:
+    registry hit (another tenant already runs this topology — returns
+    [Ok None], no compile at all); otherwise an {e incremental}
+    recompile against the session's current registry entry's cache
+    ([Ok (Some stats)] reports what was spliced, recomputed and
+    warm-started). Only after the table is ready does the session
+    drain: a running session is joined at its run boundary (its report
+    stays cached for {!await}), then graph, table and {!epoch} swap
+    atomically. The server's [recompiles] / [warm_pivots] counters
+    advance when an incremental recompile happened.
+
+    Draining joins the in-flight run, so the same restriction as
+    {!await} applies: do not call from a pool worker. *)
+
 val shutdown : t -> unit
 (** Shut the pool down. Only after every started session has been
     awaited. *)
@@ -137,8 +197,13 @@ val shutdown : t -> unit
 (** Admission-desk counters since {!create}. *)
 type stats = {
   tenants : int;  (** sessions admitted *)
-  rejections : int;  (** admissions refused *)
-  compiles : int;  (** distinct (fingerprint, mode) tables compiled *)
+  rejections : int;  (** admissions and reconfigurations refused *)
+  compiles : int;
+      (** distinct (fingerprint, mode, backend) tables compiled *)
+  recompiles : int;  (** incremental recompiles by {!reconfigure} *)
+  warm_pivots : int;
+      (** simplex pivots spent by those recompiles' LP re-solves
+          (cumulative, including any failed warm attempt's) *)
 }
 
 val stats : t -> stats

@@ -40,6 +40,32 @@ share one compiled threshold table — two tenants, one compile:
   beta             completed  data=50 sink=10 dummy=0
   tenants=2 rejected=0 compiles=1
 
+Hot reconfiguration: after the first round completes, --reconfigure
+applies an edit script to a live tenant — the table is recomputed
+incrementally (here 6 of the 9 edited-graph edges splice straight
+across from the previous epoch) and a second round serves the edited
+topology. The other tenant re-runs untouched. The summary line grows
+the reconfiguration counters only when --reconfigure is in play:
+
+  $ streamcheck serve --demo pipeline --demo deep-pipeline --inputs 40 --seed 3 --domains 2 --reconfigure "pipeline: resize e0 4; add-stage e2 2 2"
+  pipeline         completed  data=110 sink=6 dummy=0
+  deep-pipeline    completed  data=130 sink=0 dummy=0
+  pipeline         reconfigured epoch=1 spliced=6 recomputed=3
+  pipeline         completed  data=105 sink=3 dummy=0
+  deep-pipeline    completed  data=130 sink=0 dummy=0
+  tenants=2 rejected=0 compiles=2 recompiles=1 warm_pivots=0
+
+A script the edit layer refuses leaves the tenant on its admitted
+epoch (the second round re-serves the original topology) and exits in
+the serve rejection band:
+
+  $ streamcheck serve --demo pipeline --inputs 20 --seed 3 --domains 2 --reconfigure "pipeline: remove-edge e99"
+  pipeline         completed  data=62 sink=3 dummy=0
+  pipeline         reconfigure rejected: edit script rejected: remove-edge: edge e99 out of range (graph has 8 edges)
+  pipeline         completed  data=62 sink=3 dummy=0
+  tenants=1 rejected=1 compiles=1 recompiles=0 warm_pivots=0
+  [30]
+
 A spec that fails to load is the worst outcome (exit 32), even when
 every loadable tenant is served:
 

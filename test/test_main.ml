@@ -29,4 +29,5 @@ let () =
       ("lp", Test_lp.suite);
       ("fusion", Test_fusion.suite);
       ("serve", Test_serve.suite);
+      ("reconfigure", Test_reconfigure.suite);
     ]

@@ -1,0 +1,619 @@
+(* Hot-reconfiguration differential suites.
+
+   Layer 1 (this file's foundation): the memoized context recursion of
+   [Sp_incremental] computes, leaf-by-leaf in a single visit, exactly
+   the values the classic multi-visit updates accumulate — bit-for-bit,
+   per algorithm, on every SP tree the recognizer produces. Everything
+   incremental rests on that equivalence.
+
+   Layer 2: applying a random edit script and recompiling incrementally
+   (splicing clean blocks, memo-skipping clean subtrees, warm-starting
+   the LP) is bit-for-bit the table a full recompile of the edited
+   graph produces, across the three avoidance algorithms and the
+   graph families of the paper.
+
+   Layer 3: the serving layer — reconfigure-then-run behaves exactly
+   like admitting the edited topology fresh, the epoch/stat counters
+   move, and a mid-run reconfigure drains to the run boundary instead
+   of corrupting the in-flight session. *)
+
+open Fstream_graph
+open Fstream_spdag
+open Fstream_core
+
+let algos = [ ("prop", Sp_incremental.Prop); ("nonprop", Sp_incremental.Nonprop);
+              ("relay", Sp_incremental.Relay) ]
+
+let classic_update algo ivals tree =
+  match algo with
+  | Sp_incremental.Prop -> Sp_prop.update ivals tree
+  | Sp_incremental.Nonprop -> Sp_nonprop.update ivals tree
+  | Sp_incremental.Relay -> Sp_nonprop.update_relay ivals tree
+
+(* Layer 1: single-visit context recursion == classic accumulation. *)
+let ctx_equivalence (name, algo) =
+  Tutil.qtest ~count:300 (Printf.sprintf "ctx recursion == classic (%s)" name)
+    Tutil.seed_gen (fun seed ->
+      let g = Tutil.random_sp_of_seed seed in
+      match Sp_recognize.recognize g with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok tree ->
+        let n = Graph.num_edges g in
+        let classic = Array.make n Interval.inf in
+        classic_update algo classic tree;
+        let incr = Array.make n Interval.inf in
+        let prev = Sp_incremental.memo_create ()
+        and next = Sp_incremental.memo_create () in
+        let recomputed, skipped =
+          Sp_incremental.update algo ~prev ~next incr tree
+        in
+        Tutil.check_intervals "table" classic incr;
+        Alcotest.(check int) "all leaves recomputed" n recomputed;
+        Alcotest.(check int) "nothing skipped" 0 skipped;
+        true)
+
+(* With [prev] = the entries just recorded and the table left in
+   place, a second run must skip everything at the root. *)
+let ctx_skip (name, algo) =
+  Tutil.qtest ~count:200 (Printf.sprintf "full memo skips all (%s)" name)
+    Tutil.seed_gen (fun seed ->
+      let g = Tutil.random_sp_of_seed seed in
+      match Sp_recognize.recognize g with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok tree ->
+        let n = Graph.num_edges g in
+        let ivals = Array.make n Interval.inf in
+        let e0 = Sp_incremental.memo_create () in
+        let m1 = Sp_incremental.memo_create () in
+        ignore (Sp_incremental.update algo ~prev:e0 ~next:m1 ivals tree);
+        let m2 = Sp_incremental.memo_create () in
+        let recomputed, skipped =
+          Sp_incremental.update algo ~prev:m1 ~next:m2 ivals tree
+        in
+        Alcotest.(check int) "nothing recomputed" 0 recomputed;
+        Alcotest.(check int) "all leaves skipped" n skipped;
+        true)
+
+(* ================= Layer 2: recompile == full compile ================= *)
+
+module Topo_gen = Fstream_workloads.Topo_gen
+
+let calgos =
+  [ ("prop", Compiler.Propagation); ("nonprop", Compiler.Non_propagation);
+    ("relay", Compiler.Relay_propagation) ]
+
+let families =
+  [ ("sp", fun seed -> Tutil.random_sp_of_seed seed);
+    ("ladder", fun seed -> Tutil.random_ladder_of_seed seed);
+    ("cs4", fun seed -> Tutil.random_cs4_of_seed seed) ]
+
+(* A random, sequentially valid edit script: each candidate op is
+   generated blindly against the graph as edited so far and kept only
+   if [Edit.apply] accepts it — per-op validity composes, so the whole
+   script is valid on the base graph. Scripts may still break
+   compilability (disconnect the graph, add a back edge): those cases
+   exercise the error path of the differential, where incremental and
+   full compilation must fail identically. *)
+let random_ops rng g0 =
+  let cur = ref g0 and ops = ref [] in
+  let n = 1 + Random.State.int rng 4 in
+  for _ = 1 to n do
+    let g = !cur in
+    let ne = Graph.num_edges g and nn = Graph.num_nodes g in
+    let cap () = 1 + Random.State.int rng 6 in
+    let candidate =
+      match Random.State.int rng 5 with
+      | 0 -> Edit.Resize { edge = Random.State.int rng ne; cap = cap () }
+      | 1 ->
+        (* bias forward (generator node ids are topological) so most
+           scripts stay acyclic; a removal can still disconnect *)
+        let a = Random.State.int rng nn and b = Random.State.int rng nn in
+        Edit.Add_edge { src = min a b; dst = max a b; cap = cap () }
+      | 2 when ne > 1 -> Edit.Remove_edge { edge = Random.State.int rng ne }
+      | 3 ->
+        Edit.Add_stage
+          { edge = Random.State.int rng ne; cap_in = cap (); cap_out = cap () }
+      | _ -> Edit.Remove_stage { node = Random.State.int rng nn; cap = None }
+    in
+    match Edit.apply g [ candidate ] with
+    | Ok d ->
+      ops := candidate :: !ops;
+      cur := d.Edit.graph
+    | Error _ -> ()
+  done;
+  List.rev !ops
+
+(* One differential round: recompile through the cache against a full
+   compile of the edited graph. Exact route is bit-for-bit; errors must
+   agree too (a script that breaks compilability breaks it for both). *)
+let check_exact_round ?options cache algorithm delta =
+  let incr = Compiler.recompile ?options cache algorithm delta in
+  let full = Compiler.compile ?options algorithm delta.Edit.graph in
+  match (incr, full) with
+  | Ok (pi, stats), Ok pf ->
+    Tutil.check_intervals "incremental == full" pf.Compiler.intervals
+      pi.Compiler.intervals;
+    (match pi.Compiler.route with
+    | Compiler.Cs4_route _ ->
+      Alcotest.(check int) "splice + recompute covers the graph"
+        (Graph.num_edges delta.Edit.graph)
+        (stats.Compiler.spliced_edges + stats.Compiler.recomputed_edges)
+    | _ -> ());
+    true
+  | Error e1, Error e2 ->
+    Alcotest.(check string)
+      "incremental and full fail identically"
+      (Compiler.error_to_string e2)
+      (Compiler.error_to_string e1);
+    true
+  | Ok _, Error e ->
+    Alcotest.failf "incremental Ok but full compile failed: %s"
+      (Compiler.error_to_string e)
+  | Error e, Ok _ ->
+    Alcotest.failf "full compile Ok but incremental failed: %s"
+      (Compiler.error_to_string e)
+
+(* Two rounds of random edits through one cache — the second round
+   chains epochs, so it also covers recompiling from a recompiled
+   snapshot (and from a poisoned one, when round 1 failed). *)
+let exact_incr_eq_full (aname, algorithm) (fname, family) =
+  Tutil.qtest ~count:300
+    (Printf.sprintf "incremental == full compile (%s, %s)" aname fname)
+    Tutil.seed_gen (fun seed ->
+      let g0 = family seed in
+      let rng = Tutil.rng_of (seed + 0xed17) in
+      let cache = Compiler.cache_create () in
+      match Compiler.compile_cached cache algorithm g0 with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok _ -> (
+        match Edit.apply g0 (random_ops rng g0) with
+        | Error e -> Alcotest.failf "generator produced an invalid script: %s" e
+        | Ok delta ->
+          let ok1 = check_exact_round cache algorithm delta in
+          let g1 = delta.Edit.graph in
+          (match Edit.apply g1 (random_ops rng g1) with
+          | Error e ->
+            Alcotest.failf "generator produced an invalid script: %s" e
+          | Ok delta2 -> ignore (check_exact_round cache algorithm delta2));
+          ok1))
+
+(* Capacity A -> B -> A across three epochs: the per-epoch memo swap
+   must not let epoch-0 residue leak stale values into epoch 2. *)
+let exact_resize_back (aname, algorithm) =
+  Tutil.qtest ~count:150
+    (Printf.sprintf "resize there and back is exact (%s)" aname)
+    Tutil.seed_gen (fun seed ->
+      let g = Tutil.random_cs4_of_seed seed in
+      let e0 = Graph.edge g 0 in
+      let cache = Compiler.cache_create () in
+      match Compiler.compile_cached cache algorithm g with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok (p0, _) -> (
+        match Edit.apply g [ Edit.Resize { edge = 0; cap = e0.Graph.cap + 3 } ]
+        with
+        | Error e -> Alcotest.fail e
+        | Ok d1 ->
+          ignore (check_exact_round cache algorithm d1);
+          (match
+             Edit.apply d1.Edit.graph
+               [ Edit.Resize { edge = 0; cap = e0.Graph.cap } ]
+           with
+          | Error e -> Alcotest.fail e
+          | Ok d2 -> (
+            ignore (check_exact_round cache algorithm d2);
+            match Compiler.cache_plan cache with
+            | None -> Alcotest.fail "no plan after three epochs"
+            | Some p2 ->
+              Tutil.check_intervals "epoch 2 == epoch 0" p0.Compiler.intervals
+                p2.Compiler.intervals));
+          true))
+
+(* Remove the last edge, re-add an identical record, resize elsewhere:
+   the id-stability aliasing regression — a recreated record must never
+   satisfy a memo lookup over array positions the pre-copy skipped. *)
+let exact_remove_readd (aname, algorithm) =
+  Tutil.qtest ~count:150
+    (Printf.sprintf "remove/re-add same record (%s)" aname)
+    Tutil.seed_gen (fun seed ->
+      let g = Tutil.random_cs4_of_seed seed in
+      let last = Graph.num_edges g - 1 in
+      let e = Graph.edge g last in
+      let ops =
+        [
+          Edit.Remove_edge { edge = last };
+          Edit.Add_edge { src = e.Graph.src; dst = e.Graph.dst; cap = e.Graph.cap };
+          Edit.Resize { edge = 0; cap = 1 + (seed mod 6) };
+        ]
+      in
+      let cache = Compiler.cache_create () in
+      match Compiler.compile_cached cache algorithm g with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok _ -> (
+        match Edit.apply g ops with
+        | Error _ -> QCheck.assume_fail ()
+        | Ok delta -> check_exact_round cache algorithm delta))
+
+(* ----- the LP route: objective-equal, not vertex-equal ----- *)
+
+let lp_options =
+  { Compiler.Options.default with Compiler.Options.backend = Compiler.Lp }
+
+(* Spliced components are bit-identical to a cold solve (same program,
+   same Bland pivot sequence); warm-started components may stop at a
+   different optimal vertex of the same polytope. The sound contract:
+   the Inf set (structural: bridges) agrees, the total interval mass
+   (finite-edge rational sum = component count + LP objectives) agrees,
+   and the incremental table sits inside the LP's safe polytope. *)
+let rational_sum ivals =
+  Array.fold_left
+    (fun acc (iv : Interval.t) ->
+      match iv with
+      | Interval.Fin { num; den } -> Rational.add acc (Rational.make num den)
+      | Interval.Inf -> acc)
+    Rational.zero ivals
+
+let same_inf_set a b =
+  Array.length a = Array.length b
+  &&
+  let ok = ref true in
+  Array.iteri
+    (fun i iv ->
+      if Interval.is_finite iv <> Interval.is_finite b.(i) then ok := false)
+    a;
+  !ok
+
+let lp_incr_eq_full (fname, family) =
+  Tutil.qtest ~count:300
+    (Printf.sprintf "LP incremental objective-equal to full (%s)" fname)
+    Tutil.seed_gen (fun seed ->
+      let g0 = family seed in
+      let rng = Tutil.rng_of (seed + 0x1b) in
+      let cache = Compiler.cache_create () in
+      match
+        Compiler.compile_cached ~options:lp_options cache
+          Compiler.Non_propagation g0
+      with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok _ -> (
+        match Edit.apply g0 (random_ops rng g0) with
+        | Error e -> Alcotest.fail e
+        | Ok delta -> (
+          let incr =
+            Compiler.recompile ~options:lp_options cache
+              Compiler.Non_propagation delta
+          in
+          let full =
+            Compiler.compile ~options:lp_options Compiler.Non_propagation
+              delta.Edit.graph
+          in
+          match (incr, full) with
+          | Ok (pi, _), Ok pf ->
+            Alcotest.(check bool) "Inf sets equal" true
+              (same_inf_set pf.Compiler.intervals pi.Compiler.intervals);
+            Alcotest.(check bool) "objective sums equal" true
+              (Rational.equal
+                 (rational_sum pf.Compiler.intervals)
+                 (rational_sum pi.Compiler.intervals));
+            (* the incremental table is on the LP's safe polytope *)
+            (match
+               Lp.audit delta.Edit.graph
+                 ~thresholds:
+                   (Array.map Interval.threshold pi.Compiler.intervals)
+             with
+            | Ok () -> ()
+            | Error w ->
+              Alcotest.failf "incremental LP table fails audit: %a"
+                (fun ppf -> Lp.pp_witness ppf)
+                w);
+            true
+          | Error e1, Error e2 ->
+            Compiler.error_to_string e1 = Compiler.error_to_string e2
+          | Ok _, Error e ->
+            Alcotest.failf "incremental Ok but full failed: %s"
+              (Compiler.error_to_string e)
+          | Error e, Ok _ ->
+            Alcotest.failf "full Ok but incremental failed: %s"
+              (Compiler.error_to_string e))))
+
+(* The warm-start payoff the acceptance bar names: on layered-dense, a
+   single-edge resize re-solved from the previous basis spends strictly
+   fewer pivots than solving the edited program cold. *)
+let test_warm_fewer_pivots () =
+  let g = Topo_gen.layered_dense ~layers:5 ~width:3 ~cap:2 in
+  let _, base, st = Lp.resolve g in
+  Alcotest.(check bool) "cold base solve pivots" true (base.Lp.rpivots > 0);
+  match Edit.apply g [ Edit.Resize { edge = 0; cap = 3 } ] with
+  | Error e -> Alcotest.fail e
+  | Ok d ->
+    let wivals, w, _ =
+      Lp.resolve ~warm:st ~edge_map:d.Edit.edge_map ~node_map:d.Edit.node_map
+        ~dirty:d.Edit.dirty d.Edit.graph
+    in
+    let civals, c, _ = Lp.resolve d.Edit.graph in
+    Alcotest.(check bool) "warm re-solved a component" true (w.Lp.rwarm >= 1);
+    Alcotest.(check bool)
+      (Printf.sprintf "warm (%d) strictly fewer pivots than cold (%d)"
+         w.Lp.rpivots c.Lp.rpivots)
+      true
+      (w.Lp.rpivots < c.Lp.rpivots);
+    Alcotest.(check bool) "Inf sets equal" true (same_inf_set civals wivals);
+    Alcotest.(check bool) "objective sums equal" true
+      (Rational.equal (rational_sum civals) (rational_sum wivals))
+
+(* Where the Auto backend can afford both routes, its table must be
+   the edge-wise minimum of the exact and LP tables — safety is
+   downward-closed, so the min of two safe tables is safe — and still
+   on the LP's safe polytope. *)
+let auto_options =
+  { Compiler.Options.default with Compiler.Options.backend = Compiler.Auto }
+
+let auto_min_combine (fname, family) =
+  Tutil.qtest ~count:300
+    (Printf.sprintf "auto = edge-wise min of exact and lp (%s)" fname)
+    Tutil.seed_gen (fun seed ->
+      let g = family seed in
+      let plan options =
+        match Compiler.compile ~options Compiler.Non_propagation g with
+        | Ok p -> p.Compiler.intervals
+        | Error e ->
+          Alcotest.failf "compile rejected: %s" (Compiler.error_to_string e)
+      in
+      let exact = plan Compiler.Options.default in
+      let lp = plan lp_options in
+      let auto = plan auto_options in
+      Array.iteri
+        (fun i v ->
+          if not (Interval.equal v (Interval.min exact.(i) lp.(i))) then
+            QCheck.Test.fail_reportf "edge %d: auto is not min(exact, lp)" i)
+        auto;
+      (match
+         Lp.audit g ~thresholds:(Array.map Interval.threshold auto)
+       with
+      | Ok () -> ()
+      | Error w ->
+        Alcotest.failf "auto table fails audit: %a"
+          (fun ppf -> Lp.pp_witness ppf)
+          w);
+      true)
+
+(* ================= Layer 3: the serving layer ================= *)
+
+module Serve = Fstream_serve.Serve
+module Engine = Fstream_runtime.Engine
+module Report = Fstream_runtime.Report
+module Filters = Fstream_runtime.Filters
+
+(* Two long-lived servers: [server] absorbs the reconfigurations,
+   [fresh] only ever sees fresh admissions — so comparing the two is
+   comparing reconfigure-then-serve against admit-the-edited-graph,
+   with no registry cross-talk. *)
+let server =
+  lazy
+    (let t = Serve.create ~domains:2 () in
+     at_exit (fun () -> Serve.shutdown t);
+     t)
+
+let fresh =
+  lazy
+    (let t = Serve.create ~domains:2 () in
+     at_exit (fun () -> Serve.shutdown t);
+     t)
+
+let graph_of_family seed =
+  match seed mod 3 with
+  | 0 -> Tutil.random_sp_of_seed ~max_edges:24 seed
+  | 1 -> Tutil.random_ladder_of_seed ~max_rungs:8 seed
+  | _ -> Tutil.random_cs4_of_seed seed
+
+let table_of = function
+  | Engine.No_avoidance -> None
+  | Engine.Propagation th | Engine.Non_propagation th ->
+    Some (Thresholds.to_array th)
+
+let modes =
+  [ ("no-avoidance", Serve.No_avoidance); ("prop", Serve.Propagation);
+    ("nonprop", Serve.Non_propagation) ]
+
+let reconfigure_eq_fresh_admit (mname, mode) =
+  Tutil.qtest ~count:100
+    (Printf.sprintf "reconfigure == fresh admission (%s)" mname)
+    Tutil.seed_gen (fun seed ->
+      let t = Lazy.force server and t2 = Lazy.force fresh in
+      let g0 = graph_of_family seed in
+      let rng = Tutil.rng_of (seed + 0xa11) in
+      match Serve.admit t ~mode g0 with
+      | Error _ -> true (* inadmissible topology: nothing to reconfigure *)
+      | Ok s -> (
+        let ops = random_ops rng g0 in
+        match Serve.reconfigure t s ops with
+        | Error _ ->
+          (* refused scripts leave the session untouched on its epoch *)
+          Serve.epoch s = 0
+        | Ok _ -> (
+          let g1 = Serve.graph s in
+          match Serve.admit t2 ~mode g1 with
+          | Error _ -> false (* reconfigure admitted what admission rejects *)
+          | Ok s2 -> table_of (Serve.avoidance s) = table_of (Serve.avoidance s2)
+          )))
+
+(* Stale-verdict regression (the bug this PR's keying fixes): the same
+   server must not serve one backend's cached lint verdict or table to
+   a tenant admitted under another backend. FS201 on the butterfly is
+   an Error under Exact and a Warning under Lp. *)
+let test_lint_cache_keyed_by_backend () =
+  let t = Serve.create ~domains:2 () in
+  Fun.protect ~finally:(fun () -> Serve.shutdown t) @@ fun () ->
+  let g = Topo_gen.fig4_butterfly ~cap:2 in
+  (match Serve.admit t ~mode:Serve.Non_propagation g with
+  | Ok _ -> Alcotest.fail "butterfly admitted under the Exact backend"
+  | Error (Serve.Lint_rejected _) -> ()
+  | Error r ->
+    Alcotest.failf "wrong rejection: %a" (fun ppf -> Serve.pp_rejection ppf) r);
+  (* same server, same fingerprint, Lp backend: must re-lint, not
+     replay the cached Error verdict *)
+  match Serve.admit t ~backend:Compiler.Lp ~mode:Serve.Non_propagation g with
+  | Ok s -> (
+    match Serve.avoidance s with
+    | Engine.Non_propagation _ -> ()
+    | _ -> Alcotest.fail "Lp admission produced no table")
+  | Error r ->
+    Alcotest.failf "butterfly rejected under the Lp backend: %a"
+      (fun ppf -> Serve.pp_rejection ppf)
+      r
+
+(* Registry keying: same (fingerprint, mode, backend) shares one table
+   physically; a different backend is a different entry. *)
+let test_registry_keyed_by_backend () =
+  let t = Serve.create ~domains:2 () in
+  Fun.protect ~finally:(fun () -> Serve.shutdown t) @@ fun () ->
+  let g = Topo_gen.fig4_left ~cap:2 in
+  let admit ?backend () =
+    match Serve.admit t ?backend ~mode:Serve.Non_propagation g with
+    | Ok s -> s
+    | Error r ->
+      Alcotest.failf "fig4_left rejected: %a"
+        (fun ppf -> Serve.pp_rejection ppf)
+        r
+  in
+  let s1 = admit () in
+  let s2 = admit () in
+  let s3 = admit ~backend:Compiler.Lp () in
+  Alcotest.(check bool) "same key shares physically" true
+    (Serve.avoidance s1 == Serve.avoidance s2);
+  Alcotest.(check bool) "different backend, different table" true
+    (Serve.avoidance s1 != Serve.avoidance s3);
+  Alcotest.(check int) "one compile per key" 2 (Serve.stats t).Serve.compiles
+
+(* Epoch stamping and admission-desk counters across a reconfigure. *)
+let test_epoch_and_counters () =
+  let t = Serve.create ~domains:2 () in
+  Fun.protect ~finally:(fun () -> Serve.shutdown t) @@ fun () ->
+  let g = Topo_gen.fig4_left ~cap:2 in
+  match Serve.admit t ~mode:Serve.Non_propagation g with
+  | Error r ->
+    Alcotest.failf "fig4_left rejected: %a"
+      (fun ppf -> Serve.pp_rejection ppf)
+      r
+  | Ok s ->
+    Alcotest.(check int) "admitted at epoch 0" 0 (Serve.epoch s);
+    (match Serve.avoidance s with
+    | Engine.Non_propagation th ->
+      Alcotest.(check int) "table stamped epoch 0" 0 (Thresholds.epoch th)
+    | _ -> Alcotest.fail "expected a threshold table");
+    (match Serve.reconfigure t s [ Edit.Resize { edge = 0; cap = 4 } ] with
+    | Ok (Some stats) ->
+      Alcotest.(check bool) "the recompile did some work" true
+        (stats.Compiler.spliced_edges + stats.Compiler.recomputed_edges > 0)
+    | Ok None -> Alcotest.fail "expected an incremental recompile"
+    | Error r ->
+      Alcotest.failf "reconfigure refused: %a"
+        (fun ppf -> Serve.pp_rejection ppf)
+        r);
+    Alcotest.(check int) "session at epoch 1" 1 (Serve.epoch s);
+    (match Serve.avoidance s with
+    | Engine.Non_propagation th ->
+      Alcotest.(check int) "table stamped epoch 1" 1 (Thresholds.epoch th)
+    | _ -> Alcotest.fail "expected a threshold table");
+    let st = Serve.stats t in
+    Alcotest.(check int) "recompile counted" 1 st.Serve.recompiles;
+    Alcotest.(check int) "no LP pivots under the Exact backend" 0
+      st.Serve.warm_pivots
+
+(* Same, under the Lp backend: the warm-pivot counter is fed by the
+   re-solve's cumulative pivot count. *)
+let test_lp_reconfigure_counters () =
+  let t = Serve.create ~domains:2 () in
+  Fun.protect ~finally:(fun () -> Serve.shutdown t) @@ fun () ->
+  let g = Topo_gen.fig4_left ~cap:2 in
+  match Serve.admit t ~backend:Compiler.Lp ~mode:Serve.Non_propagation g with
+  | Error r ->
+    Alcotest.failf "fig4_left rejected under Lp: %a"
+      (fun ppf -> Serve.pp_rejection ppf)
+      r
+  | Ok s -> (
+    match Serve.reconfigure t s [ Edit.Resize { edge = 0; cap = 4 } ] with
+    | Ok (Some stats) -> (
+      match stats.Compiler.lp_stats with
+      | None -> Alcotest.fail "Lp backend recompile carried no LP stats"
+      | Some lp ->
+        Alcotest.(check bool) "the LP touched a component" true
+          (lp.Lp.rspliced + lp.Lp.rwarm + lp.Lp.rcold >= 1);
+        Alcotest.(check int) "pivots surfaced on the server counter"
+          lp.Lp.rpivots (Serve.stats t).Serve.warm_pivots)
+    | Ok None -> Alcotest.fail "expected an incremental recompile"
+    | Error r ->
+      Alcotest.failf "reconfigure refused: %a"
+        (fun ppf -> Serve.pp_rejection ppf)
+        r)
+
+(* Mid-run reconfigure: drains the in-flight run to its boundary (the
+   drained report stays cached, even for a concurrent awaiter), swaps
+   epochs atomically, and the restarted session runs the new topology. *)
+let test_midrun_reconfigure_drains () =
+  let t = Serve.create ~domains:2 () in
+  Fun.protect ~finally:(fun () -> Serve.shutdown t) @@ fun () ->
+  let g = Topo_gen.pipeline ~stages:4 ~cap:2 in
+  match Serve.admit t ~mode:Serve.Non_propagation g with
+  | Error r ->
+    Alcotest.failf "pipeline rejected: %a"
+      (fun ppf -> Serve.pp_rejection ppf)
+      r
+  | Ok s ->
+    let inputs = 3000 in
+    let kernels () =
+      Filters.for_graph (Serve.graph s) (fun _ outs -> Filters.passthrough outs)
+    in
+    Serve.start t ~kernels:(kernels ()) ~inputs s;
+    (* one racing awaiter, one racing reconfigure *)
+    let awaiter = Domain.spawn (fun () -> Serve.await s) in
+    (match Serve.reconfigure t s [ Edit.Resize { edge = 0; cap = 3 } ] with
+    | Ok _ -> ()
+    | Error r ->
+      Alcotest.failf "mid-run reconfigure refused: %a"
+        (fun ppf -> Serve.pp_rejection ppf)
+        r);
+    let r_conc = Domain.join awaiter in
+    let r_cached = Serve.await s in
+    Alcotest.(check bool) "drained report cached (physically)" true
+      (r_conc == r_cached);
+    Alcotest.(check bool) "drained run completed" true
+      (r_cached.Report.outcome = Report.Completed);
+    Alcotest.(check int) "drained run delivered everything" inputs
+      r_cached.Report.sink_data;
+    Alcotest.(check int) "swapped to epoch 1" 1 (Serve.epoch s);
+    (* restart on the new epoch: kernels rebuilt against the session's
+       current graph *)
+    Serve.start t ~kernels:(kernels ()) ~inputs:64 s;
+    let r2 = Serve.await s in
+    Alcotest.(check bool) "restarted run completed" true
+      (r2.Report.outcome = Report.Completed);
+    Alcotest.(check int) "restarted run delivered everything" 64
+      r2.Report.sink_data
+
+let suite =
+  List.map ctx_equivalence algos
+  @ List.map ctx_skip algos
+  @ List.concat_map
+      (fun a -> List.map (exact_incr_eq_full a) families)
+      calgos
+  @ List.map exact_resize_back calgos
+  @ List.map exact_remove_readd calgos
+  @ List.map lp_incr_eq_full families
+  @ List.map auto_min_combine families
+  @ [
+      Alcotest.test_case "warm resize beats cold on layered-dense" `Quick
+        test_warm_fewer_pivots;
+    ]
+  @ List.map reconfigure_eq_fresh_admit modes
+  @ [
+      Alcotest.test_case "lint verdicts keyed by backend" `Quick
+        test_lint_cache_keyed_by_backend;
+      Alcotest.test_case "registry keyed by backend, shared within" `Quick
+        test_registry_keyed_by_backend;
+      Alcotest.test_case "epochs stamped, counters advance" `Quick
+        test_epoch_and_counters;
+      Alcotest.test_case "LP reconfigure feeds warm-pivot counter" `Quick
+        test_lp_reconfigure_counters;
+      Alcotest.test_case "mid-run reconfigure drains to the boundary" `Quick
+        test_midrun_reconfigure_drains;
+    ]
